@@ -1,0 +1,155 @@
+//! The real CPU baseline: multi-threaded batch SPN inference on the
+//! host, measured (not modelled).
+//!
+//! This is the one comparison platform the reproduction can run for
+//! real (repro band: "only CPU baseline practical"). It mirrors what
+//! SPNC-compiled CPU inference does: a flat topologically-ordered
+//! evaluation per sample, log-domain, parallelized over the batch with
+//! one worker per hardware thread and chunked work distribution.
+
+use spn_core::{Dataset, Evaluator, Spn};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Multi-threaded CPU inference engine.
+pub struct CpuBaseline {
+    spn: Spn,
+    threads: usize,
+    /// Samples per work chunk (grabbed atomically by workers).
+    chunk: usize,
+}
+
+impl CpuBaseline {
+    /// Engine over `spn` using `threads` workers (0 = all cores).
+    pub fn new(spn: Spn, threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        CpuBaseline {
+            spn,
+            threads,
+            chunk: 4096,
+        }
+    }
+
+    /// Worker count in use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The model.
+    pub fn spn(&self) -> &Spn {
+        &self.spn
+    }
+
+    /// Log-likelihoods for every sample in the dataset, in order.
+    pub fn infer(&self, data: &Dataset) -> Vec<f64> {
+        let n = data.num_samples();
+        let mut out = vec![0.0f64; n];
+        if n == 0 {
+            return out;
+        }
+        let cursor = AtomicUsize::new(0);
+        let out_ptr = SyncSlice(out.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                let cursor = &cursor;
+                let out_ptr = &out_ptr;
+                scope.spawn(move || {
+                    let mut ev = Evaluator::new(&self.spn);
+                    loop {
+                        let start = cursor.fetch_add(self.chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + self.chunk).min(n);
+                        for i in start..end {
+                            let ll = ev.log_likelihood_bytes(data.row(i));
+                            // SAFETY: each index i is claimed by exactly one
+                            // worker (disjoint chunks from the atomic cursor),
+                            // and `out` outlives the scope.
+                            unsafe { *out_ptr.0.add(i) = ll };
+                        }
+                    }
+                });
+            }
+        });
+        out
+    }
+
+    /// Measure sustained throughput in samples/s: run `infer` over the
+    /// dataset `repeats` times and take the best run (the paper reports
+    /// best-case per platform).
+    pub fn measure_throughput(&self, data: &Dataset, repeats: usize) -> f64 {
+        assert!(repeats > 0);
+        let mut best = 0.0f64;
+        for _ in 0..repeats {
+            let t0 = Instant::now();
+            let out = self.infer(data);
+            let secs = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&out);
+            best = best.max(data.num_samples() as f64 / secs);
+        }
+        best
+    }
+}
+
+/// Send+Sync wrapper for the disjoint-writes output pointer.
+struct SyncSlice(*mut f64);
+unsafe impl Send for SyncSlice {}
+unsafe impl Sync for SyncSlice {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_core::NipsBenchmark;
+
+    #[test]
+    fn matches_single_threaded_reference() {
+        let bench = NipsBenchmark::Nips10;
+        let spn = bench.build_spn();
+        let data = bench.dataset(5000, 21);
+        let cpu = CpuBaseline::new(spn.clone(), 4);
+        let got = cpu.infer(&data);
+        let mut ev = Evaluator::new(&spn);
+        for (i, row) in data.rows().enumerate() {
+            assert_eq!(got[i], ev.log_likelihood_bytes(row), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let bench = NipsBenchmark::Nips20;
+        let spn = bench.build_spn();
+        let data = bench.dataset(2000, 8);
+        let one = CpuBaseline::new(spn.clone(), 1).infer(&data);
+        let many = CpuBaseline::new(spn, 8).infer(&data);
+        assert_eq!(one, many);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let bench = NipsBenchmark::Nips10;
+        let cpu = CpuBaseline::new(bench.build_spn(), 2);
+        assert!(cpu.infer(&bench.dataset(0, 1)).is_empty());
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available() {
+        let cpu = CpuBaseline::new(NipsBenchmark::Nips10.build_spn(), 0);
+        assert!(cpu.threads() >= 1);
+    }
+
+    #[test]
+    fn throughput_is_positive_and_finite() {
+        let bench = NipsBenchmark::Nips10;
+        let cpu = CpuBaseline::new(bench.build_spn(), 2);
+        let data = bench.dataset(20_000, 2);
+        let rate = cpu.measure_throughput(&data, 2);
+        assert!(rate.is_finite() && rate > 0.0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Analytic performance models for the comparison platforms of Fig. 6
+//! that this environment cannot run: the paper's 12-core Xeon E5-2680 v3
+//! (as a *reference*, next to the real measured CPU), the Nvidia Tesla
+//! V100, and the prior-work AWS F1 FPGA design \[8\].
+//!
+//! Each model is a small closed form with constants calibrated against
+//! the relative performance the paper reports (speedup statements and
+//! the absolute rates quoted in §V-B/§V-C). The bench harness prints
+//! model output next to the paper-implied targets.
+
+use pcie_model::DmaConfig;
+use serde::{Deserialize, Serialize};
+use spn_core::NipsBenchmark;
+use spn_hw::{AcceleratorConfig, DatapathProgram};
+use spn_runtime::perf::{simulate, PerfConfig};
+
+/// The paper's Xeon E5-2680 v3 (12 cores) running SPNC-compiled batch
+/// inference.
+///
+/// Throughput is modelled as `F / (ops · (1 + ops/K))`: an effective
+/// operation rate `F` degraded superlinearly as the SPN's working set
+/// outgrows the caches (`K` controls the knee). Calibrated against the
+/// paper's NIPS20 (1.21×) and NIPS80 (2.46×) CPU-vs-HBM speedups.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct XeonModel {
+    /// Effective aggregate operation throughput (ops/s).
+    pub op_rate: f64,
+    /// Cache-pressure knee, in datapath operations.
+    pub cache_knee: f64,
+}
+
+impl Default for XeonModel {
+    fn default() -> Self {
+        XeonModel {
+            op_rate: 44.4e9,
+            cache_knee: 796.0,
+        }
+    }
+}
+
+impl XeonModel {
+    /// Datapath operations per sample of a benchmark.
+    pub fn ops_per_sample(bench: NipsBenchmark) -> f64 {
+        let c = DatapathProgram::compile(&bench.build_spn()).op_counts();
+        (c.muls + c.const_muls + c.adds + c.lookups) as f64
+    }
+
+    /// Modelled samples/s.
+    pub fn rate(&self, bench: NipsBenchmark) -> f64 {
+        let ops = Self::ops_per_sample(bench);
+        self.op_rate / (ops * (1.0 + ops / self.cache_knee))
+    }
+}
+
+/// The Nvidia Tesla V100 running TensorFlow/SPNC-generated kernels.
+///
+/// The paper finds the V100 "unsuitable for SPN inference": the
+/// low-arithmetic-intensity workload is dominated by host↔device
+/// staging and per-batch kernel launches, leaving an effective
+/// end-to-end streaming rate of ~1.5 GB/s regardless of SPN size.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct V100Model {
+    /// Effective end-to-end byte throughput (B/s).
+    pub effective_bytes_per_sec: f64,
+}
+
+impl Default for V100Model {
+    fn default() -> Self {
+        V100Model {
+            effective_bytes_per_sec: 1.5e9,
+        }
+    }
+}
+
+impl V100Model {
+    /// Modelled samples/s.
+    pub fn rate(&self, bench: NipsBenchmark) -> f64 {
+        self.effective_bytes_per_sec / bench.total_bytes_per_sample() as f64
+    }
+}
+
+/// The prior-work AWS F1 design \[8\]: same simulation machinery as the
+/// HBM design, with F1 parameters — fewer cores (Table I: four, and
+/// only two for NIPS80), clock frequencies that deteriorate with design
+/// size (the soft DDR controllers' routing pressure), and the F1
+/// shell's slower DMA path.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct F1Model {
+    /// DMA efficiency of the F1 shell's engine (fraction of the Gen3
+    /// x16 theoretical rate).
+    pub dma_efficiency: f64,
+    /// Base clock before size-dependent deterioration (Hz).
+    pub base_clock_hz: u64,
+    /// Clock lost per input variable (Hz) — the "globally deteriorating
+    /// clock frequencies" of Section III-A.
+    pub clock_penalty_per_var_hz: u64,
+}
+
+impl Default for F1Model {
+    fn default() -> Self {
+        F1Model {
+            dma_efficiency: 0.599,
+            base_clock_hz: 220_000_000,
+            clock_penalty_per_var_hz: 1_000_000,
+        }
+    }
+}
+
+impl F1Model {
+    /// Cores the prior work fit for a benchmark (Table I / §V-D).
+    pub fn cores(bench: NipsBenchmark) -> u32 {
+        match bench {
+            NipsBenchmark::Nips80 => 2,
+            _ => 4,
+        }
+    }
+
+    /// The deteriorated clock for a benchmark's design.
+    pub fn clock_hz(&self, bench: NipsBenchmark) -> u64 {
+        self.base_clock_hz - self.clock_penalty_per_var_hz * bench.num_vars() as u64
+    }
+
+    /// Modelled end-to-end samples/s (best case, transfers included).
+    pub fn rate(&self, bench: NipsBenchmark) -> f64 {
+        let mut cfg = PerfConfig::paper_setup(bench, Self::cores(bench));
+        // §IV-B: "In the prior work, up to four threads per SPN
+        // accelerator were used to achieve maximum throughput."
+        cfg.threads_per_pe = 4;
+        let mut dma = DmaConfig::paper_default();
+        dma.link.dma_efficiency = self.dma_efficiency;
+        cfg.dma = dma;
+        cfg.accel = AcceleratorConfig {
+            clock_hz: self.clock_hz(bench),
+            ..AcceleratorConfig::paper_default()
+        };
+        simulate(&cfg).samples_per_sec
+    }
+}
+
+/// Best-case HBM (this work) end-to-end rate: the maximum over PE counts
+/// 1..=8 and 1-2 control threads per PE, matching Fig. 6's "best-case
+/// result for each target platform".
+pub fn hbm_best_rate(bench: NipsBenchmark) -> f64 {
+    let mut best = 0.0f64;
+    for n in 1..=8u32 {
+        for threads in 1..=2u32 {
+            let mut cfg = PerfConfig::paper_setup(bench, n);
+            cfg.threads_per_pe = threads;
+            best = best.max(simulate(&cfg).samples_per_sec);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::geometric_mean;
+    use spn_core::ALL_BENCHMARKS;
+    use spn_hw::calib;
+
+    #[test]
+    fn cpu_wins_nips10_loses_from_nips20_up() {
+        // Fig. 6's crossover.
+        let xeon = XeonModel::default();
+        assert!(
+            xeon.rate(NipsBenchmark::Nips10) > hbm_best_rate(NipsBenchmark::Nips10),
+            "CPU should win NIPS10"
+        );
+        for bench in [
+            NipsBenchmark::Nips20,
+            NipsBenchmark::Nips30,
+            NipsBenchmark::Nips40,
+            NipsBenchmark::Nips80,
+        ] {
+            assert!(
+                hbm_best_rate(bench) > xeon.rate(bench),
+                "{}: HBM should win",
+                bench.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cpu_speedups_match_paper_statements() {
+        let xeon = XeonModel::default();
+        // §V-D: NIPS20 speedup 1.21x.
+        let s20 = hbm_best_rate(NipsBenchmark::Nips20) / xeon.rate(NipsBenchmark::Nips20);
+        assert!((s20 - 1.21).abs() < 0.25, "NIPS20 speedup {s20}");
+        // §V-D: NIPS80 speedup 2.46x (the maximum).
+        let s80 = hbm_best_rate(NipsBenchmark::Nips80) / xeon.rate(NipsBenchmark::Nips80);
+        assert!((s80 - 2.46).abs() < 0.4, "NIPS80 speedup {s80}");
+        // Geo-mean ~1.6x.
+        let speedups: Vec<f64> = ALL_BENCHMARKS
+            .iter()
+            .map(|b| hbm_best_rate(*b) / xeon.rate(*b))
+            .collect();
+        let geo = geometric_mean(&speedups).unwrap();
+        assert!(
+            (geo - calib::PAPER_NIPS80_PEAK * 0.0 - 1.6).abs() < 0.3,
+            "geo-mean CPU speedup {geo} (paper 1.6)"
+        );
+    }
+
+    #[test]
+    fn v100_loses_everywhere_by_5_to_9x() {
+        let v100 = V100Model::default();
+        let speedups: Vec<f64> = ALL_BENCHMARKS
+            .iter()
+            .map(|b| hbm_best_rate(*b) / v100.rate(*b))
+            .collect();
+        for (b, s) in ALL_BENCHMARKS.iter().zip(&speedups) {
+            assert!((4.0..10.0).contains(s), "{}: V100 speedup {s}", b.name());
+        }
+        let geo = geometric_mean(&speedups).unwrap();
+        assert!((geo - 6.9).abs() < 1.0, "geo-mean V100 speedup {geo} (paper 6.9)");
+    }
+
+    #[test]
+    fn f1_speedups_match_paper() {
+        let f1 = F1Model::default();
+        let speedups: Vec<f64> = ALL_BENCHMARKS
+            .iter()
+            .map(|b| hbm_best_rate(*b) / f1.rate(*b))
+            .collect();
+        // Every benchmark improves, none by more than ~1.5x.
+        for (b, s) in ALL_BENCHMARKS.iter().zip(&speedups) {
+            assert!(
+                (1.0..=1.65).contains(s),
+                "{}: F1 speedup {s} out of the paper's range",
+                b.name()
+            );
+        }
+        // NIPS80 is the largest speedup (~1.5x: prior fit only 2 cores).
+        let s80 = speedups[4];
+        assert!((s80 - 1.5).abs() < 0.25, "NIPS80 F1 speedup {s80}");
+        // Geo-mean ~1.29x.
+        let geo = geometric_mean(&speedups).unwrap();
+        assert!((geo - 1.29).abs() < 0.2, "geo-mean F1 speedup {geo}");
+    }
+
+    #[test]
+    fn f1_clock_deteriorates_with_size() {
+        let f1 = F1Model::default();
+        assert!(f1.clock_hz(NipsBenchmark::Nips80) < f1.clock_hz(NipsBenchmark::Nips10));
+        assert_eq!(F1Model::cores(NipsBenchmark::Nips80), 2);
+        assert_eq!(F1Model::cores(NipsBenchmark::Nips10), 4);
+    }
+
+    #[test]
+    fn hbm_best_uses_fewer_than_max_pes_for_nips10() {
+        // NIPS10's best configuration is ~5 cores, not 8 (Fig. 4).
+        let best = hbm_best_rate(NipsBenchmark::Nips10);
+        let at8 = simulate(&PerfConfig::paper_setup(NipsBenchmark::Nips10, 8)).samples_per_sec;
+        assert!(best >= at8);
+        let paper = calib::PAPER_NIPS10_FIVE_CORE;
+        assert!((best - paper).abs() / paper < 0.15, "best {best} vs paper {paper}");
+    }
+}

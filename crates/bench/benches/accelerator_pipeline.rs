@@ -1,0 +1,34 @@
+//! Criterion benchmark of the compiled-datapath functional execution —
+//! the bit-accurate accelerator model — across arithmetic formats.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use spn_arith::{CfpFormat, F64Format, LnsFormat};
+use spn_core::NipsBenchmark;
+use spn_hw::DatapathProgram;
+
+fn benches(c: &mut Criterion) {
+    for bench in [NipsBenchmark::Nips10, NipsBenchmark::Nips40] {
+        let prog = DatapathProgram::compile(&bench.build_spn());
+        let data = bench.dataset(4096, 7);
+        let mut g = c.benchmark_group(format!("datapath/{}", bench.name()));
+        g.sample_size(10)
+            .measurement_time(std::time::Duration::from_secs(4))
+            .warm_up_time(std::time::Duration::from_millis(500));
+        g.throughput(Throughput::Elements(data.num_samples() as u64));
+        g.bench_function("f64", |b| {
+            b.iter(|| black_box(prog.execute_batch(&F64Format, black_box(data.raw()))))
+        });
+        g.bench_function("cfp", |b| {
+            let f = CfpFormat::paper_default();
+            b.iter(|| black_box(prog.execute_batch(&f, black_box(data.raw()))))
+        });
+        g.bench_function("lns", |b| {
+            let f = LnsFormat::paper_default();
+            b.iter(|| black_box(prog.execute_batch(&f, black_box(data.raw()))))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(datapath, benches);
+criterion_main!(datapath);

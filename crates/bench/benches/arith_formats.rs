@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the bit-accurate number-format
+//! emulation: the add/mul kernels that dominate datapath simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use spn_arith::{CfpFormat, F64Format, LnsFormat, PositFormat, SpnNumber};
+
+fn bench_format<F: SpnNumber>(c: &mut Criterion, name: &str, format: &F) {
+    let xs: Vec<F::Value> = (1..=256).map(|i| format.from_f64(i as f64 / 257.0)).collect();
+    let mut g = c.benchmark_group(format!("arith/{name}"));
+    g.sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("mul_chain", |b| {
+        b.iter(|| {
+            let mut acc = format.one();
+            for &x in &xs {
+                acc = format.mul(acc, black_box(x));
+            }
+            black_box(format.to_f64(acc))
+        })
+    });
+    g.bench_function("add_chain", |b| {
+        b.iter(|| {
+            let mut acc = format.zero();
+            for &x in &xs {
+                acc = format.add(acc, black_box(x));
+            }
+            black_box(format.to_f64(acc))
+        })
+    });
+    g.bench_function("from_f64", |b| {
+        b.iter(|| {
+            for i in 1..=256u32 {
+                black_box(format.from_f64(black_box(i as f64 / 257.0)));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_format(c, "f64", &F64Format);
+    bench_format(c, "cfp", &CfpFormat::paper_default());
+    bench_format(c, "lns", &LnsFormat::paper_default());
+    bench_format(c, "posit", &PositFormat::paper_default());
+}
+
+criterion_group!(arith, benches);
+criterion_main!(arith);

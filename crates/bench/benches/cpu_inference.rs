@@ -1,0 +1,26 @@
+//! Criterion benchmark of the *real* CPU baseline: multi-threaded batch
+//! log-domain inference, per NIPS benchmark. This is the measured
+//! series of Fig. 6.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use baselines::CpuBaseline;
+use spn_core::ALL_BENCHMARKS;
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_inference");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    for bench in ALL_BENCHMARKS {
+        let data = bench.dataset(20_000, 42);
+        let cpu = CpuBaseline::new(bench.build_spn(), 0);
+        g.throughput(Throughput::Elements(data.num_samples() as u64));
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| black_box(cpu.infer(black_box(&data))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(cpu, benches);
+criterion_main!(cpu);

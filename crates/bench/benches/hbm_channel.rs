@@ -1,0 +1,42 @@
+//! Criterion benchmark of the Fig. 2 machinery: the event-driven
+//! channel micro-benchmark and the closed-form efficiency curve.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mem_model::{run_channel_benchmark, ClockConfig, HbmChannelConfig, TrafficRun};
+
+fn benches(c: &mut Criterion) {
+    let cfg = HbmChannelConfig::calibrated(ClockConfig::Half225DoubleWidth);
+    let mut g = c.benchmark_group("hbm_channel");
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3));
+    for (label, size) in [("64KiB", 64u64 << 10), ("1MiB", 1 << 20)] {
+        g.bench_function(format!("des_sim/{label}"), |b| {
+            b.iter(|| {
+                black_box(run_channel_benchmark(
+                    cfg,
+                    TrafficRun {
+                        request_bytes: black_box(size),
+                        num_reads: 256,
+                        num_writes: 256,
+                        outstanding_per_engine: 2,
+                    },
+                ))
+            })
+        });
+    }
+    g.bench_function("closed_form_curve", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            let mut s = 4u64 << 10;
+            while s <= 16 << 20 {
+                total += cfg.effective_bandwidth(black_box(s)).gib_per_sec();
+                s *= 2;
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(hbm, benches);
+criterion_main!(hbm);

@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the runtime layers: the functional
+//! multi-threaded runtime on the virtual device, and the virtual-time
+//! end-to-end simulation that regenerates Figs. 4/6.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use spn_arith::{AnyFormat, CfpFormat};
+use spn_core::NipsBenchmark;
+use spn_hw::{AcceleratorConfig, DatapathProgram};
+use spn_runtime::perf::{simulate, PerfConfig};
+use spn_runtime::{RuntimeConfig, SpnRuntime, VirtualDevice};
+use std::sync::Arc;
+
+fn benches(c: &mut Criterion) {
+    let bench = NipsBenchmark::Nips10;
+    let prog = DatapathProgram::compile(&bench.build_spn());
+    let device = Arc::new(VirtualDevice::new(
+        prog,
+        AnyFormat::Cfp(CfpFormat::paper_default()),
+        AcceleratorConfig::paper_default(),
+        4,
+        16 << 20,
+    ));
+    let rt = SpnRuntime::new(
+        device,
+        RuntimeConfig {
+            block_samples: 4096,
+            threads_per_pe: 2,
+            verify_fraction: 0.0,
+        },
+    );
+    let data = bench.dataset(65_536, 3);
+
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    g.throughput(Throughput::Elements(data.num_samples() as u64));
+    g.bench_function("functional_infer_4pe", |b| {
+        b.iter(|| black_box(rt.infer(black_box(&data)).unwrap()))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("perf_sim");
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4));
+    g.bench_function("fig4_point_8pe_100M", |b| {
+        b.iter(|| {
+            black_box(simulate(&PerfConfig::paper_setup(
+                black_box(NipsBenchmark::Nips10),
+                8,
+            )))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(runtime, benches);
+criterion_main!(runtime);

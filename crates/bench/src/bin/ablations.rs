@@ -1,0 +1,110 @@
+//! Ablation studies over the design choices the paper makes (and
+//! DESIGN.md calls out): the HBM crossbar, the DMA duplex model, the
+//! runtime block size, the number of control threads, and the
+//! streaming-architecture replication degree.
+//!
+//! Each section prints "choice → consequence" so the cost of deviating
+//! from the paper's configuration is visible.
+
+use bench::{fmt_rate, write_json, Table};
+use mem_model::{ClockConfig, CrossbarMode, HbmConfig, HbmDevice};
+use pcie_model::DmaConfig;
+use serde::Serialize;
+use sim_core::{SimTime, MIB};
+use spn_core::NipsBenchmark;
+use spn_runtime::perf::{simulate, PerfConfig};
+use spn_runtime::streaming::{min_replication_for_line_rate, simulate_streaming, StreamingSimConfig};
+
+#[derive(Serialize, Default)]
+struct Ablations {
+    crossbar_local_gib_s: f64,
+    crossbar_remote_gib_s: f64,
+    duplex_shared_rate: f64,
+    duplex_full_rate: f64,
+    block_sweep: Vec<(u64, f64)>,
+    thread_sweep: Vec<(u32, f64)>,
+    streaming_replication: Vec<(String, u32)>,
+}
+
+fn main() {
+    let mut out = Ablations::default();
+
+    // 1. Crossbar: the paper disables it; what does enabling cost?
+    println!("== HBM crossbar (paper: disabled) ==");
+    let mut cfg = HbmConfig::xup_vvh(ClockConfig::Half225DoubleWidth);
+    cfg.crossbar = CrossbarMode::enabled_default();
+    let mut dev = HbmDevice::new(cfg);
+    let local = dev.transfer(0, SimTime::ZERO, MIB, false).unwrap();
+    let remote = dev.transfer(1, SimTime::ZERO, MIB, true).unwrap();
+    let gib = |g: sim_core::Grant| MIB as f64 / (g.end - g.start).as_secs_f64() / (1u64 << 30) as f64;
+    out.crossbar_local_gib_s = gib(local);
+    out.crossbar_remote_gib_s = gib(remote);
+    println!(
+        "  local access : {:.2} GiB/s\n  via crossbar : {:.2} GiB/s ({:.0}% loss)\n",
+        out.crossbar_local_gib_s,
+        out.crossbar_remote_gib_s,
+        (1.0 - out.crossbar_remote_gib_s / out.crossbar_local_gib_s) * 100.0
+    );
+
+    // 2. DMA duplex model: shared engine (matches measurements) vs an
+    // idealized full-duplex engine.
+    println!("== DMA duplex model (NIPS10, 8 PEs) ==");
+    let shared = simulate(&PerfConfig::paper_setup(NipsBenchmark::Nips10, 8));
+    let mut full_cfg = PerfConfig::paper_setup(NipsBenchmark::Nips10, 8);
+    full_cfg.dma = DmaConfig {
+        duplex: pcie_model::DuplexMode::FullDuplex,
+        ..full_cfg.dma
+    };
+    let full = simulate(&full_cfg);
+    out.duplex_shared_rate = shared.samples_per_sec;
+    out.duplex_full_rate = full.samples_per_sec;
+    println!(
+        "  shared engine: {}   full duplex: {}  (+{:.0}%)\n",
+        fmt_rate(shared.samples_per_sec),
+        fmt_rate(full.samples_per_sec),
+        (full.samples_per_sec / shared.samples_per_sec - 1.0) * 100.0
+    );
+
+    // 3. Block size: the user-specified sub-job granularity.
+    println!("== block size (NIPS40, 8 PEs) ==");
+    let mut table = Table::new(vec!["block [samples]", "rate"]);
+    for shift in [10u32, 12, 14, 16, 18, 20, 22, 24] {
+        let mut cfg = PerfConfig::paper_setup(NipsBenchmark::Nips40, 8);
+        cfg.block_samples = 1 << shift;
+        let r = simulate(&cfg);
+        table.row(vec![format!("{}", 1u64 << shift), fmt_rate(r.samples_per_sec)]);
+        out.block_sweep.push((1 << shift, r.samples_per_sec));
+    }
+    table.print();
+    println!("  (tiny blocks pay DMA setup per block; huge blocks lose overlap)\n");
+
+    // 4. Control threads per PE.
+    println!("== control threads per PE (NIPS20, 4 PEs) ==");
+    let mut table = Table::new(vec!["threads", "rate"]);
+    for t in 1..=4u32 {
+        let mut cfg = PerfConfig::paper_setup(NipsBenchmark::Nips20, 4);
+        cfg.threads_per_pe = t;
+        let r = simulate(&cfg);
+        table.row(vec![t.to_string(), fmt_rate(r.samples_per_sec)]);
+        out.thread_sweep.push((t, r.samples_per_sec));
+    }
+    table.print();
+    println!("  (paper: 2 threads saturate the DMA; more adds nothing)\n");
+
+    // 5. Streaming replication degree ([7]).
+    println!("== streaming-architecture replication for 100G line rate ==");
+    let mut table = Table::new(vec!["benchmark", "cores for line rate", "rate at that degree"]);
+    for bench in spn_core::ALL_BENCHMARKS {
+        let r = min_replication_for_line_rate(bench, 0.99);
+        let res = simulate_streaming(&StreamingSimConfig::paper_100g(bench, r), bench, 4 << 20);
+        table.row(vec![
+            bench.name().to_string(),
+            r.to_string(),
+            fmt_rate(res.samples_per_sec),
+        ]);
+        out.streaming_replication.push((bench.name().to_string(), r));
+    }
+    table.print();
+
+    write_json("ablations", &out);
+}

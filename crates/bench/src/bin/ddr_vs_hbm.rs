@@ -1,0 +1,115 @@
+//! The §III-A motivation study: the DDR controller / accelerator-core
+//! trade-off on the AWS F1 versus HBM's dedicated channels.
+//!
+//! The paper describes the prior-work dilemma for NIPS80: "the logic
+//! resources on the F1 are insufficient to hold the combination of four
+//! NIPS80 accelerators with four separate memory controllers. Thus,
+//! only two accelerators were used... Alternatively, it was possible to
+//! use a single memory controller in combination with three SPN
+//! accelerators, which also had a performance cost." This binary
+//! enumerates those design points from the resource and memory models
+//! and shows how HBM dissolves the trade-off (hard controllers cost
+//! nothing; every core gets a private channel).
+
+use bench::{fmt_rate, write_json, Table};
+use mem_model::{ClockConfig, DdrConfig, HbmChannelConfig};
+use serde::Serialize;
+use spn_core::NipsBenchmark;
+use spn_hw::{
+    calib, datapath_cost, design_cost, resources::row_to_resources, ArithCosts, DatapathProgram,
+    OpLatencies, PipelineSchedule, PlatformCosts,
+};
+
+#[derive(Serialize)]
+struct DesignPoint {
+    cores: u32,
+    controllers: u32,
+    fits: bool,
+    aggregate_rate: f64,
+}
+
+fn main() {
+    let bench = NipsBenchmark::Nips80;
+    println!("DDR-vs-HBM design-point study, {} (§III-A)\n", bench.name());
+
+    let prog = DatapathProgram::compile(&bench.build_spn());
+    let sched = PipelineSchedule::asap(&prog, &OpLatencies::cfp());
+    let counts = prog.op_counts();
+
+    // -------- F1: every (cores, soft controllers) combination --------
+    let f1_platform = PlatformCosts::f1_prior_work();
+    let f1_dp = datapath_cost(&counts, &ArithCosts::fp64_prior_work(), sched.balance_registers);
+    let f1_avail = row_to_resources(&calib::AVAILABLE_PRIOR);
+    // Prior-work core: FP64 datapath at a deteriorated ~140 MHz clock,
+    // 2 cycles/sample for 80-byte inputs.
+    let f1_core_rate: f64 = 140.0e6 * 0.5917 / 2.0;
+
+    println!("== AWS F1 (soft DDR controllers cost fabric) ==");
+    let mut table = Table::new(vec!["cores", "controllers", "fits?", "aggregate rate"]);
+    let mut points = Vec::new();
+    for cores in 1..=4u32 {
+        for controllers in 1..=cores.min(4) {
+            let cost = design_cost(f1_dp, &f1_platform, cores, controllers);
+            let fits = cost.fits_in(&f1_avail, f1_platform.utilization_ceiling);
+            // Shared-controller penalty: cores sharing one DDR channel
+            // split its sustained bandwidth.
+            let ddr = DdrConfig::aws_f1(controllers);
+            let per_core_mem = ddr.total_sustained().bytes_per_sec()
+                / cores as f64
+                / bench.total_bytes_per_sample() as f64;
+            let rate = cores as f64 * f1_core_rate.min(per_core_mem);
+            table.row(vec![
+                cores.to_string(),
+                controllers.to_string(),
+                if fits { "yes" } else { "NO" }.to_string(),
+                if fits { fmt_rate(rate) } else { "-".to_string() },
+            ]);
+            points.push(DesignPoint {
+                cores,
+                controllers,
+                fits,
+                aggregate_rate: if fits { rate } else { 0.0 },
+            });
+        }
+    }
+    table.print();
+    let best_f1 = points
+        .iter()
+        .filter(|p| p.fits)
+        .map(|p| p.aggregate_rate)
+        .fold(0.0, f64::max);
+    println!(
+        "best feasible F1 point: {} (paper: two cores / §III-A trade-off)\n",
+        fmt_rate(best_f1)
+    );
+
+    // -------- HBM: controllers are hard IP; scale cores --------
+    let hbm_platform = PlatformCosts::hbm_this_work();
+    let hbm_dp = datapath_cost(&counts, &ArithCosts::cfp_this_work(), sched.balance_registers);
+    let hbm_avail = row_to_resources(&calib::AVAILABLE_NEW);
+    let channel = HbmChannelConfig::calibrated(ClockConfig::Half225DoubleWidth);
+    let hbm_core_rate: f64 = 225.0e6 * 0.5917 / 2.0; // 80-byte samples: 2 cycles
+
+    println!("== XUP-VVH (hard HBM controllers, one channel per core) ==");
+    let mut table = Table::new(vec!["cores", "fits?", "on-device aggregate rate"]);
+    for cores in [1u32, 2, 4, 8] {
+        let cost = design_cost(hbm_dp, &hbm_platform, cores, cores);
+        let fits = cost.fits_in(&hbm_avail, hbm_platform.utilization_ceiling);
+        let per_core_mem = channel.sustained_bandwidth().bytes_per_sec()
+            / bench.total_bytes_per_sample() as f64;
+        let rate = cores as f64 * hbm_core_rate.min(per_core_mem);
+        table.row(vec![
+            cores.to_string(),
+            if fits { "yes" } else { "NO" }.to_string(),
+            fmt_rate(rate),
+        ]);
+    }
+    table.print();
+    println!(
+        "\n(on-device rates; end-to-end both designs hit the PCIe wall —\n\
+         see fig4_scaling/fig6_end_to_end. The HBM design's win here is\n\
+         fitting 4x the cores with zero controller fabric.)"
+    );
+
+    write_json("ddr_vs_hbm", &points);
+}

@@ -1,0 +1,85 @@
+//! Fig. 2 — Maximum throughput of one HBM memory channel for parallel
+//! linear reads and writes, versus request size, for the two clocking
+//! configurations (450 MHz native width vs 225 MHz double width through
+//! an AXI SmartConnect).
+//!
+//! Regenerates the paper's two curves by running the event-driven
+//! traffic-generator benchmark block against the calibrated channel
+//! model. Expected shape (paper §II-B): throughput ramps with request
+//! size, saturates ~12 GiB/s at 1 MiB, and the two configurations are
+//! indistinguishable.
+
+use bench::{write_json, Table};
+use mem_model::{sweep_request_sizes, ClockConfig, HbmChannelConfig};
+use serde::Serialize;
+use sim_core::KIB;
+
+#[derive(Serialize)]
+struct Point {
+    request_bytes: u64,
+    native_450_gib_s: f64,
+    half_225_double_gib_s: f64,
+}
+
+fn main() {
+    // 4 KiB .. 16 MiB, powers of two — the paper's x-axis range.
+    let sizes: Vec<u64> = (0..13).map(|i| (4 * KIB) << i).collect();
+
+    let native = sweep_request_sizes(
+        HbmChannelConfig::calibrated(ClockConfig::Native450),
+        &sizes,
+    );
+    let half = sweep_request_sizes(
+        HbmChannelConfig::calibrated(ClockConfig::Half225DoubleWidth),
+        &sizes,
+    );
+
+    println!("Fig. 2 — single HBM channel, parallel linear read+write");
+    println!("(paper: saturates ~12 GiB/s at 1 MiB; configs equivalent)\n");
+
+    let mut table = Table::new(vec![
+        "request size",
+        "450MHz/256b [GiB/s]",
+        "225MHz/512b [GiB/s]",
+        "delta",
+    ]);
+    let mut points = Vec::new();
+    for ((size, a), (_, b)) in native.iter().zip(&half) {
+        let (ga, gb) = (a.gib_per_sec(), b.gib_per_sec());
+        table.row(vec![
+            fmt_size(*size),
+            format!("{ga:.2}"),
+            format!("{gb:.2}"),
+            format!("{:+.1}%", (gb - ga) / ga * 100.0),
+        ]);
+        points.push(Point {
+            request_bytes: *size,
+            native_450_gib_s: ga,
+            half_225_double_gib_s: gb,
+        });
+    }
+    table.print();
+
+    let sat = half.last().unwrap().1.gib_per_sec();
+    let at_1mib = half
+        .iter()
+        .find(|(s, _)| *s == 1 << 20)
+        .unwrap()
+        .1
+        .gib_per_sec();
+    println!("\nsaturated throughput : {sat:.2} GiB/s (paper: ~12 GiB/s)");
+    println!(
+        "1 MiB / saturated    : {:.1}% (paper: 'caps at 1 MiB')",
+        at_1mib / sat * 100.0
+    );
+
+    write_json("fig2_hbm_channel", &points);
+}
+
+fn fmt_size(bytes: u64) -> String {
+    if bytes >= 1 << 20 {
+        format!("{} MiB", bytes >> 20)
+    } else {
+        format!("{} KiB", bytes >> 10)
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig. 4 — Peak performance in samples/s versus PE count, with and
+//! without host-to-device data transfers (NIPS10, 100 M samples).
+//!
+//! Left panel (w/o transfers): near-linear scaling — batch SPN inference
+//! is embarrassingly parallel across HBM channels. Right panel (w/
+//! transfers): scaling stalls around five PEs because the shared PCIe
+//! DMA engine saturates. Also reports the §V-B thread study: a second
+//! control thread per PE only helps below four PEs.
+
+use bench::{fmt_rate, write_json, Table};
+use serde::Serialize;
+use spn_core::NipsBenchmark;
+use spn_hw::calib;
+use spn_runtime::perf::scaling_series;
+
+#[derive(Serialize)]
+struct Point {
+    pes: u32,
+    without_transfers: f64,
+    with_transfers_1_thread: f64,
+    with_transfers_2_threads: f64,
+    dma_utilization: f64,
+}
+
+fn main() {
+    let pes: Vec<u32> = (1..=8).collect();
+    let bench = NipsBenchmark::Nips10;
+
+    let wo = scaling_series(bench, &pes, false, 1);
+    let w1 = scaling_series(bench, &pes, true, 1);
+    let w2 = scaling_series(bench, &pes, true, 2);
+
+    println!("Fig. 4 — {} scaling by PE count (100M samples)\n", bench.name());
+    let mut table = Table::new(vec![
+        "PEs",
+        "w/o transfers",
+        "w/ transfers (1 thr)",
+        "w/ transfers (2 thr)",
+        "DMA util",
+    ]);
+    let mut points = Vec::new();
+    for i in 0..pes.len() {
+        table.row(vec![
+            pes[i].to_string(),
+            fmt_rate(wo[i].1.samples_per_sec),
+            fmt_rate(w1[i].1.samples_per_sec),
+            fmt_rate(w2[i].1.samples_per_sec),
+            format!("{:.0}%", w1[i].1.dma_utilization * 100.0),
+        ]);
+        points.push(Point {
+            pes: pes[i],
+            without_transfers: wo[i].1.samples_per_sec,
+            with_transfers_1_thread: w1[i].1.samples_per_sec,
+            with_transfers_2_threads: w2[i].1.samples_per_sec,
+            dma_utilization: w1[i].1.dma_utilization,
+        });
+    }
+    table.print();
+
+    println!("\npaper reference points:");
+    println!(
+        "  1 PE  (compute)      : {} model vs {} paper",
+        fmt_rate(wo[0].1.samples_per_sec),
+        fmt_rate(calib::PAPER_NIPS10_SINGLE_CORE)
+    );
+    println!(
+        "  5 PEs (end-to-end)   : {} model vs {} paper",
+        fmt_rate(w1[4].1.samples_per_sec),
+        fmt_rate(calib::PAPER_NIPS10_FIVE_CORE)
+    );
+    let lin = wo[7].1.samples_per_sec / wo[0].1.samples_per_sec;
+    println!("  8-PE scaling w/o xfer: {lin:.2}x (paper: 'almost linear')");
+    let sat = w1[7].1.samples_per_sec / w1[4].1.samples_per_sec;
+    println!("  8 vs 5 PEs w/ xfer   : {sat:.2}x (paper: 'no significant improvement')");
+
+    // The other benchmarks' end-to-end scaling, for completeness.
+    println!("\nw/ transfers, 1 thread, all benchmarks:");
+    let mut table = Table::new(vec!["PEs", "NIPS10", "NIPS20", "NIPS30", "NIPS40", "NIPS80"]);
+    let all: Vec<Vec<(u32, spn_runtime::PerfResult)>> = spn_core::ALL_BENCHMARKS
+        .iter()
+        .map(|b| scaling_series(*b, &pes, true, 1))
+        .collect();
+    for i in 0..pes.len() {
+        table.row(vec![
+            pes[i].to_string(),
+            fmt_rate(all[0][i].1.samples_per_sec),
+            fmt_rate(all[1][i].1.samples_per_sec),
+            fmt_rate(all[2][i].1.samples_per_sec),
+            fmt_rate(all[3][i].1.samples_per_sec),
+            fmt_rate(all[4][i].1.samples_per_sec),
+        ]);
+    }
+    table.print();
+
+    write_json("fig4_scaling", &points);
+}

@@ -1,0 +1,86 @@
+//! Fig. 5 — Scaling potential of the architecture assuming unlimited
+//! logic resources and host bandwidth: required memory throughput per
+//! benchmark as a function of instantiated SPN cores, against the three
+//! HBM reference lines (measured single channel, practical 32-channel
+//! aggregate, vendor theoretical peak).
+//!
+//! Paper conclusions this regenerates: the HBM could feed 64 cores for
+//! every benchmark and 128 for the smallest ones; 128 NIPS10 cores need
+//! 285 GiB/s — well under both limits.
+
+use bench::{write_json, Table};
+use serde::Serialize;
+use spn_core::ALL_BENCHMARKS;
+use spn_hw::AcceleratorConfig;
+use spn_runtime::analysis::{hbm_limits, max_cores_by_hbm, required_bandwidth};
+
+#[derive(Serialize)]
+struct Series {
+    benchmark: String,
+    cores: Vec<u32>,
+    required_gib_s: Vec<f64>,
+    max_cores_by_hbm: u32,
+}
+
+fn main() {
+    let accel = AcceleratorConfig::paper_default();
+    let limits = hbm_limits();
+    let cores: Vec<u32> = vec![1, 2, 4, 8, 16, 32, 64, 128];
+
+    println!("Fig. 5 — required memory throughput (GiB/s) vs core count\n");
+    let mut table = Table::new(vec![
+        "cores", "NIPS10", "NIPS20", "NIPS30", "NIPS40", "NIPS80",
+    ]);
+    for &n in &cores {
+        let mut row = vec![n.to_string()];
+        for bench in ALL_BENCHMARKS {
+            row.push(format!(
+                "{:.1}",
+                required_bandwidth(bench, n, &accel).gib_per_sec()
+            ));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    println!("\nHBM reference lines:");
+    println!(
+        "  single channel : {:.1} GiB/s (paper: ~12)",
+        limits.single_channel.gib_per_sec()
+    );
+    println!(
+        "  HBM max_p      : {:.1} GiB/s (paper: 384 = 32 x 12)",
+        limits.practical.gib_per_sec()
+    );
+    println!(
+        "  HBM max_t      : {:.1} GiB/s (paper: 460 GB/s = ~428 GiB/s)",
+        limits.theoretical.gib_per_sec()
+    );
+
+    println!("\nmax cores the HBM can feed (practical aggregate):");
+    let mut table = Table::new(vec!["benchmark", "max cores", "paper"]);
+    let mut series = Vec::new();
+    for bench in ALL_BENCHMARKS {
+        let max = max_cores_by_hbm(bench, &accel);
+        let paper = match bench.name() {
+            "NIPS10" | "NIPS20" => ">=128 (NIPS10) / 64+ (NIPS20)",
+            _ => ">=64",
+        };
+        table.row(vec![bench.name().to_string(), max.to_string(), paper.to_string()]);
+        series.push(Series {
+            benchmark: bench.name().to_string(),
+            cores: cores.clone(),
+            required_gib_s: cores
+                .iter()
+                .map(|&n| required_bandwidth(bench, n, &accel).gib_per_sec())
+                .collect(),
+            max_cores_by_hbm: max,
+        });
+    }
+    table.print();
+
+    let need128 = required_bandwidth(spn_core::NipsBenchmark::Nips10, 128, &accel).gib_per_sec();
+    println!("\n128 NIPS10 cores need {need128:.0} GiB/s (paper: 285 GiB/s)");
+
+    write_json("fig5_scaling_potential", &series);
+}

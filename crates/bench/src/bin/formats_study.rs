@@ -1,0 +1,119 @@
+//! The arithmetic-format study (\[4\]'s methodology, which the paper's
+//! Section III-B builds on): accuracy of CFP, LNS and posit datapaths
+//! against the f64 reference on the NIPS benchmarks, next to the
+//! resources each format costs.
+//!
+//! Regenerates the kind of table that justified the paper's CFP choice:
+//! CFP and LNS both reach ~1e-6 relative error at a fraction of FP64's
+//! resources, while posit(32,2) loses precision on the tiny joint
+//! probabilities SPNs produce.
+
+use bench::{write_json, Table};
+use serde::Serialize;
+use spn_arith::{CfpFormat, ErrorStats, F64Format, LnsFormat, PositFormat, Rounding, SpnNumber};
+use spn_core::ALL_BENCHMARKS;
+use spn_hw::{datapath_cost, ArithCosts, DatapathProgram, OpLatencies, PipelineSchedule};
+
+#[derive(Serialize)]
+struct FormatRow {
+    benchmark: String,
+    format: String,
+    max_rel_err: f64,
+    mean_rel_err: f64,
+    underflows: u64,
+}
+
+fn study<F: SpnNumber>(prog: &DatapathProgram, data: &spn_core::Dataset, f: &F) -> ErrorStats {
+    let mut stats = ErrorStats::new();
+    for row in data.rows() {
+        let reference = prog.execute(&F64Format, row);
+        stats.record(reference, prog.execute(f, row));
+    }
+    stats
+}
+
+fn main() {
+    println!("Arithmetic-format study (methodology of [4])\n");
+    let mut rows = Vec::new();
+
+    for bench in ALL_BENCHMARKS {
+        let prog = DatapathProgram::compile(&bench.build_spn());
+        let data = bench.dataset(500, 77);
+        println!("== {} ==", bench.name());
+        let mut table = Table::new(vec!["format", "max rel err", "mean rel err", "underflows"]);
+        let formats: Vec<(String, ErrorStats)> = vec![
+            (
+                "CFP(11,22) RNE".into(),
+                study(&prog, &data, &CfpFormat::paper_default()),
+            ),
+            (
+                "CFP(11,22) trunc".into(),
+                study(&prog, &data, &CfpFormat::new(11, 22, Rounding::Truncate)),
+            ),
+            (
+                "CFP(8,22) RNE".into(),
+                study(&prog, &data, &CfpFormat::new(8, 22, Rounding::NearestEven)),
+            ),
+            (
+                // IEEE-754 binary32 minus sign/inf/denormals: the
+                // "float" reference point of [4]'s comparison.
+                "CFP(8,23) ~f32".into(),
+                study(&prog, &data, &CfpFormat::new(8, 23, Rounding::NearestEven)),
+            ),
+            (
+                "CFP(11,12) RNE".into(),
+                study(&prog, &data, &CfpFormat::new(11, 12, Rounding::NearestEven)),
+            ),
+            (
+                "LNS(12.20)".into(),
+                study(&prog, &data, &LnsFormat::paper_default()),
+            ),
+            (
+                "LNS(12.20)/8b table".into(),
+                study(&prog, &data, &LnsFormat::paper_default().with_table_frac_bits(8)),
+            ),
+            (
+                "posit(32,2)".into(),
+                study(&prog, &data, &PositFormat::paper_default()),
+            ),
+        ];
+        for (name, stats) in formats {
+            table.row(vec![
+                name.clone(),
+                format!("{:.2e}", stats.max_relative()),
+                format!("{:.2e}", stats.mean_relative()),
+                stats.underflows.to_string(),
+            ]);
+            rows.push(FormatRow {
+                benchmark: bench.name().to_string(),
+                format: name,
+                max_rel_err: stats.max_relative(),
+                mean_rel_err: stats.mean_relative(),
+                underflows: stats.underflows,
+            });
+        }
+        table.print();
+        println!();
+    }
+
+    // Per-core resource cost of the two main format choices.
+    println!("== per-core datapath resources (NIPS40) ==");
+    let prog = DatapathProgram::compile(&spn_core::NipsBenchmark::Nips40.build_spn());
+    let sched = PipelineSchedule::asap(&prog, &OpLatencies::cfp());
+    let mut table = Table::new(vec!["arithmetic", "kLUT", "kRegs", "DSP"]);
+    for (name, costs) in [
+        ("CFP (this work)", ArithCosts::cfp_this_work()),
+        ("FP64 (prior work)", ArithCosts::fp64_prior_work()),
+    ] {
+        let r = datapath_cost(&prog.op_counts(), &costs, sched.balance_registers);
+        table.row(vec![
+            name.to_string(),
+            format!("{:.1}", r.klut_logic),
+            format!("{:.1}", r.kregs),
+            format!("{:.0}", r.dsp),
+        ]);
+    }
+    table.print();
+
+    write_json("formats_study", &rows);
+}

@@ -1,0 +1,81 @@
+//! The \[17\]-style HBM microbenchmark suite: idle latency per access
+//! path, and bandwidth vs outstanding requests — the measurements
+//! behind the paper's §II-B design choices (stream linearly, avoid the
+//! crossbar, pair each core with its own channel).
+
+use bench::{write_json, Table};
+use mem_model::{
+    outstanding_sweep, pointer_chase, saturation_window, ClockConfig, CrossbarMode,
+    HbmChannelConfig, LatencyModel,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    latencies_ns: Vec<(String, f64)>,
+    sweep: Vec<(u32, f64)>,
+    saturation_window_64b: u32,
+}
+
+fn main() {
+    let mut out = Output {
+        latencies_ns: Vec::new(),
+        sweep: Vec::new(),
+        saturation_window_64b: 0,
+    };
+
+    println!("HBM microbenchmarks (methodology of Lu et al. [17])\n");
+    println!("== idle latency by access path (pointer chase, 64 B) ==");
+    let mut table = Table::new(vec!["path", "latency [ns]", "dependent-stream BW"]);
+    for (name, clock, crossbar) in [
+        ("450 MHz native", ClockConfig::Native450, CrossbarMode::Disabled),
+        (
+            "225 MHz via SmartConnect",
+            ClockConfig::Half225DoubleWidth,
+            CrossbarMode::Disabled,
+        ),
+        (
+            "225 MHz + crossbar",
+            ClockConfig::Half225DoubleWidth,
+            CrossbarMode::enabled_default(),
+        ),
+    ] {
+        let m = LatencyModel::calibrated(clock, crossbar);
+        let r = pointer_chase(&m, 64, 10_000);
+        let ns = r.latency.as_secs_f64() * 1e9;
+        table.row(vec![
+            name.to_string(),
+            format!("{ns:.0}"),
+            format!("{:.2} GiB/s", r.dependent_bandwidth.gib_per_sec()),
+        ]);
+        out.latencies_ns.push((name.to_string(), ns));
+    }
+    table.print();
+
+    println!("\n== bandwidth vs outstanding 64 B requests (one channel) ==");
+    let ch = HbmChannelConfig::calibrated(ClockConfig::Half225DoubleWidth);
+    let m = LatencyModel::calibrated(ClockConfig::Half225DoubleWidth, CrossbarMode::Disabled);
+    let windows: Vec<u32> = vec![1, 2, 4, 8, 16, 32, 64, 128];
+    let mut table = Table::new(vec!["outstanding", "GiB/s", "regime"]);
+    for p in outstanding_sweep(&ch, &m, 64, &windows) {
+        table.row(vec![
+            p.outstanding.to_string(),
+            format!("{:.2}", p.bandwidth.gib_per_sec()),
+            if p.latency_bound { "latency-bound" } else { "wire-bound" }.to_string(),
+        ]);
+        out.sweep.push((p.outstanding, p.bandwidth.gib_per_sec()));
+    }
+    table.print();
+
+    out.saturation_window_64b = saturation_window(&ch, &m, 64);
+    println!(
+        "\nbandwidth-delay product: {} outstanding 64 B requests saturate the channel",
+        out.saturation_window_64b
+    );
+    println!(
+        "(hence the Load Unit streams large linear bursts — a handful of\n\
+         outstanding 1 MiB reads hide the latency entirely, Fig. 2)"
+    );
+
+    write_json("hbm_microbench", &out);
+}

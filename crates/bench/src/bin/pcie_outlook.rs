@@ -1,0 +1,85 @@
+//! §V-C — the PCIe-generation outlook: how the host-link bound on
+//! end-to-end throughput moves with PCIe 3.0 → 6.0, per benchmark.
+//!
+//! Reproduces the paper's projection that DMA engines will sustain
+//! roughly 23 / 46 / 92 GiB/s single-direction on PCIe 4.0 / 5.0 / 6.0,
+//! and derives how many accelerator cores each generation keeps busy —
+//! the argument for why "it is only a matter of time until the full
+//! potential of on-chip HBM can be fully exploited".
+
+use bench::{fmt_rate, write_json, Table};
+use pcie_model::PcieGeneration;
+use serde::Serialize;
+use spn_core::{NipsBenchmark, ALL_BENCHMARKS};
+use spn_hw::AcceleratorConfig;
+use spn_runtime::analysis::pcie_outlook;
+use spn_runtime::perf::{simulate, PerfConfig};
+
+#[derive(Serialize)]
+struct Row {
+    benchmark: String,
+    generation: String,
+    link_gib_s: f64,
+    link_bound_rate: f64,
+    cores_supported: u32,
+    simulated_rate_8_cores: f64,
+}
+
+fn main() {
+    let accel = AcceleratorConfig::paper_default();
+
+    println!("PCIe outlook (§V-C): link-bound samples/s and cores kept busy\n");
+    let mut rows = Vec::new();
+    for bench in ALL_BENCHMARKS {
+        println!("== {} ({} B/sample) ==", bench.name(), bench.total_bytes_per_sample());
+        let mut table = Table::new(vec![
+            "generation",
+            "practical GiB/s",
+            "link-bound rate",
+            "cores kept busy",
+            "sim @ 8 cores",
+        ]);
+        for row in pcie_outlook(bench, &accel) {
+            // Cross-check with the full simulation on that link.
+            let mut cfg = PerfConfig::paper_setup(bench, 8);
+            cfg.dma = cfg
+                .dma
+                .with_link(pcie_model::PcieLink::future(row.generation));
+            let sim = simulate(&cfg).samples_per_sec;
+            table.row(vec![
+                row.generation.name().to_string(),
+                format!("{:.1}", row.link_bandwidth.gib_per_sec()),
+                fmt_rate(row.link_bound_rate),
+                row.cores_supported.to_string(),
+                fmt_rate(sim),
+            ]);
+            rows.push(Row {
+                benchmark: bench.name().to_string(),
+                generation: row.generation.name().to_string(),
+                link_gib_s: row.link_bandwidth.gib_per_sec(),
+                link_bound_rate: row.link_bound_rate,
+                cores_supported: row.cores_supported,
+                simulated_rate_8_cores: sim,
+            });
+        }
+        table.print();
+        println!();
+    }
+
+    // The paper's explicit NIPS80 arithmetic.
+    let n80 = NipsBenchmark::Nips80;
+    let gen3 = pcie_outlook(n80, &accel)
+        .into_iter()
+        .find(|r| r.generation == PcieGeneration::Gen3)
+        .unwrap();
+    println!(
+        "NIPS80 input-only demand at the paper's measured rate: {:.1} GiB/s (paper: 8.7)",
+        spn_hw::calib::PAPER_NIPS80_PEAK * 80.0 / (1u64 << 30) as f64
+    );
+    println!(
+        "Gen3 x16 theoretical: 14.67 GiB/s; practical engines: {:.2} GiB/s (paper: 11.64)",
+        gen3.link_bandwidth.gib_per_sec()
+    );
+
+    write_json("pcie_outlook", &rows);
+}

@@ -1,0 +1,132 @@
+//! Table I — Resource utilization of the comparable NIPS benchmarks:
+//! four accelerator cores with four memory channels each, this work
+//! (CFP arithmetic + hard HBM controllers on the VU37P) versus prior
+//! work \[8\] (FP64 + soft DDR4 controllers on the AWS F1's VU9P).
+//!
+//! Prints the resource *model*'s estimate next to the paper's reported
+//! cell for all five resource types, plus the derived headline numbers:
+//! the ~3× DSP / ~2× register reduction, and the maximum NIPS80 core
+//! counts (8 vs 2).
+
+use bench::{write_json, Table};
+use serde::Serialize;
+use spn_core::{NipsBenchmark, TABLE1_BENCHMARKS};
+use spn_hw::{
+    calib, datapath_cost, design_cost, max_cores, resources::row_to_resources, ArithCosts,
+    DatapathProgram, OpLatencies, PipelineSchedule, PlatformCosts, Resources,
+};
+
+#[derive(Serialize)]
+struct Cell {
+    benchmark: String,
+    design: &'static str,
+    resource: &'static str,
+    model: f64,
+    paper: f64,
+}
+
+fn model_design(bench: NipsBenchmark, arith: &ArithCosts, platform: &PlatformCosts) -> Resources {
+    let prog = DatapathProgram::compile(&bench.build_spn());
+    let sched = PipelineSchedule::asap(&prog, &OpLatencies::cfp());
+    let dp = datapath_cost(&prog.op_counts(), arith, sched.balance_registers);
+    design_cost(dp, platform, calib::core_counts::TABLE1_CORES, 4)
+}
+
+fn main() {
+    println!("Table I — resource utilization, 4-core designs (model vs paper)\n");
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for (label, arith, platform, rows) in [
+        (
+            "New (HBM, CFP)",
+            ArithCosts::cfp_this_work(),
+            PlatformCosts::hbm_this_work(),
+            &calib::TABLE1_NEW,
+        ),
+        (
+            "Prior [8] (F1, FP64)",
+            ArithCosts::fp64_prior_work(),
+            PlatformCosts::f1_prior_work(),
+            &calib::TABLE1_PRIOR,
+        ),
+    ] {
+        println!("== {label} ==");
+        let mut table = Table::new(vec![
+            "benchmark",
+            "kLUT logic (model/paper)",
+            "kLUT mem",
+            "kRegs",
+            "BRAM",
+            "DSP",
+        ]);
+        for (bench, row) in TABLE1_BENCHMARKS.iter().zip(rows.iter()) {
+            let m = model_design(*bench, &arith, &platform);
+            table.row(vec![
+                row.benchmark.to_string(),
+                format!("{:.1} / {:.1}", m.klut_logic, row.klut_logic),
+                format!("{:.1} / {:.1}", m.klut_mem, row.klut_mem),
+                format!("{:.1} / {:.1}", m.kregs, row.kregs),
+                format!("{:.0} / {}", m.bram, row.bram),
+                format!("{:.0} / {}", m.dsp, row.dsp),
+            ]);
+            let design = if label.starts_with("New") { "new" } else { "prior" };
+            for (resource, model, paper) in [
+                ("klut_logic", m.klut_logic, row.klut_logic),
+                ("klut_mem", m.klut_mem, row.klut_mem),
+                ("kregs", m.kregs, row.kregs),
+                ("bram", m.bram, row.bram as f64),
+                ("dsp", m.dsp, row.dsp as f64),
+            ] {
+                cells.push(Cell {
+                    benchmark: row.benchmark.to_string(),
+                    design,
+                    resource,
+                    model,
+                    paper,
+                });
+            }
+        }
+        table.print();
+        println!();
+    }
+
+    // Headline reductions (paper §V-A: ~66% fewer LUT/BRAM/DSP, ~50%
+    // fewer registers).
+    println!("== reductions (prior / new, model) ==");
+    let mut table = Table::new(vec!["benchmark", "DSP ratio", "logic-LUT ratio", "reg ratio"]);
+    for bench in TABLE1_BENCHMARKS {
+        let new = model_design(bench, &ArithCosts::cfp_this_work(), &PlatformCosts::hbm_this_work());
+        let prior = model_design(
+            bench,
+            &ArithCosts::fp64_prior_work(),
+            &PlatformCosts::f1_prior_work(),
+        );
+        table.row(vec![
+            bench.name().to_string(),
+            format!("{:.2}", prior.dsp / new.dsp),
+            format!("{:.2}", prior.klut_logic / new.klut_logic),
+            format!("{:.2}", prior.kregs / new.kregs),
+        ]);
+    }
+    table.print();
+
+    // NIPS80 replication headroom (§V-A: 8 cores vs 2).
+    let prog = DatapathProgram::compile(&NipsBenchmark::Nips80.build_spn());
+    let sched = PipelineSchedule::asap(&prog, &OpLatencies::cfp());
+    let counts = prog.op_counts();
+    let new_max = max_cores(
+        datapath_cost(&counts, &ArithCosts::cfp_this_work(), sched.balance_registers),
+        &PlatformCosts::hbm_this_work(),
+        &row_to_resources(&calib::AVAILABLE_NEW),
+        32,
+    );
+    let prior_max = max_cores(
+        datapath_cost(&counts, &ArithCosts::fp64_prior_work(), sched.balance_registers),
+        &PlatformCosts::f1_prior_work(),
+        &row_to_resources(&calib::AVAILABLE_PRIOR),
+        4,
+    );
+    println!("\nNIPS80 max cores — new: {new_max} (paper: up to 8), prior: {prior_max} (paper: 2)");
+
+    write_json("table1_resources", &cells);
+}

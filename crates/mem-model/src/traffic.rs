@@ -1,0 +1,249 @@
+//! The Fig. 2 micro-benchmark: a synthetic traffic block issuing linear
+//! reads and writes in parallel to a single HBM channel.
+//!
+//! The paper measured its channel curve with "a special benchmark
+//! hardware block which generates linear memory reads and writes in
+//! parallel, as this is the access pattern used by our SPN accelerators".
+//! This module is that block, as an event-driven simulation: a read
+//! engine and a write engine each keep a configurable number of requests
+//! outstanding against the channel; the channel services requests FIFO
+//! with the configured per-request overhead and wire rate. The measured
+//! quantity is aggregate bytes over completion time.
+
+use crate::hbm::HbmChannelConfig;
+use sim_core::{Bandwidth, Engine, Model, Scheduler, SimDuration, SimTime};
+
+/// Parameters of one micro-benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficRun {
+    /// Request size in bytes.
+    pub request_bytes: u64,
+    /// Number of read requests to issue.
+    pub num_reads: u64,
+    /// Number of write requests to issue.
+    pub num_writes: u64,
+    /// Outstanding requests each engine keeps in flight.
+    pub outstanding_per_engine: u32,
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficResult {
+    /// Total bytes moved (reads + writes).
+    pub total_bytes: u64,
+    /// Completion time of the last request.
+    pub makespan: SimTime,
+    /// Achieved aggregate throughput.
+    pub throughput: Bandwidth,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// An engine wants to issue its next request. `is_read` tags the engine.
+    Issue { is_read: bool },
+    /// The channel finished a request.
+    Complete { is_read: bool },
+}
+
+struct Bench {
+    cfg: HbmChannelConfig,
+    run: TrafficRun,
+    // Requests not yet issued, per engine.
+    reads_left: u64,
+    writes_left: u64,
+    // The channel is a FIFO server; we track when it frees up.
+    channel_free: SimTime,
+    completed_bytes: u64,
+    last_completion: SimTime,
+}
+
+impl Model for Bench {
+    type Event = Ev;
+
+    fn handle(&mut self, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Issue { is_read } => {
+                let left = if is_read {
+                    &mut self.reads_left
+                } else {
+                    &mut self.writes_left
+                };
+                if *left == 0 {
+                    return;
+                }
+                *left -= 1;
+                // FIFO channel: service starts when the channel frees.
+                let start = sched.now().max(self.channel_free);
+                let end = start + self.cfg.service_time(self.run.request_bytes);
+                self.channel_free = end;
+                sched.schedule_at(end, Ev::Complete { is_read });
+            }
+            Ev::Complete { is_read } => {
+                self.completed_bytes += self.run.request_bytes;
+                self.last_completion = sched.now();
+                // Completion frees an outstanding slot: issue the next one.
+                sched.schedule_in(SimDuration::ZERO, Ev::Issue { is_read });
+            }
+        }
+    }
+}
+
+/// Execute the micro-benchmark and report achieved throughput.
+pub fn run_channel_benchmark(cfg: HbmChannelConfig, run: TrafficRun) -> TrafficResult {
+    assert!(run.outstanding_per_engine > 0, "need at least 1 outstanding");
+    assert!(run.request_bytes > 0, "requests must move data");
+    let mut engine = Engine::new(Bench {
+        cfg,
+        run,
+        reads_left: run.num_reads,
+        writes_left: run.num_writes,
+        channel_free: SimTime::ZERO,
+        completed_bytes: 0,
+        last_completion: SimTime::ZERO,
+    });
+    // Prime both engines with their outstanding windows.
+    for _ in 0..run.outstanding_per_engine {
+        engine
+            .scheduler()
+            .schedule_in(SimDuration::ZERO, Ev::Issue { is_read: true });
+        engine
+            .scheduler()
+            .schedule_in(SimDuration::ZERO, Ev::Issue { is_read: false });
+    }
+    engine.run_to_completion();
+    let model = engine.into_model();
+    let makespan = model.last_completion;
+    TrafficResult {
+        total_bytes: model.completed_bytes,
+        makespan,
+        throughput: Bandwidth::observed(model.completed_bytes, makespan - SimTime::ZERO)
+            .unwrap_or(Bandwidth::from_bytes_per_sec(0.0)),
+    }
+}
+
+/// Sweep request sizes, reproducing the Fig. 2 curve for one clocking
+/// configuration. Each point streams ~256 MiB so the curve is steady-state.
+pub fn sweep_request_sizes(cfg: HbmChannelConfig, sizes: &[u64]) -> Vec<(u64, Bandwidth)> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let per_engine = ((128u64 << 20) / size).max(4);
+            let res = run_channel_benchmark(
+                cfg,
+                TrafficRun {
+                    request_bytes: size,
+                    num_reads: per_engine,
+                    num_writes: per_engine,
+                    outstanding_per_engine: 2,
+                },
+            );
+            (size, res.throughput)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hbm::ClockConfig;
+    use sim_core::{KIB, MIB};
+
+    fn cfg() -> HbmChannelConfig {
+        HbmChannelConfig::calibrated(ClockConfig::Half225DoubleWidth)
+    }
+
+    #[test]
+    fn all_requests_complete() {
+        let res = run_channel_benchmark(
+            cfg(),
+            TrafficRun {
+                request_bytes: 64 * KIB,
+                num_reads: 100,
+                num_writes: 100,
+                outstanding_per_engine: 2,
+            },
+        );
+        assert_eq!(res.total_bytes, 200 * 64 * KIB);
+        assert!(res.makespan > SimTime::ZERO);
+    }
+
+    #[test]
+    fn des_matches_closed_form_at_steady_state() {
+        // With the channel as the bottleneck and always-outstanding
+        // engines, achieved throughput equals the closed-form effective
+        // bandwidth at that request size.
+        let c = cfg();
+        for size in [4 * KIB, 64 * KIB, MIB] {
+            let res = run_channel_benchmark(
+                c,
+                TrafficRun {
+                    request_bytes: size,
+                    num_reads: 500,
+                    num_writes: 500,
+                    outstanding_per_engine: 4,
+                },
+            );
+            let des = res.throughput.gib_per_sec();
+            let closed = c.effective_bandwidth(size).gib_per_sec();
+            assert!(
+                (des - closed).abs() / closed < 0.01,
+                "size {size}: DES {des} vs closed-form {closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone_and_saturates() {
+        let sizes: Vec<u64> = (0..9).map(|i| 4 * KIB << i).collect(); // 4KiB..1MiB
+        let curve = sweep_request_sizes(cfg(), &sizes);
+        for w in curve.windows(2) {
+            assert!(w[1].1.gib_per_sec() >= w[0].1.gib_per_sec() * 0.999);
+        }
+        let last = curve.last().unwrap().1.gib_per_sec();
+        assert!((11.4..12.2).contains(&last), "saturated at {last} GiB/s");
+    }
+
+    #[test]
+    fn reads_and_writes_share_the_channel() {
+        // Same total data as reads-only should take the same time
+        // (single shared FIFO server).
+        let c = cfg();
+        let mixed = run_channel_benchmark(
+            c,
+            TrafficRun {
+                request_bytes: MIB,
+                num_reads: 50,
+                num_writes: 50,
+                outstanding_per_engine: 2,
+            },
+        );
+        let reads_only = run_channel_benchmark(
+            c,
+            TrafficRun {
+                request_bytes: MIB,
+                num_reads: 100,
+                num_writes: 0,
+                outstanding_per_engine: 4,
+            },
+        );
+        let a = mixed.makespan.as_secs_f64();
+        let b = reads_only.makespan.as_secs_f64();
+        assert!((a - b).abs() / a < 0.01, "mixed {a}s vs reads-only {b}s");
+    }
+
+    #[test]
+    fn single_outstanding_still_saturates_large_requests() {
+        // With 1 MiB requests even one outstanding per engine keeps the
+        // channel busy (service dominates turnaround in this model).
+        let res = run_channel_benchmark(
+            cfg(),
+            TrafficRun {
+                request_bytes: MIB,
+                num_reads: 64,
+                num_writes: 64,
+                outstanding_per_engine: 1,
+            },
+        );
+        assert!(res.throughput.gib_per_sec() > 11.0);
+    }
+}

@@ -1,0 +1,14 @@
+//! # pcie-model — host↔device interconnect model
+//!
+//! The paper's hard bottleneck. [`link`] captures PCIe generations and
+//! the gap between datasheet and DMA-achievable bandwidth (Gen3 x16:
+//! 14.67 GiB/s theoretical, ~11.64 GiB/s practical); [`dma`] schedules
+//! block transfers over a full-duplex link with per-transfer setup
+//! costs. The generation parameter reproduces the paper's Section V-C
+//! outlook (Gen4/5/6 at ~23/46/92 GiB/s practical).
+
+pub mod dma;
+pub mod link;
+
+pub use dma::{Direction, DmaConfig, DmaEngine, DuplexMode};
+pub use link::{PcieGeneration, PcieLink};

@@ -1,0 +1,464 @@
+//! The CLI subcommands: each one is a pure function from parsed
+//! arguments to output text, so every command is unit-testable without
+//! spawning processes.
+
+use crate::args::{ArgError, Args};
+use crate::csv::{parse_csv, to_csv};
+use spn_arith::AnyFormat;
+use spn_core::{
+    from_text, learn_spn, to_text, Evaluator, LearnParams, NipsBenchmark, RandomSpnConfig, Sampler,
+    Spn,
+};
+use spn_hw::{
+    datapath_cost, design_cost, emit_verilog, ArithCosts, DatapathProgram, OpLatencies,
+    PipelineSchedule, PlatformCosts,
+};
+use spn_runtime::perf::{simulate, PerfConfig};
+use std::fmt::Write as _;
+
+/// Command failure: message for stderr, non-zero exit.
+#[derive(Debug)]
+pub struct CmdError(pub String);
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for CmdError {}
+
+impl From<ArgError> for CmdError {
+    fn from(e: ArgError) -> Self {
+        CmdError(e.0)
+    }
+}
+
+/// Files the command wants written: `(path, contents)`.
+pub type Outputs = Vec<(String, String)>;
+
+/// Result of a command: stdout text plus files to write.
+#[derive(Debug)]
+pub struct CmdResult {
+    /// Printed to stdout.
+    pub stdout: String,
+    /// Files to persist.
+    pub files: Outputs,
+}
+
+impl CmdResult {
+    fn text(stdout: String) -> Self {
+        CmdResult {
+            stdout,
+            files: Vec::new(),
+        }
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+spn — SPN-HBM toolflow
+
+USAGE: spn <command> [flags]
+
+COMMANDS:
+  generate   --benchmark NIPS10 | --vars N [--domain D] [--seed S] [--out FILE]
+             Emit a benchmark or random SPN in the textual format.
+  learn      --data FILE.csv [--domain D] [--em N] [--out FILE]
+             Learn an SPN from CSV data (LearnSPN-style).
+  info       --model FILE.spn
+             Structure, datapath, pipeline and resource report.
+  infer      --model FILE.spn --data FILE.csv [--format cfp|lns|posit|f64]
+             Log-likelihood per sample (CSV in, one value per line out).
+  sample     --model FILE.spn --n COUNT [--seed S]
+             Draw samples from the model as CSV.
+  simulate   --benchmark NIPS10 [--pes N] [--threads T] [--block B] [--no-transfers true] [--trace FILE.json]
+             Virtual-time end-to-end performance of the accelerator card.
+  emit       --model FILE.spn [--prefix PATH]
+             Emit the structural Verilog netlist and ROM images.
+";
+
+/// Dispatch a command line (without the program name).
+pub fn run(tokens: Vec<String>) -> Result<CmdResult, CmdError> {
+    let args = Args::parse(tokens)?;
+    match args.positional(0) {
+        Some("generate") => cmd_generate(&args),
+        Some("learn") => cmd_learn(&args),
+        Some("info") => cmd_info(&args),
+        Some("infer") => cmd_infer(&args),
+        Some("sample") => cmd_sample(&args),
+        Some("simulate") => cmd_simulate(&args),
+        Some("emit") => cmd_emit(&args),
+        Some(other) => Err(CmdError(format!("unknown command '{other}'\n\n{USAGE}"))),
+        None => Ok(CmdResult::text(USAGE.to_string())),
+    }
+}
+
+fn load_model(args: &Args) -> Result<Spn, CmdError> {
+    let path = args.require("model")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CmdError(format!("cannot read {path}: {e}")))?;
+    from_text(&text, path, None).map_err(|e| CmdError(format!("{path}: {e}")))
+}
+
+fn out_file(args: &Args, default: &str) -> String {
+    args.get("out").unwrap_or(default).to_string()
+}
+
+fn cmd_generate(args: &Args) -> Result<CmdResult, CmdError> {
+    args.check_known(&["benchmark", "vars", "domain", "seed", "repetitions", "out"])?;
+    let spn = if let Some(name) = args.get("benchmark") {
+        NipsBenchmark::from_name(name)
+            .ok_or_else(|| CmdError(format!("unknown benchmark '{name}'")))?
+            .build_spn()
+    } else {
+        let cfg = RandomSpnConfig {
+            num_vars: args.get_or("vars", 8usize)?,
+            domain: args.get_or("domain", 16usize)?,
+            repetitions: args.get_or("repetitions", 2usize)?,
+            max_leaf_region: 3,
+            seed: args.get_or("seed", 42u64)?,
+        };
+        spn_core::random_spn(&cfg, "generated").map_err(|e| CmdError(e.to_string()))?
+    };
+    let path = out_file(args, "model.spn");
+    let stats = spn.stats();
+    Ok(CmdResult {
+        stdout: format!("wrote {path}: {stats:?}\n"),
+        files: vec![(path, to_text(&spn))],
+    })
+}
+
+fn cmd_learn(args: &Args) -> Result<CmdResult, CmdError> {
+    args.check_known(&["data", "domain", "min-instances", "em", "out"])?;
+    let data_path = args.require("data")?;
+    let text = std::fs::read_to_string(data_path)
+        .map_err(|e| CmdError(format!("cannot read {data_path}: {e}")))?;
+    let domain = args.get_or("domain", 256usize)?;
+    let data = parse_csv(&text, domain).map_err(|e| CmdError(e.to_string()))?;
+    let params = LearnParams {
+        min_instances: args.get_or("min-instances", 64usize)?,
+        ..LearnParams::default()
+    };
+    let mut spn = learn_spn(&data, &params, "learned").map_err(|e| CmdError(e.to_string()))?;
+    // Optional EM weight polish on the learned structure.
+    let em_iters = args.get_or("em", 0usize)?;
+    let mut em_note = String::new();
+    if em_iters > 0 {
+        let (fitted, history) = spn_core::em_weights(
+            &spn,
+            &data,
+            &spn_core::EmParams { iterations: em_iters, smoothing: 0.1 },
+        )
+        .map_err(|e| CmdError(e.to_string()))?;
+        em_note = format!(
+            "EM ({em_iters} iters): mean LL {:.4} -> {:.4}\n",
+            history.first().unwrap().mean_log_likelihood,
+            history.last().unwrap().mean_log_likelihood
+        );
+        spn = fitted;
+    }
+    let mut ev = Evaluator::new(&spn);
+    let mean_ll: f64 =
+        data.rows().map(|r| ev.log_likelihood_bytes(r)).sum::<f64>() / data.num_samples() as f64;
+    let path = out_file(args, "learned.spn");
+    Ok(CmdResult {
+        stdout: format!(
+            "learned from {} samples x {} features: {:?}\n{em_note}train mean log-likelihood: {mean_ll:.4}\nwrote {path}\n",
+            data.num_samples(),
+            data.num_features(),
+            spn.stats()
+        ),
+        files: vec![(path, to_text(&spn))],
+    })
+}
+
+fn cmd_info(args: &Args) -> Result<CmdResult, CmdError> {
+    args.check_known(&["model"])?;
+    let spn = load_model(args)?;
+    let prog = DatapathProgram::compile(&spn);
+    let counts = prog.op_counts();
+    let sched = PipelineSchedule::asap(&prog, &OpLatencies::cfp());
+    let dp = datapath_cost(&counts, &ArithCosts::cfp_this_work(), sched.balance_registers);
+    let one_core = design_cost(dp, &PlatformCosts::hbm_this_work(), 1, 1);
+    let mut s = String::new();
+    let _ = writeln!(s, "model    : {}", spn.name);
+    let _ = writeln!(s, "structure: {:?}", spn.stats());
+    let _ = writeln!(
+        s,
+        "datapath : {} lookups, {} muls, {} const-muls, {} adds",
+        counts.lookups, counts.muls, counts.const_muls, counts.adds
+    );
+    let _ = writeln!(
+        s,
+        "pipeline : depth {} cycles ({:.0} ns @ 225 MHz), {} balance regs",
+        sched.depth,
+        sched.latency_secs(225_000_000) * 1e9,
+        sched.balance_registers
+    );
+    let _ = writeln!(
+        s,
+        "resources: 1 core + infra = {:.1} kLUT, {:.1} kLUT-mem, {:.1} kRegs, {:.0} BRAM, {:.0} DSP",
+        one_core.klut_logic, one_core.klut_mem, one_core.kregs, one_core.bram, one_core.dsp
+    );
+    Ok(CmdResult::text(s))
+}
+
+fn cmd_infer(args: &Args) -> Result<CmdResult, CmdError> {
+    args.check_known(&["model", "data", "format", "domain"])?;
+    let spn = load_model(args)?;
+    let data_path = args.require("data")?;
+    let text = std::fs::read_to_string(data_path)
+        .map_err(|e| CmdError(format!("cannot read {data_path}: {e}")))?;
+    let data =
+        parse_csv(&text, args.get_or("domain", 256usize)?).map_err(|e| CmdError(e.to_string()))?;
+    if data.num_features() != spn.num_vars() {
+        return Err(CmdError(format!(
+            "data has {} features but the model expects {}",
+            data.num_features(),
+            spn.num_vars()
+        )));
+    }
+    let format = match args.get("format") {
+        None => AnyFormat::F64,
+        Some(name) => AnyFormat::from_name(name)
+            .ok_or_else(|| CmdError(format!("unknown format '{name}'")))?,
+    };
+    let mut out = String::new();
+    match format {
+        AnyFormat::F64 => {
+            let mut ev = Evaluator::new(&spn);
+            for row in data.rows() {
+                let _ = writeln!(out, "{}", ev.log_likelihood_bytes(row));
+            }
+        }
+        _ => {
+            // Hardware-exact path through the compiled datapath.
+            let prog = DatapathProgram::compile(&spn);
+            let core = spn_hw::AcceleratorCore::new(
+                spn_hw::AcceleratorConfig::paper_default(),
+                prog,
+                format,
+            );
+            for row in data.rows() {
+                let _ = writeln!(out, "{}", core.run_sample(row).ln());
+            }
+        }
+    }
+    Ok(CmdResult::text(out))
+}
+
+fn cmd_sample(args: &Args) -> Result<CmdResult, CmdError> {
+    args.check_known(&["model", "n", "seed"])?;
+    let spn = load_model(args)?;
+    let n = args.get_or("n", 10usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let mut sampler = Sampler::new(&spn, seed);
+    let raw = sampler.sample_bytes(n);
+    let data = spn_core::Dataset::from_raw(raw, spn.num_vars(), 256);
+    Ok(CmdResult::text(to_csv(&data)))
+}
+
+fn cmd_simulate(args: &Args) -> Result<CmdResult, CmdError> {
+    args.check_known(&["benchmark", "pes", "threads", "block", "samples", "no-transfers", "trace"])?;
+    let bench = NipsBenchmark::from_name(args.get("benchmark").unwrap_or("NIPS10"))
+        .ok_or_else(|| CmdError("unknown benchmark".into()))?;
+    let mut cfg = PerfConfig::paper_setup(bench, args.get_or("pes", 4u32)?);
+    cfg.threads_per_pe = args.get_or("threads", 1u32)?;
+    cfg.block_samples = args.get_or("block", 1u64 << 20)?;
+    cfg.total_samples = args.get_or("samples", 100_000_000u64)?;
+    cfg.include_transfers = !args.get_or("no-transfers", false)?;
+    let (r, files) = if let Some(path) = args.get("trace") {
+        let (r, trace) = spn_runtime::perf::simulate_traced(&cfg);
+        (r, vec![(path.to_string(), trace.to_chrome_json())])
+    } else {
+        (simulate(&cfg), Vec::new())
+    };
+    let _ = &files;
+    Ok(CmdResult {
+        files,
+        stdout: format!(
+        "{} on {} PEs x {} threads, {} samples ({}transfers):\n  {:.1} M samples/s, makespan {}, DMA {:.0}% busy, PEs {:.0}% busy\n",
+        bench.name(),
+        cfg.num_pes,
+        cfg.threads_per_pe,
+        cfg.total_samples,
+        if cfg.include_transfers { "with " } else { "no " },
+        r.samples_per_sec / 1e6,
+        r.makespan,
+        r.dma_utilization * 100.0,
+        r.pe_utilization * 100.0,
+    )})
+}
+
+fn cmd_emit(args: &Args) -> Result<CmdResult, CmdError> {
+    args.check_known(&["model", "prefix"])?;
+    let spn = load_model(args)?;
+    let prog = DatapathProgram::compile(&spn);
+    let netlist = emit_verilog(&prog, 33, &OpLatencies::cfp());
+    let prefix = args.get("prefix").unwrap_or("").to_string();
+    let mut files = vec![(
+        format!("{prefix}{}.v", netlist.module_name),
+        netlist.verilog.clone(),
+    )];
+    for (name, hex) in &netlist.rom_images {
+        files.push((format!("{prefix}{name}"), hex.clone()));
+    }
+    Ok(CmdResult {
+        stdout: format!(
+            "emitted {} ({} ROM images)\n",
+            files[0].0,
+            netlist.rom_images.len()
+        ),
+        files,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_tokens(s: &str) -> Result<CmdResult, CmdError> {
+        run(s.split_whitespace().map(String::from).collect())
+    }
+
+    #[test]
+    fn no_command_prints_usage() {
+        let r = run(vec![]).unwrap();
+        assert!(r.stdout.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_is_error() {
+        assert!(run_tokens("frobnicate").is_err());
+    }
+
+    #[test]
+    fn generate_benchmark_writes_model() {
+        let r = run_tokens("generate --benchmark NIPS10 --out /tmp/x.spn").unwrap();
+        assert_eq!(r.files.len(), 1);
+        assert_eq!(r.files[0].0, "/tmp/x.spn");
+        assert!(r.files[0].1.contains("Sum("));
+        // The emitted text re-parses.
+        assert!(from_text(&r.files[0].1, "t", None).is_ok());
+    }
+
+    #[test]
+    fn generate_random_respects_vars() {
+        let r = run_tokens("generate --vars 5 --domain 4 --seed 7").unwrap();
+        let spn = from_text(&r.files[0].1, "t", None).unwrap();
+        assert_eq!(spn.num_vars(), 5);
+    }
+
+    #[test]
+    fn unknown_flag_is_reported() {
+        let e = run_tokens("generate --benchmark NIPS10 --oops 1").unwrap_err();
+        assert!(e.0.contains("unknown flag --oops"));
+    }
+
+    #[test]
+    fn simulate_reports_rate() {
+        let r = run_tokens("simulate --benchmark NIPS10 --pes 2 --samples 2097152").unwrap();
+        assert!(r.stdout.contains("M samples/s"));
+        assert!(r.stdout.contains("NIPS10 on 2 PEs"));
+    }
+
+    #[test]
+    fn end_to_end_generate_then_infer_via_files() {
+        let dir = std::env::temp_dir().join("spn_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("m.spn");
+        let data = dir.join("d.csv");
+        let r = run_tokens(&format!(
+            "generate --vars 3 --domain 4 --out {}",
+            model.display()
+        ))
+        .unwrap();
+        std::fs::write(&model, &r.files[0].1).unwrap();
+        std::fs::write(&data, "0,1,2\n3,2,1\n").unwrap();
+        let out = run_tokens(&format!(
+            "infer --model {} --data {} --domain 4",
+            model.display(),
+            data.display()
+        ))
+        .unwrap();
+        let lls: Vec<f64> = out
+            .stdout
+            .lines()
+            .map(|l| l.parse().unwrap())
+            .collect();
+        assert_eq!(lls.len(), 2);
+        assert!(lls.iter().all(|l| l.is_finite() && *l < 0.0));
+        // Hardware-exact CFP inference agrees closely.
+        let hw = run_tokens(&format!(
+            "infer --model {} --data {} --domain 4 --format cfp",
+            model.display(),
+            data.display()
+        ))
+        .unwrap();
+        for (a, b) in hw.stdout.lines().zip(out.stdout.lines()) {
+            let (a, b): (f64, f64) = (a.parse().unwrap(), b.parse().unwrap());
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sample_emits_csv_of_requested_size() {
+        let dir = std::env::temp_dir().join("spn_cli_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("m.spn");
+        let r = run_tokens(&format!(
+            "generate --vars 2 --domain 4 --out {}",
+            model.display()
+        ))
+        .unwrap();
+        std::fs::write(&model, &r.files[0].1).unwrap();
+        let out = run_tokens(&format!("sample --model {} --n 7", model.display())).unwrap();
+        assert_eq!(out.stdout.lines().count(), 7);
+    }
+
+    #[test]
+    fn info_reports_structure_and_resources() {
+        let dir = std::env::temp_dir().join("spn_cli_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("m.spn");
+        let r = run_tokens("generate --benchmark NIPS20").unwrap();
+        std::fs::write(&model, &r.files[0].1).unwrap();
+        let out = run_tokens(&format!("info --model {}", model.display())).unwrap();
+        assert!(out.stdout.contains("pipeline"));
+        assert!(out.stdout.contains("DSP"));
+    }
+
+    #[test]
+    fn emit_produces_verilog_and_roms() {
+        let dir = std::env::temp_dir().join("spn_cli_test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("m.spn");
+        let r = run_tokens("generate --vars 2 --domain 4").unwrap();
+        std::fs::write(&model, &r.files[0].1).unwrap();
+        let out = run_tokens(&format!("emit --model {}", model.display())).unwrap();
+        assert!(out.files[0].0.ends_with(".v"));
+        assert!(out.files[0].1.contains("module spn_"));
+        assert!(out.files.len() > 1, "ROM images included");
+    }
+
+    #[test]
+    fn learn_from_csv() {
+        let dir = std::env::temp_dir().join("spn_cli_test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("train.csv");
+        // Two obvious clusters.
+        let mut csv = String::new();
+        for _ in 0..60 {
+            csv.push_str("0,0\n7,7\n");
+        }
+        std::fs::write(&data, &csv).unwrap();
+        let out = run_tokens(&format!(
+            "learn --data {} --domain 8 --min-instances 16",
+            data.display()
+        ))
+        .unwrap();
+        assert!(out.stdout.contains("learned from 120 samples"));
+        let spn = from_text(&out.files[0].1, "l", None).unwrap();
+        assert_eq!(spn.num_vars(), 2);
+    }
+}

@@ -1,0 +1,279 @@
+//! The SPN graph: an arena of sum, product and leaf nodes forming a DAG.
+//!
+//! Nodes live in a flat arena indexed by [`NodeId`]; children always have
+//! *smaller* ids than their parents (the arena is constructed bottom-up),
+//! so a forward scan of the arena is already a topological order. That
+//! invariant makes inference a single linear pass and mirrors how the
+//! hardware generator levelizes the network into a pipeline.
+
+use crate::leaf::Leaf;
+use crate::scope::Scope;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Arena index as usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One node of the network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Mixture: weighted sum of children over the *same* scope.
+    Sum {
+        /// Child node ids (must precede this node in the arena).
+        children: Vec<NodeId>,
+        /// Mixture weights, parallel to `children`; must sum to ~1.
+        weights: Vec<f64>,
+    },
+    /// Factorization: product of children over *disjoint* scopes.
+    Product {
+        /// Child node ids (must precede this node in the arena).
+        children: Vec<NodeId>,
+    },
+    /// Univariate distribution over variable `var`.
+    Leaf {
+        /// Variable index this leaf models.
+        var: usize,
+        /// The distribution.
+        dist: Leaf,
+    },
+}
+
+impl Node {
+    /// Child ids of this node (empty for leaves).
+    pub fn children(&self) -> &[NodeId] {
+        match self {
+            Node::Sum { children, .. } | Node::Product { children } => children,
+            Node::Leaf { .. } => &[],
+        }
+    }
+
+    /// True for sum nodes.
+    pub fn is_sum(&self) -> bool {
+        matches!(self, Node::Sum { .. })
+    }
+
+    /// True for product nodes.
+    pub fn is_product(&self) -> bool {
+        matches!(self, Node::Product { .. })
+    }
+
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+}
+
+/// A complete Sum-Product Network.
+///
+/// Construct via [`crate::builder::SpnBuilder`], the textual parser in
+/// [`crate::text`], the learner in [`crate::learn`], or the generators in
+/// [`crate::random`] / [`crate::nips`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Spn {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) root: NodeId,
+    pub(crate) num_vars: usize,
+    /// Human-readable name (benchmark id etc.).
+    pub name: String,
+}
+
+/// Aggregate structural statistics of a network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpnStats {
+    /// Total node count.
+    pub nodes: usize,
+    /// Sum node count.
+    pub sums: usize,
+    /// Product node count.
+    pub products: usize,
+    /// Leaf node count.
+    pub leaves: usize,
+    /// Total edge count (sum of child-list lengths).
+    pub edges: usize,
+    /// Longest root-to-leaf path length in edges.
+    pub depth: usize,
+    /// Number of random variables.
+    pub variables: usize,
+}
+
+impl Spn {
+    /// Access the node arena (topologically ordered, leaves first).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Look up one node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The root node id (always the last arena slot).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of random variables the network is defined over.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the arena is empty (never the case for a built SPN).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Compute the scope of every node bottom-up. Index by `NodeId::index`.
+    pub fn scopes(&self) -> Vec<Scope> {
+        let mut scopes: Vec<Scope> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let s = match node {
+                Node::Leaf { var, .. } => Scope::singleton(*var),
+                Node::Sum { children, .. } | Node::Product { children } => {
+                    let mut s = Scope::empty();
+                    for c in children {
+                        s.union_with(&scopes[c.index()]);
+                    }
+                    s
+                }
+            };
+            scopes.push(s);
+        }
+        scopes
+    }
+
+    /// Per-node depth (longest path to a leaf, leaves = 0), bottom-up.
+    pub fn node_depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            depth[i] = node
+                .children()
+                .iter()
+                .map(|c| depth[c.index()] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        depth
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> SpnStats {
+        let mut sums = 0;
+        let mut products = 0;
+        let mut leaves = 0;
+        let mut edges = 0;
+        for n in &self.nodes {
+            match n {
+                Node::Sum { .. } => sums += 1,
+                Node::Product { .. } => products += 1,
+                Node::Leaf { .. } => leaves += 1,
+            }
+            edges += n.children().len();
+        }
+        SpnStats {
+            nodes: self.nodes.len(),
+            sums,
+            products,
+            leaves,
+            edges,
+            depth: self.node_depths()[self.root.index()],
+            variables: self.num_vars,
+        }
+    }
+
+    /// Ids of all leaf nodes in arena order.
+    pub fn leaf_ids(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.is_leaf())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SpnBuilder;
+
+    /// Tiny two-variable mixture used across graph tests.
+    fn small_spn() -> Spn {
+        let mut b = SpnBuilder::new(2);
+        let l0 = b.leaf(0, Leaf::byte_histogram(&[0.5, 0.5]));
+        let l1 = b.leaf(1, Leaf::byte_histogram(&[0.25, 0.75]));
+        let l0b = b.leaf(0, Leaf::byte_histogram(&[0.9, 0.1]));
+        let l1b = b.leaf(1, Leaf::byte_histogram(&[0.1, 0.9]));
+        let p1 = b.product(vec![l0, l1]);
+        let p2 = b.product(vec![l0b, l1b]);
+        let s = b.sum(vec![(0.3, p1), (0.7, p2)]);
+        b.finish(s, "small").unwrap()
+    }
+
+    #[test]
+    fn arena_is_topological() {
+        let spn = small_spn();
+        for (i, node) in spn.nodes().iter().enumerate() {
+            for c in node.children() {
+                assert!(c.index() < i, "child {c:?} not before parent {i}");
+            }
+        }
+        assert_eq!(spn.root().index(), spn.len() - 1);
+    }
+
+    #[test]
+    fn scopes_propagate() {
+        let spn = small_spn();
+        let scopes = spn.scopes();
+        let root_scope = &scopes[spn.root().index()];
+        assert_eq!(root_scope.len(), 2);
+        assert!(root_scope.contains(0) && root_scope.contains(1));
+        // Leaves have singleton scopes.
+        for id in spn.leaf_ids() {
+            assert_eq!(scopes[id.index()].len(), 1);
+        }
+    }
+
+    #[test]
+    fn stats_counts() {
+        let spn = small_spn();
+        let st = spn.stats();
+        assert_eq!(st.nodes, 7);
+        assert_eq!(st.sums, 1);
+        assert_eq!(st.products, 2);
+        assert_eq!(st.leaves, 4);
+        assert_eq!(st.edges, 2 + 2 + 2);
+        assert_eq!(st.depth, 2);
+        assert_eq!(st.variables, 2);
+    }
+
+    #[test]
+    fn node_depths() {
+        let spn = small_spn();
+        let d = spn.node_depths();
+        assert_eq!(d[spn.root().index()], 2);
+        for id in spn.leaf_ids() {
+            assert_eq!(d[id.index()], 0);
+        }
+    }
+
+    #[test]
+    fn node_kind_predicates() {
+        let spn = small_spn();
+        let root = spn.node(spn.root());
+        assert!(root.is_sum() && !root.is_product() && !root.is_leaf());
+        assert_eq!(root.children().len(), 2);
+    }
+}

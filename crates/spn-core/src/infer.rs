@@ -1,0 +1,447 @@
+//! Reference inference: the ground truth every accelerator model and
+//! baseline is verified against.
+//!
+//! Inference on a valid SPN is one bottom-up pass: leaves evaluate their
+//! distribution at the sample's value, products add log-densities, sums
+//! log-sum-exp their weighted children. The arena's topological order
+//! makes this a linear scan with a flat value buffer — no recursion and
+//! no hashing, which is also exactly the evaluation order the hardware
+//! pipeline uses.
+//!
+//! Three query types are supported, mirroring the SPN literature:
+//! complete-evidence likelihood, marginal likelihood (some variables
+//! summed out — the "uncertainty handling" the paper motivates SPNs
+//! with), and MPE (most probable explanation).
+
+use crate::graph::{Node, NodeId, Spn};
+
+/// Numerically stable `log(sum(exp(xs)))` over weighted children:
+/// computes `log Σ wᵢ·exp(xᵢ)` given log-values `xs` and linear weights.
+pub fn log_sum_exp_weighted(xs: &[f64], weights: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), weights.len());
+    let m = xs
+        .iter()
+        .zip(weights)
+        .filter(|(_, &w)| w > 0.0)
+        .map(|(&x, _)| x)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = xs
+        .iter()
+        .zip(weights)
+        .filter(|(_, &w)| w > 0.0)
+        .map(|(&x, &w)| w * (x - m).exp())
+        .sum();
+    m + sum.ln()
+}
+
+/// A reusable evaluation workspace. Allocates one f64 per node once and
+/// reuses it across samples — the pattern the perf guide calls a
+/// "workhorse collection".
+pub struct Evaluator<'a> {
+    spn: &'a Spn,
+    values: Vec<f64>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Build a workspace for `spn`.
+    pub fn new(spn: &'a Spn) -> Self {
+        Evaluator {
+            spn,
+            values: vec![0.0; spn.len()],
+        }
+    }
+
+    /// The network this evaluator runs.
+    pub fn spn(&self) -> &Spn {
+        self.spn
+    }
+
+    /// Log-likelihood of a fully observed sample.
+    ///
+    /// # Panics
+    /// Panics if `sample.len() != spn.num_vars()`.
+    pub fn log_likelihood(&mut self, sample: &[f64]) -> f64 {
+        assert_eq!(
+            sample.len(),
+            self.spn.num_vars(),
+            "sample has {} values but the network models {} variables",
+            sample.len(),
+            self.spn.num_vars()
+        );
+        self.eval_internal(|var| Some(sample[var]))
+    }
+
+    /// Log marginal likelihood: `None` entries are summed out.
+    pub fn log_marginal(&mut self, evidence: &[Option<f64>]) -> f64 {
+        assert_eq!(evidence.len(), self.spn.num_vars());
+        self.eval_internal(|var| evidence[var])
+    }
+
+    /// Log-likelihood of a byte sample (the benchmark input format:
+    /// one byte per variable).
+    pub fn log_likelihood_bytes(&mut self, sample: &[u8]) -> f64 {
+        assert_eq!(sample.len(), self.spn.num_vars());
+        self.eval_internal(|var| Some(sample[var] as f64))
+    }
+
+    fn eval_internal(&mut self, value_of: impl Fn(usize) -> Option<f64>) -> f64 {
+        for (i, node) in self.spn.nodes().iter().enumerate() {
+            self.values[i] = match node {
+                Node::Leaf { var, dist } => dist.log_density(value_of(*var)),
+                Node::Product { children } => {
+                    children.iter().map(|c| self.values[c.index()]).sum()
+                }
+                Node::Sum { children, weights } => {
+                    // Gather child values into a small stack buffer path:
+                    // child counts are tiny (2-8) in practice, so a simple
+                    // loop with the shared scratch is fine.
+                    let m = children
+                        .iter()
+                        .zip(weights)
+                        .filter(|(_, &w)| w > 0.0)
+                        .map(|(c, _)| self.values[c.index()])
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    if m == f64::NEG_INFINITY {
+                        f64::NEG_INFINITY
+                    } else {
+                        let s: f64 = children
+                            .iter()
+                            .zip(weights)
+                            .filter(|(_, &w)| w > 0.0)
+                            .map(|(c, &w)| w * (self.values[c.index()] - m).exp())
+                            .sum();
+                        m + s.ln()
+                    }
+                }
+            };
+        }
+        self.values[self.spn.root().index()]
+    }
+
+    /// Conditional log-probability `log P(query | evidence)`, computed
+    /// exactly as the ratio of two marginals — the tractable conditional
+    /// query that makes SPNs attractive over general graphical models.
+    ///
+    /// `query` and `evidence` assign disjoint variable subsets; entries
+    /// present in both must agree.
+    ///
+    /// # Panics
+    /// Panics if a variable appears in both with different values.
+    pub fn log_conditional(
+        &mut self,
+        query: &[(usize, f64)],
+        evidence: &[(usize, f64)],
+    ) -> f64 {
+        let n = self.spn.num_vars();
+        let mut joint: Vec<Option<f64>> = vec![None; n];
+        let mut cond: Vec<Option<f64>> = vec![None; n];
+        for &(v, x) in evidence {
+            joint[v] = Some(x);
+            cond[v] = Some(x);
+        }
+        for &(v, x) in query {
+            if let Some(prev) = joint[v] {
+                assert_eq!(prev, x, "variable {v} assigned twice with different values");
+            }
+            joint[v] = Some(x);
+        }
+        self.log_marginal(&joint) - self.log_marginal(&cond)
+    }
+
+    /// Linear-domain likelihood. Underflows for deep networks — provided
+    /// for cross-checking the log-domain path on small models and for
+    /// emulating the hardware's CFP (linear) datapath semantics.
+    pub fn likelihood_linear(&mut self, sample: &[f64]) -> f64 {
+        assert_eq!(sample.len(), self.spn.num_vars());
+        for (i, node) in self.spn.nodes().iter().enumerate() {
+            self.values[i] = match node {
+                Node::Leaf { var, dist } => dist.density(sample[*var]),
+                Node::Product { children } => children
+                    .iter()
+                    .map(|c| self.values[c.index()])
+                    .product(),
+                Node::Sum { children, weights } => children
+                    .iter()
+                    .zip(weights)
+                    .map(|(c, &w)| w * self.values[c.index()])
+                    .sum(),
+            };
+        }
+        self.values[self.spn.root().index()]
+    }
+
+    /// Most Probable Explanation: replaces sums by max and tracks the
+    /// arg-max branch, then reads off one value per variable by
+    /// descending the selected tree. Evidence entries fix variables;
+    /// `None` entries are inferred.
+    ///
+    /// For histogram/categorical leaves the returned value is the
+    /// (left edge of the) most probable bucket; for Gaussians it is the
+    /// mean.
+    pub fn mpe(&mut self, evidence: &[Option<f64>]) -> Vec<f64> {
+        assert_eq!(evidence.len(), self.spn.num_vars());
+        let spn = self.spn;
+        let mut best_child: Vec<u32> = vec![0; spn.len()];
+        for (i, node) in spn.nodes().iter().enumerate() {
+            self.values[i] = match node {
+                Node::Leaf { var, dist } => match evidence[*var] {
+                    Some(v) => dist.log_density(Some(v)),
+                    None => mode_log_density(dist),
+                },
+                Node::Product { children } => {
+                    children.iter().map(|c| self.values[c.index()]).sum()
+                }
+                Node::Sum { children, weights } => {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut arg = 0u32;
+                    for (k, (c, &w)) in children.iter().zip(weights).enumerate() {
+                        if w <= 0.0 {
+                            continue;
+                        }
+                        let v = w.ln() + self.values[c.index()];
+                        if v > best {
+                            best = v;
+                            arg = k as u32;
+                        }
+                    }
+                    best_child[i] = arg;
+                    best
+                }
+            };
+        }
+        // Traceback: walk the induced tree from the root, assigning each
+        // leaf's variable.
+        let mut assignment: Vec<f64> = evidence
+            .iter()
+            .map(|e| e.unwrap_or(f64::NAN))
+            .collect();
+        let mut stack: Vec<NodeId> = vec![spn.root()];
+        while let Some(id) = stack.pop() {
+            match spn.node(id) {
+                Node::Leaf { var, dist } => {
+                    if evidence[*var].is_none() {
+                        assignment[*var] = mode_value(dist);
+                    }
+                }
+                Node::Product { children } => stack.extend(children.iter().copied()),
+                Node::Sum { children, .. } => {
+                    stack.push(children[best_child[id.index()] as usize]);
+                }
+            }
+        }
+        assignment
+    }
+}
+
+/// Log-density of a leaf at its mode.
+fn mode_log_density(dist: &crate::leaf::Leaf) -> f64 {
+    dist.log_density(Some(mode_value(dist)))
+}
+
+/// The value at which the leaf's density is maximal.
+fn mode_value(dist: &crate::leaf::Leaf) -> f64 {
+    use crate::leaf::Leaf;
+    match dist {
+        Leaf::Histogram { breaks, densities } => {
+            let (idx, _) = densities
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .expect("validated histogram has buckets");
+            breaks[idx]
+        }
+        Leaf::Gaussian { mean, .. } => *mean,
+        Leaf::Categorical { probs } => {
+            probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .expect("validated categorical has outcomes")
+                .0 as f64
+        }
+    }
+}
+
+/// One-shot convenience: log-likelihoods of many byte samples.
+pub fn batch_log_likelihood(spn: &Spn, samples: &[Vec<u8>]) -> Vec<f64> {
+    let mut ev = Evaluator::new(spn);
+    samples
+        .iter()
+        .map(|s| ev.log_likelihood_bytes(s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SpnBuilder;
+    use crate::leaf::Leaf;
+
+    /// P(X0, X1) = 0.3 * P1 + 0.7 * P2 with independent byte coins.
+    fn mixture() -> Spn {
+        let mut b = SpnBuilder::new(2);
+        let a0 = b.leaf(0, Leaf::byte_histogram(&[0.5, 0.5]));
+        let a1 = b.leaf(1, Leaf::byte_histogram(&[0.25, 0.75]));
+        let c0 = b.leaf(0, Leaf::byte_histogram(&[0.9, 0.1]));
+        let c1 = b.leaf(1, Leaf::byte_histogram(&[0.1, 0.9]));
+        let p1 = b.product(vec![a0, a1]);
+        let p2 = b.product(vec![c0, c1]);
+        let s = b.sum(vec![(0.3, p1), (0.7, p2)]);
+        b.finish(s, "mix").unwrap()
+    }
+
+    #[test]
+    fn hand_computed_likelihood() {
+        let spn = mixture();
+        let mut ev = Evaluator::new(&spn);
+        // P(0,0) = 0.3*0.5*0.25 + 0.7*0.9*0.1 = 0.0375 + 0.063 = 0.1005
+        let ll = ev.log_likelihood(&[0.0, 0.0]);
+        assert!((ll - 0.1005f64.ln()).abs() < 1e-12);
+        // P(1,1) = 0.3*0.5*0.75 + 0.7*0.1*0.9 = 0.1125 + 0.063 = 0.1755
+        let ll = ev.log_likelihood(&[1.0, 1.0]);
+        assert!((ll - 0.1755f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_normalizes() {
+        let spn = mixture();
+        let mut ev = Evaluator::new(&spn);
+        let total: f64 = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]]
+            .iter()
+            .map(|s| ev.log_likelihood(s).exp())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12, "total mass {total}");
+    }
+
+    #[test]
+    fn linear_matches_log_domain() {
+        let spn = mixture();
+        let mut ev = Evaluator::new(&spn);
+        for s in [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] {
+            let log = ev.log_likelihood(&s);
+            let lin = ev.likelihood_linear(&s);
+            assert!((log.exp() - lin).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn marginal_sums_out_variables() {
+        let spn = mixture();
+        let mut ev = Evaluator::new(&spn);
+        // P(X0=0) = sum over X1 of P(0, x1) = 0.3*0.5 + 0.7*0.9 = 0.78
+        let m = ev.log_marginal(&[Some(0.0), None]);
+        assert!((m - 0.78f64.ln()).abs() < 1e-12);
+        // Marginalizing everything gives probability 1.
+        let all = ev.log_marginal(&[None, None]);
+        assert!(all.abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginal_equals_explicit_sum() {
+        let spn = mixture();
+        let mut ev = Evaluator::new(&spn);
+        let explicit = ev.log_likelihood(&[1.0, 0.0]).exp() + ev.log_likelihood(&[1.0, 1.0]).exp();
+        let marginal = ev.log_marginal(&[Some(1.0), None]).exp();
+        assert!((explicit - marginal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_is_marginal_ratio() {
+        let spn = mixture();
+        let mut ev = Evaluator::new(&spn);
+        // P(X1=1 | X0=0) = P(0,1)/P(X0=0).
+        let p01 = ev.log_likelihood(&[0.0, 1.0]).exp();
+        let p0 = ev.log_marginal(&[Some(0.0), None]).exp();
+        let cond = ev.log_conditional(&[(1, 1.0)], &[(0, 0.0)]).exp();
+        assert!((cond - p01 / p0).abs() < 1e-12);
+        // Conditionals over the query variable's domain normalize.
+        let c0 = ev.log_conditional(&[(1, 0.0)], &[(0, 0.0)]).exp();
+        assert!((cond + c0 - 1.0).abs() < 1e-12);
+        // Conditioning on nothing is the marginal.
+        let m = ev.log_conditional(&[(0, 1.0)], &[]).exp();
+        assert!((m - ev.log_marginal(&[Some(1.0), None]).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn conflicting_conditional_assignment_panics() {
+        let spn = mixture();
+        let mut ev = Evaluator::new(&spn);
+        ev.log_conditional(&[(0, 1.0)], &[(0, 0.0)]);
+    }
+
+    #[test]
+    fn bytes_and_floats_agree() {
+        let spn = mixture();
+        let mut ev = Evaluator::new(&spn);
+        assert_eq!(
+            ev.log_likelihood_bytes(&[1, 0]),
+            ev.log_likelihood(&[1.0, 0.0])
+        );
+    }
+
+    #[test]
+    fn out_of_support_is_neg_infinity() {
+        let spn = mixture();
+        let mut ev = Evaluator::new(&spn);
+        assert_eq!(ev.log_likelihood(&[5.0, 0.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let spn = mixture();
+        let samples = vec![vec![0u8, 0], vec![1, 1], vec![0, 1]];
+        let batch = batch_log_likelihood(&spn, &samples);
+        let mut ev = Evaluator::new(&spn);
+        for (s, &b) in samples.iter().zip(&batch) {
+            assert_eq!(ev.log_likelihood_bytes(s), b);
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_weighted_stability() {
+        // Values that would underflow in linear space.
+        let xs = [-800.0, -801.0];
+        let ws = [0.5, 0.5];
+        let r = log_sum_exp_weighted(&xs, &ws);
+        assert!(r.is_finite());
+        assert!(r < -799.0 && r > -801.0);
+        // Degenerate: all weights zero.
+        assert_eq!(
+            log_sum_exp_weighted(&[-1.0], &[0.0]),
+            f64::NEG_INFINITY
+        );
+        // Exact small case: log(0.3 e^0 + 0.7 e^0) = log 1.
+        let r = log_sum_exp_weighted(&[0.0, 0.0], &[0.3, 0.7]);
+        assert!(r.abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpe_with_full_evidence_is_identity() {
+        let spn = mixture();
+        let mut ev = Evaluator::new(&spn);
+        let out = ev.mpe(&[Some(1.0), Some(0.0)]);
+        assert_eq!(out, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn mpe_infers_most_probable_branch() {
+        let spn = mixture();
+        let mut ev = Evaluator::new(&spn);
+        // With no evidence the heavier component (0.7, favouring X0=0,
+        // X1=1) should win: its max joint is 0.7*0.9*0.9 = 0.567 versus
+        // 0.3*0.5*0.75 = 0.1125.
+        let out = ev.mpe(&[None, None]);
+        assert_eq!(out, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "variables")]
+    fn wrong_sample_arity_panics() {
+        let spn = mixture();
+        Evaluator::new(&spn).log_likelihood(&[0.0]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # spn-core — Sum-Product Networks: model, inference, learning, I/O
+//!
+//! The functional heart of the reproduction: everything about SPNs that
+//! is independent of any accelerator. This crate provides
+//!
+//! * the graph representation ([`Spn`], [`Node`], [`NodeId`]) with
+//!   topologically-ordered arenas ([`graph`]),
+//! * leaf distributions — histogram (Mixed SPN), Gaussian, categorical
+//!   ([`leaf`]),
+//! * structural validation: completeness, decomposability, weight
+//!   normalization ([`mod@validate`]),
+//! * exact inference — joint, marginal and MPE queries, in log and
+//!   linear domains ([`infer`]),
+//! * the SPFlow-compatible textual interchange format ([`text`]),
+//! * LearnSPN-style structure learning ([`learn`]),
+//! * RAT-SPN-style random generation ([`random`]),
+//! * the paper's NIPS benchmark family with its reported reference
+//!   numbers ([`nips`]), and
+//! * byte-matrix datasets with synthetic bag-of-words generators
+//!   standing in for the UCI NIPS corpus ([`dataset`]).
+
+pub mod builder;
+pub mod dataset;
+pub mod em;
+pub mod graph;
+pub mod infer;
+pub mod leaf;
+pub mod learn;
+pub mod nips;
+pub mod random;
+pub mod sample;
+pub mod scope;
+pub mod text;
+pub mod transform;
+pub mod validate;
+
+pub use builder::SpnBuilder;
+pub use dataset::{generate_bag_of_words, generate_uniform, BagOfWordsConfig, Dataset};
+pub use em::{em_weights, EmIteration, EmParams};
+pub use graph::{Node, NodeId, Spn, SpnStats};
+pub use infer::{batch_log_likelihood, log_sum_exp_weighted, Evaluator};
+pub use leaf::Leaf;
+pub use learn::{learn_spn, LearnParams};
+pub use nips::{NipsBenchmark, ALL_BENCHMARKS, TABLE1_BENCHMARKS};
+pub use random::{random_spn, RandomSpnConfig};
+pub use sample::Sampler;
+pub use scope::Scope;
+pub use text::{from_text, to_text};
+pub use transform::{discretize, normalize_weights, prune};
+pub use validate::{validate, SpnError};

@@ -1,0 +1,233 @@
+//! Ancestral sampling from an SPN.
+//!
+//! A valid SPN is a generative model: sampling descends from the root,
+//! picking one child of every sum node with probability proportional to
+//! its weight, taking *all* children of product nodes (their scopes are
+//! disjoint), and drawing each reached leaf from its distribution. This
+//! closes the loop for testing — data sampled from a network must have
+//! an empirical distribution matching the network's own likelihoods —
+//! and provides synthetic-workload generation for arbitrary models, not
+//! just the NIPS family.
+
+use crate::graph::{Node, NodeId, Spn};
+use crate::leaf::Leaf;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Sampler over a network.
+pub struct Sampler<'a> {
+    spn: &'a Spn,
+    rng: StdRng,
+}
+
+impl<'a> Sampler<'a> {
+    /// Create a deterministic sampler.
+    pub fn new(spn: &'a Spn, seed: u64) -> Self {
+        Sampler {
+            spn,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw one complete sample (one value per variable).
+    pub fn sample(&mut self) -> Vec<f64> {
+        let mut out = vec![f64::NAN; self.spn.num_vars()];
+        let mut stack: Vec<NodeId> = vec![self.spn.root()];
+        while let Some(id) = stack.pop() {
+            match self.spn.node(id) {
+                Node::Leaf { var, dist } => {
+                    out[*var] = sample_leaf(dist, &mut self.rng);
+                }
+                Node::Product { children } => stack.extend(children.iter().copied()),
+                Node::Sum { children, weights } => {
+                    let u: f64 = self.rng.gen();
+                    let mut acc = 0.0;
+                    let mut chosen = children[children.len() - 1];
+                    for (c, w) in children.iter().zip(weights) {
+                        acc += w;
+                        if u < acc {
+                            chosen = *c;
+                            break;
+                        }
+                    }
+                    stack.push(chosen);
+                }
+            }
+        }
+        debug_assert!(out.iter().all(|v| !v.is_nan()), "complete scope covered");
+        out
+    }
+
+    /// Draw `n` byte-quantized samples as a flat row-major buffer
+    /// (values clamped to `0..=255`, the benchmark data format).
+    pub fn sample_bytes(&mut self, n: usize) -> Vec<u8> {
+        let vars = self.spn.num_vars();
+        let mut data = Vec::with_capacity(n * vars);
+        for _ in 0..n {
+            for v in self.sample() {
+                data.push(v.clamp(0.0, 255.0) as u8);
+            }
+        }
+        data
+    }
+}
+
+fn sample_leaf(dist: &Leaf, rng: &mut StdRng) -> f64 {
+    match dist {
+        Leaf::Histogram { breaks, densities } => {
+            // Pick a bucket by mass, then uniform within it. For unit
+            // buckets this returns the bucket's left edge + U[0,1).
+            let masses: Vec<f64> = breaks
+                .windows(2)
+                .zip(densities)
+                .map(|(w, d)| (w[1] - w[0]) * d)
+                .collect();
+            let total: f64 = masses.iter().sum();
+            let mut u: f64 = rng.gen::<f64>() * total;
+            let mut idx = masses.len() - 1;
+            for (i, m) in masses.iter().enumerate() {
+                if u < *m {
+                    idx = i;
+                    break;
+                }
+                u -= m;
+            }
+            let lo = breaks[idx];
+            let hi = breaks[idx + 1];
+            lo + rng.gen::<f64>() * (hi - lo)
+        }
+        Leaf::Gaussian { mean, std } => {
+            // Box-Muller.
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        }
+        Leaf::Categorical { probs } => {
+            let u: f64 = rng.gen();
+            let mut acc = 0.0;
+            for (i, p) in probs.iter().enumerate() {
+                acc += p;
+                if u < acc {
+                    return i as f64;
+                }
+            }
+            (probs.len() - 1) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SpnBuilder;
+    use crate::infer::Evaluator;
+
+    fn mixture() -> Spn {
+        let mut b = SpnBuilder::new(2);
+        let a0 = b.leaf(0, Leaf::byte_histogram(&[0.5, 0.5]));
+        let a1 = b.leaf(1, Leaf::byte_histogram(&[0.25, 0.75]));
+        let c0 = b.leaf(0, Leaf::byte_histogram(&[0.9, 0.1]));
+        let c1 = b.leaf(1, Leaf::byte_histogram(&[0.1, 0.9]));
+        let p1 = b.product(vec![a0, a1]);
+        let p2 = b.product(vec![c0, c1]);
+        let s = b.sum(vec![(0.3, p1), (0.7, p2)]);
+        b.finish(s, "mix").unwrap()
+    }
+
+    #[test]
+    fn samples_cover_full_scope() {
+        let spn = mixture();
+        let mut s = Sampler::new(&spn, 1);
+        for _ in 0..100 {
+            let x = s.sample();
+            assert_eq!(x.len(), 2);
+            assert!(x.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_matches_model() {
+        let spn = mixture();
+        let mut s = Sampler::new(&spn, 42);
+        let n = 200_000;
+        let data = s.sample_bytes(n);
+        let mut counts = [[0u32; 2]; 2];
+        for row in data.chunks_exact(2) {
+            counts[row[0] as usize][row[1] as usize] += 1;
+        }
+        let mut ev = Evaluator::new(&spn);
+        for a in 0..2u8 {
+            for b in 0..2u8 {
+                let model_p = ev.log_likelihood_bytes(&[a, b]).exp();
+                let emp = counts[a as usize][b as usize] as f64 / n as f64;
+                assert!(
+                    (emp - model_p).abs() < 0.01,
+                    "P({a},{b}): empirical {emp} vs model {model_p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_seed() {
+        let spn = mixture();
+        let a = Sampler::new(&spn, 9).sample_bytes(50);
+        let b = Sampler::new(&spn, 9).sample_bytes(50);
+        assert_eq!(a, b);
+        let c = Sampler::new(&spn, 10).sample_bytes(50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_sampling_moments() {
+        let mut b = SpnBuilder::new(1);
+        let g = b.leaf(0, Leaf::Gaussian { mean: 5.0, std: 2.0 });
+        let spn = b.finish(g, "g").unwrap();
+        let mut s = Sampler::new(&spn, 7);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| s.sample()[0]).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn categorical_sampling_frequencies() {
+        let mut b = SpnBuilder::new(1);
+        let c = b.leaf(0, Leaf::Categorical { probs: vec![0.1, 0.2, 0.7] });
+        let spn = b.finish(c, "c").unwrap();
+        let mut s = Sampler::new(&spn, 3);
+        let n = 100_000;
+        let mut counts = [0u32; 3];
+        for _ in 0..n {
+            counts[s.sample()[0] as usize] += 1;
+        }
+        for (i, &want) in [0.1, 0.2, 0.7].iter().enumerate() {
+            let got = counts[i] as f64 / n as f64;
+            assert!((got - want).abs() < 0.01, "P({i}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn round_trip_sampled_data_relearns_structure() {
+        // Sample from a model, learn from the samples: the learned model
+        // should assign the data likelihood close to the true model.
+        let spn = mixture();
+        let data_raw = Sampler::new(&spn, 77).sample_bytes(4000);
+        let data = crate::dataset::Dataset::from_raw(data_raw, 2, 2);
+        let learned = crate::learn::learn_spn(&data, &crate::learn::LearnParams::default(), "rl")
+            .unwrap();
+        let mut ev_true = Evaluator::new(&spn);
+        let mut ev_learned = Evaluator::new(&learned);
+        let mean = |ev: &mut Evaluator| -> f64 {
+            data.rows().map(|r| ev.log_likelihood_bytes(r)).sum::<f64>() / data.num_samples() as f64
+        };
+        let ll_true = mean(&mut ev_true);
+        let ll_learned = mean(&mut ev_learned);
+        assert!(
+            (ll_true - ll_learned).abs() < 0.05,
+            "true {ll_true} vs learned {ll_learned}"
+        );
+    }
+}

@@ -1,0 +1,541 @@
+//! SPFlow-compatible textual SPN format.
+//!
+//! The paper's toolflow trains SPNs in SPFlow and exports them to a
+//! textual description, which the hardware generator consumes. We
+//! implement that interchange point with a precise grammar modelled on
+//! SPFlow's `spn_to_str_equation` style:
+//!
+//! ```text
+//! node    := sum | product | hist | gauss | cat
+//! sum     := "Sum(" weight "*" node ("," weight "*" node)* ")"
+//! product := "Product(" node ("," node)* ")"
+//! hist    := "Histogram(V" var "|[" floats "];[" floats "])"
+//! gauss   := "Gaussian(V" var "|" mean ";" std ")"
+//! cat     := "Categorical(V" var "|[" floats "])"
+//! ```
+//!
+//! Whitespace (including newlines) is insignificant between tokens, so
+//! the serializer pretty-prints nested structures and the parser accepts
+//! both pretty and compact forms. Every parse error reports the byte
+//! offset and what was expected.
+
+use crate::builder::SpnBuilder;
+use crate::graph::{Node, NodeId, Spn};
+use crate::leaf::Leaf;
+use crate::validate::SpnError;
+use std::fmt::Write as _;
+
+/// Parse failure with location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset in the input where the failure occurred.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+impl std::error::Error for ParseError {}
+
+/// Either a parse failure or a structural failure of the parsed network.
+#[derive(Debug)]
+pub enum TextError {
+    /// The text did not match the grammar.
+    Parse(ParseError),
+    /// The text parsed but describes an invalid SPN.
+    Invalid(SpnError),
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextError::Parse(e) => write!(f, "{e}"),
+            TextError::Invalid(e) => write!(f, "{e}"),
+        }
+    }
+}
+impl std::error::Error for TextError {}
+
+impl From<ParseError> for TextError {
+    fn from(e: ParseError) -> Self {
+        TextError::Parse(e)
+    }
+}
+impl From<SpnError> for TextError {
+    fn from(e: SpnError) -> Self {
+        TextError::Invalid(e)
+    }
+}
+
+/// Serialize a network to the textual format (pretty-printed).
+pub fn to_text(spn: &Spn) -> String {
+    let mut out = String::new();
+    write_node(spn, spn.root(), 0, &mut out);
+    out
+}
+
+fn write_node(spn: &Spn, id: NodeId, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match spn.node(id) {
+        Node::Leaf { var, dist } => {
+            out.push_str(&pad);
+            write_leaf(*var, dist, out);
+        }
+        Node::Product { children } => {
+            let _ = writeln!(out, "{pad}Product(");
+            for (i, c) in children.iter().enumerate() {
+                write_node(spn, *c, indent + 1, out);
+                if i + 1 < children.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            let _ = write!(out, "{pad})");
+        }
+        Node::Sum { children, weights } => {
+            let _ = writeln!(out, "{pad}Sum(");
+            for (i, (c, w)) in children.iter().zip(weights).enumerate() {
+                let _ = writeln!(out, "{}{}*", "  ".repeat(indent + 1), fmt_f64(*w));
+                write_node(spn, *c, indent + 1, out);
+                if i + 1 < children.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            let _ = write!(out, "{pad})");
+        }
+    }
+}
+
+fn write_leaf(var: usize, dist: &Leaf, out: &mut String) {
+    match dist {
+        Leaf::Histogram { breaks, densities } => {
+            let _ = write!(
+                out,
+                "Histogram(V{var}|[{}];[{}])",
+                join_f64(breaks),
+                join_f64(densities)
+            );
+        }
+        Leaf::Gaussian { mean, std } => {
+            let _ = write!(out, "Gaussian(V{var}|{};{})", fmt_f64(*mean), fmt_f64(*std));
+        }
+        Leaf::Categorical { probs } => {
+            let _ = write!(out, "Categorical(V{var}|[{}])", join_f64(probs));
+        }
+    }
+}
+
+/// Format an f64 so it round-trips exactly (shortest representation that
+/// parses back to the same bits — Rust's `{}` for f64 guarantees this).
+fn fmt_f64(x: f64) -> String {
+    format!("{x}")
+}
+
+fn join_f64(xs: &[f64]) -> String {
+    xs.iter()
+        .map(|x| fmt_f64(*x))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parse the textual format into a validated [`Spn`].
+///
+/// `name` labels the resulting network; `num_vars` may be left `None` to
+/// infer it as `max referenced variable + 1`.
+pub fn from_text(input: &str, name: &str, num_vars: Option<usize>) -> Result<Spn, TextError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    // First pass collects the tree; variables discovered along the way.
+    let tree = p.node()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(ParseError {
+            offset: p.pos,
+            message: "trailing input after root node".into(),
+        }
+        .into());
+    }
+    let max_var = tree.max_var();
+    let n = num_vars.unwrap_or(max_var + 1);
+    if n <= max_var {
+        return Err(ParseError {
+            offset: 0,
+            message: format!("num_vars {n} too small: text references V{max_var}"),
+        }
+        .into());
+    }
+    let mut b = SpnBuilder::new(n);
+    let root = tree.build(&mut b);
+    Ok(b.finish(root, name)?)
+}
+
+/// Intermediate parse tree (children boxed to keep recursion simple).
+enum Ast {
+    Sum(Vec<(f64, Ast)>),
+    Product(Vec<Ast>),
+    Leaf(usize, Leaf),
+}
+
+impl Ast {
+    fn max_var(&self) -> usize {
+        match self {
+            Ast::Leaf(v, _) => *v,
+            Ast::Sum(cs) => cs.iter().map(|(_, c)| c.max_var()).max().unwrap_or(0),
+            Ast::Product(cs) => cs.iter().map(|c| c.max_var()).max().unwrap_or(0),
+        }
+    }
+
+    fn build(&self, b: &mut SpnBuilder) -> NodeId {
+        match self {
+            Ast::Leaf(v, dist) => b.leaf(*v, dist.clone()),
+            Ast::Product(cs) => {
+                let kids = cs.iter().map(|c| c.build(b)).collect();
+                b.product(kids)
+            }
+            Ast::Sum(cs) => {
+                let kids = cs.iter().map(|(w, c)| (*w, c.build(b))).collect();
+                b.sum(kids)
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!(
+                "expected '{}', found {:?}",
+                c as char,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn keyword(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphabetic())
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a node keyword");
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("alphabetic ASCII")
+            .to_string())
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| {
+            b.is_ascii_digit() || matches!(b, b'.' | b'-' | b'+' | b'e' | b'E')
+        }) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected a number");
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("numeric ASCII")
+            .parse::<f64>()
+            .map_err(|e| ParseError {
+                offset: start,
+                message: format!("invalid number: {e}"),
+            })
+    }
+
+    fn var(&mut self) -> Result<usize, ParseError> {
+        self.skip_ws();
+        if self.peek() != Some(b'V') {
+            return self.err("expected variable reference 'V<index>'");
+        }
+        self.pos += 1;
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected digits after 'V'");
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits")
+            .parse::<usize>()
+            .map_err(|e| ParseError {
+                offset: start,
+                message: format!("invalid variable index: {e}"),
+            })
+    }
+
+    fn float_list(&mut self) -> Result<Vec<f64>, ParseError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.number()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return self.err("expected ',' or ']' in list"),
+            }
+        }
+        Ok(out)
+    }
+
+    fn node(&mut self) -> Result<Ast, ParseError> {
+        let kw = self.keyword()?;
+        match kw.as_str() {
+            "Sum" => {
+                self.expect(b'(')?;
+                let mut kids = Vec::new();
+                loop {
+                    let w = self.number()?;
+                    self.expect(b'*')?;
+                    let child = self.node()?;
+                    kids.push((w, child));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b')') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return self.err("expected ',' or ')' in Sum"),
+                    }
+                }
+                Ok(Ast::Sum(kids))
+            }
+            "Product" => {
+                self.expect(b'(')?;
+                let mut kids = Vec::new();
+                loop {
+                    kids.push(self.node()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b')') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return self.err("expected ',' or ')' in Product"),
+                    }
+                }
+                Ok(Ast::Product(kids))
+            }
+            "Histogram" => {
+                self.expect(b'(')?;
+                let var = self.var()?;
+                self.expect(b'|')?;
+                let breaks = self.float_list()?;
+                self.expect(b';')?;
+                let densities = self.float_list()?;
+                self.expect(b')')?;
+                Ok(Ast::Leaf(var, Leaf::Histogram { breaks, densities }))
+            }
+            "Gaussian" => {
+                self.expect(b'(')?;
+                let var = self.var()?;
+                self.expect(b'|')?;
+                let mean = self.number()?;
+                self.expect(b';')?;
+                let std = self.number()?;
+                self.expect(b')')?;
+                Ok(Ast::Leaf(var, Leaf::Gaussian { mean, std }))
+            }
+            "Categorical" => {
+                self.expect(b'(')?;
+                let var = self.var()?;
+                self.expect(b'|')?;
+                let probs = self.float_list()?;
+                self.expect(b')')?;
+                Ok(Ast::Leaf(var, Leaf::Categorical { probs }))
+            }
+            other => self.err(format!(
+                "unknown node type '{other}' (expected Sum, Product, Histogram, Gaussian or Categorical)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SpnBuilder;
+
+    fn sample_spn() -> Spn {
+        let mut b = SpnBuilder::new(2);
+        let a0 = b.leaf(0, Leaf::byte_histogram(&[0.5, 0.5]));
+        let a1 = b.leaf(1, Leaf::Gaussian { mean: 1.5, std: 0.25 });
+        let c0 = b.leaf(0, Leaf::Categorical { probs: vec![0.9, 0.1] });
+        let c1 = b.leaf(1, Leaf::Gaussian { mean: -2.0, std: 1.0 });
+        let p1 = b.product(vec![a0, a1]);
+        let p2 = b.product(vec![c0, c1]);
+        let s = b.sum(vec![(0.3, p1), (0.7, p2)]);
+        b.finish(s, "sample").unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        let spn = sample_spn();
+        let text = to_text(&spn);
+        let back = from_text(&text, "sample", Some(2)).unwrap();
+        assert_eq!(back.len(), spn.len());
+        // Compare likelihoods on a few points.
+        let mut e1 = crate::infer::Evaluator::new(&spn);
+        let mut e2 = crate::infer::Evaluator::new(&back);
+        for s in [[0.0, 1.4], [1.0, -2.0], [0.0, 0.0]] {
+            assert_eq!(e1.log_likelihood(&s), e2.log_likelihood(&s));
+        }
+    }
+
+    #[test]
+    fn parses_compact_form() {
+        let text = "Sum(0.4*Histogram(V0|[0,1,2];[0.25,0.75]),0.6*Histogram(V0|[0,1,2];[0.5,0.5]))";
+        let spn = from_text(text, "compact", None).unwrap();
+        assert_eq!(spn.num_vars(), 1);
+        assert_eq!(spn.stats().sums, 1);
+        assert_eq!(spn.stats().leaves, 2);
+    }
+
+    #[test]
+    fn parses_with_arbitrary_whitespace() {
+        let text = "Sum(  0.5 * Histogram( V0 | [0,1] ; [1.0] ) ,\n 0.5*Histogram(V0|[0,1];[1.0]) )";
+        assert!(from_text(text, "ws", None).is_ok());
+    }
+
+    #[test]
+    fn infers_num_vars() {
+        let text = "Product(Histogram(V0|[0,1];[1.0]),Histogram(V7|[0,1];[1.0]))";
+        let spn = from_text(text, "infer", None).unwrap();
+        assert_eq!(spn.num_vars(), 8);
+    }
+
+    #[test]
+    fn num_vars_too_small_is_error() {
+        let text = "Histogram(V3|[0,1];[1.0])";
+        assert!(matches!(
+            from_text(text, "x", Some(2)),
+            Err(TextError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_keyword_reports_offset() {
+        let text = "Max(0.5*Histogram(V0|[0,1];[1.0]))";
+        match from_text(text, "x", None) {
+            Err(TextError::Parse(e)) => {
+                assert!(e.message.contains("Max"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_error() {
+        let text = "Histogram(V0|[0,1];[1.0]) extra";
+        match from_text(text, "x", None) {
+            Err(TextError::Parse(e)) => assert!(e.message.contains("trailing")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_delimiters_are_errors() {
+        for bad in [
+            "Sum(0.5 Histogram(V0|[0,1];[1.0]))",
+            "Histogram(V0[0,1];[1.0])",
+            "Histogram(V0|[0,1];[1.0]",
+            "Gaussian(V0|1.0)",
+            "Sum(",
+        ] {
+            assert!(
+                matches!(from_text(bad, "x", None), Err(TextError::Parse(_))),
+                "should fail: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_semantics_reported_as_invalid() {
+        // Parses fine, but weights don't normalize.
+        let text = "Sum(0.9*Histogram(V0|[0,1];[1.0]),0.9*Histogram(V0|[0,1];[1.0]))";
+        assert!(matches!(
+            from_text(text, "x", None),
+            Err(TextError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn negative_and_scientific_numbers() {
+        let text = "Gaussian(V0|-1.5e-2;2.5E3)";
+        let spn = from_text(text, "sci", None).unwrap();
+        match spn.node(spn.root()) {
+            Node::Leaf {
+                dist: Leaf::Gaussian { mean, std },
+                ..
+            } => {
+                assert_eq!(*mean, -0.015);
+                assert_eq!(*std, 2500.0);
+            }
+            _ => panic!("expected gaussian leaf"),
+        }
+    }
+
+    #[test]
+    fn f64_formatting_round_trips_exactly() {
+        let tricky = [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e-300, 123456.789];
+        for x in tricky {
+            let s = fmt_f64(x);
+            assert_eq!(s.parse::<f64>().unwrap(), x, "value {x} via {s}");
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Network transformations: the preprocessing passes between a trained
+//! SPN and a hardware-synthesizable one.
+//!
+//! * [`discretize`] — replace Gaussian leaves by histogram
+//!   approximations over a byte grid. This is exactly the Fig. 1(a) →
+//!   Fig. 1(b) step of the paper: Mixed SPNs approximate continuous
+//!   leaves with histograms *because* histograms map to a BRAM lookup.
+//! * [`prune`] — drop zero-weight sum edges and collapse
+//!   single-child sum/product nodes; smaller circuits, same function.
+//! * [`normalize_weights`] — rescale sum weights to sum to exactly 1
+//!   (training in floating point drifts; the validator wants ~1).
+
+use crate::builder::SpnBuilder;
+use crate::graph::{Node, NodeId, Spn};
+use crate::leaf::Leaf;
+use crate::validate::SpnError;
+
+/// Replace every Gaussian leaf with a histogram over `[0, domain)` with
+/// unit-width buckets: bucket `i` receives the Gaussian mass of
+/// `[i, i+1)`, and the total in-range mass is renormalized to 1 (the
+/// truncated-Gaussian convention; out-of-range mass for byte features is
+/// negligible for reasonable parameters).
+pub fn discretize(spn: &Spn, domain: usize) -> Result<Spn, SpnError> {
+    assert!(domain >= 2, "need at least two buckets");
+    rebuild(spn, |var, dist, b| match dist {
+        Leaf::Gaussian { mean, std } => {
+            let mut masses: Vec<f64> = (0..domain)
+                .map(|i| {
+                    let lo = (i as f64 - mean) / std;
+                    let hi = (i as f64 + 1.0 - mean) / std;
+                    normal_cdf(hi) - normal_cdf(lo)
+                })
+                .collect();
+            let total: f64 = masses.iter().sum();
+            // Keep every bucket strictly positive for the log-domain
+            // hardware, then renormalize.
+            let floor = 1e-12;
+            for m in &mut masses {
+                *m = (*m / total).max(floor);
+            }
+            let total: f64 = masses.iter().sum();
+            for m in &mut masses {
+                *m /= total;
+            }
+            b.leaf(var, Leaf::byte_histogram(&masses))
+        }
+        other => b.leaf(var, other.clone()),
+    })
+}
+
+/// Remove sum edges with weight below `epsilon` (renormalizing the
+/// survivors) and collapse sum/product nodes left with a single child.
+pub fn prune(spn: &Spn, epsilon: f64) -> Result<Spn, SpnError> {
+    let mut b = SpnBuilder::new(spn.num_vars());
+    let mut map: Vec<Option<NodeId>> = vec![None; spn.len()];
+    for (i, node) in spn.nodes().iter().enumerate() {
+        let new_id = match node {
+            Node::Leaf { var, dist } => b.leaf(*var, dist.clone()),
+            Node::Product { children } => {
+                let kids: Vec<NodeId> = children
+                    .iter()
+                    .map(|c| map[c.index()].expect("children precede parents"))
+                    .collect();
+                if kids.len() == 1 {
+                    kids[0]
+                } else {
+                    b.product(kids)
+                }
+            }
+            Node::Sum { children, weights } => {
+                let survivors: Vec<(f64, NodeId)> = children
+                    .iter()
+                    .zip(weights)
+                    .filter(|(_, &w)| w > epsilon)
+                    .map(|(c, &w)| (w, map[c.index()].expect("children precede parents")))
+                    .collect();
+                if survivors.is_empty() {
+                    return Err(SpnError::BadWeights {
+                        node: i,
+                        detail: format!("pruning with epsilon {epsilon} removed every edge"),
+                    });
+                }
+                if survivors.len() == 1 {
+                    survivors[0].1
+                } else {
+                    let total: f64 = survivors.iter().map(|(w, _)| w).sum();
+                    b.sum(
+                        survivors
+                            .into_iter()
+                            .map(|(w, c)| (w / total, c))
+                            .collect(),
+                    )
+                }
+            }
+        };
+        map[i] = Some(new_id);
+    }
+    let root = map[spn.root().index()].expect("root mapped");
+    // Pruning can orphan nodes (children of removed edges); rebuild
+    // keeps only what the root reaches.
+    garbage_collect(&b.finish_unchecked(root, &spn.name))
+}
+
+/// Rescale every sum node's weights to sum to exactly 1.
+pub fn normalize_weights(spn: &Spn) -> Result<Spn, SpnError> {
+    rebuild_full(spn, |node, map, b| match node {
+        Node::Sum { children, weights } => {
+            let total: f64 = weights.iter().sum();
+            assert!(total > 0.0, "sum node with zero total weight");
+            let kids = children
+                .iter()
+                .zip(weights)
+                .map(|(c, &w)| (w / total, map[c.index()]))
+                .collect();
+            b.sum(kids)
+        }
+        Node::Product { children } => {
+            b.product(children.iter().map(|c| map[c.index()]).collect())
+        }
+        Node::Leaf { var, dist } => b.leaf(*var, dist.clone()),
+    })
+}
+
+/// Rebuild keeping only root-reachable nodes (drop orphans).
+fn garbage_collect(spn: &Spn) -> Result<Spn, SpnError> {
+    let mut reachable = vec![false; spn.len()];
+    reachable[spn.root().index()] = true;
+    for i in (0..spn.len()).rev() {
+        if reachable[i] {
+            for c in spn.nodes()[i].children() {
+                reachable[c.index()] = true;
+            }
+        }
+    }
+    let mut b = SpnBuilder::new(spn.num_vars());
+    let mut map: Vec<Option<NodeId>> = vec![None; spn.len()];
+    for (i, node) in spn.nodes().iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        let id = match node {
+            Node::Leaf { var, dist } => b.leaf(*var, dist.clone()),
+            Node::Product { children } => b.product(
+                children
+                    .iter()
+                    .map(|c| map[c.index()].expect("reachable child"))
+                    .collect(),
+            ),
+            Node::Sum { children, weights } => b.sum(
+                children
+                    .iter()
+                    .zip(weights)
+                    .map(|(c, &w)| (w, map[c.index()].expect("reachable child")))
+                    .collect(),
+            ),
+        };
+        map[i] = Some(id);
+    }
+    b.finish(map[spn.root().index()].expect("root kept"), &spn.name)
+}
+
+/// Rebuild with a leaf-mapping function (structure preserved).
+fn rebuild(
+    spn: &Spn,
+    mut leaf_fn: impl FnMut(usize, &Leaf, &mut SpnBuilder) -> NodeId,
+) -> Result<Spn, SpnError> {
+    rebuild_full(spn, |node, map, b| match node {
+        Node::Leaf { var, dist } => leaf_fn(*var, dist, b),
+        Node::Product { children } => {
+            b.product(children.iter().map(|c| map[c.index()]).collect())
+        }
+        Node::Sum { children, weights } => b.sum(
+            children
+                .iter()
+                .zip(weights)
+                .map(|(c, &w)| (w, map[c.index()]))
+                .collect(),
+        ),
+    })
+}
+
+fn rebuild_full(
+    spn: &Spn,
+    mut node_fn: impl FnMut(&Node, &[NodeId], &mut SpnBuilder) -> NodeId,
+) -> Result<Spn, SpnError> {
+    let mut b = SpnBuilder::new(spn.num_vars());
+    let mut map: Vec<NodeId> = Vec::with_capacity(spn.len());
+    for node in spn.nodes() {
+        let id = node_fn(node, &map, &mut b);
+        map.push(id);
+    }
+    b.finish(map[spn.root().index()], &spn.name)
+}
+
+/// Standard normal CDF via erf (Abramowitz–Stegun 7.1.26, |err| < 1.5e-7
+/// — far below histogram quantization error).
+fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::Evaluator;
+
+    /// Fig. 1(a): a Gaussian-leaf SPN.
+    fn gaussian_spn() -> Spn {
+        let mut b = SpnBuilder::new(2);
+        let g00 = b.leaf(0, Leaf::Gaussian { mean: 3.0, std: 1.5 });
+        let g01 = b.leaf(1, Leaf::Gaussian { mean: 10.0, std: 2.0 });
+        let g10 = b.leaf(0, Leaf::Gaussian { mean: 12.0, std: 2.0 });
+        let g11 = b.leaf(1, Leaf::Gaussian { mean: 4.0, std: 1.0 });
+        let p0 = b.product(vec![g00, g01]);
+        let p1 = b.product(vec![g10, g11]);
+        let s = b.sum(vec![(0.6, p0), (0.4, p1)]);
+        b.finish(s, "fig1a").unwrap()
+    }
+
+    #[test]
+    fn discretization_reproduces_fig1() {
+        // Fig. 1(a) -> Fig. 1(b): histograms approximate the Gaussians.
+        let continuous = gaussian_spn();
+        let mixed = discretize(&continuous, 16).unwrap();
+        // All leaves are now histograms.
+        assert!(mixed.nodes().iter().all(|n| !matches!(
+            n,
+            Node::Leaf { dist: Leaf::Gaussian { .. }, .. }
+        )));
+        // Likelihoods stay close where the density is non-negligible
+        // (histograms hold the *average* density per bucket, which in
+        // steep Gaussian tails legitimately differs from the point
+        // density by large factors).
+        let mut ec = Evaluator::new(&continuous);
+        let mut em = Evaluator::new(&mixed);
+        let mut compared = 0;
+        for a in 1..15u8 {
+            for b in 1..15u8 {
+                // Bucket [a, a+1) holds the average density, which is the
+                // continuous density at the bucket *midpoint* (to second
+                // order) — compare there.
+                let c = ec
+                    .log_likelihood(&[a as f64 + 0.5, b as f64 + 0.5])
+                    .exp();
+                let m = em.log_likelihood_bytes(&[a, b]).exp();
+                if c > 5e-3 {
+                    // Bulk: tight agreement.
+                    assert!((c - m).abs() < 0.2 * c, "({a},{b}): {c} vs {m}");
+                    compared += 1;
+                } else if c > 1e-6 {
+                    // Shoulders: same order of magnitude.
+                    assert!(m > c / 4.0 && m < c * 4.0, "({a},{b}): {c} vs {m}");
+                }
+            }
+        }
+        assert!(compared > 10, "bulk region covered ({compared} points)");
+        // And the discretized model is a proper distribution over bytes.
+        let total: f64 = (0..16u8)
+            .flat_map(|a| (0..16u8).map(move |b| (a, b)))
+            .map(|(a, b)| em.log_likelihood_bytes(&[a, b]).exp())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+    }
+
+    #[test]
+    fn discretized_models_are_synthesizable() {
+        // The datapath compiler rejects Gaussians; discretization fixes
+        // that (this is why Mixed SPNs exist).
+        let mixed = discretize(&gaussian_spn(), 32).unwrap();
+        for node in mixed.nodes() {
+            if let Node::Leaf { dist, .. } = node {
+                assert!(dist.table_size().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn prune_drops_negligible_edges() {
+        let mut b = SpnBuilder::new(1);
+        let a = b.leaf(0, Leaf::byte_histogram(&[0.5, 0.5]));
+        let c = b.leaf(0, Leaf::byte_histogram(&[0.9, 0.1]));
+        let d = b.leaf(0, Leaf::byte_histogram(&[0.1, 0.9]));
+        let s = b.sum(vec![(0.7, a), (0.3 - 1e-9, c), (1e-9, d)]);
+        let spn = b.finish(s, "p").unwrap();
+        let pruned = prune(&spn, 1e-6).unwrap();
+        // The tiny edge and its orphaned leaf are gone.
+        assert_eq!(pruned.stats().leaves, 2);
+        // Semantics preserved (up to the dropped 1e-9 mass).
+        let mut e1 = Evaluator::new(&spn);
+        let mut e2 = Evaluator::new(&pruned);
+        for v in 0..2u8 {
+            let a = e1.log_likelihood_bytes(&[v]).exp();
+            let b = e2.log_likelihood_bytes(&[v]).exp();
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn prune_collapses_single_child_nodes() {
+        let mut b = SpnBuilder::new(1);
+        let a = b.leaf(0, Leaf::byte_histogram(&[0.5, 0.5]));
+        let c = b.leaf(0, Leaf::byte_histogram(&[0.9, 0.1]));
+        let s = b.sum(vec![(1.0 - 1e-9, a), (1e-9, c)]);
+        let spn = b.finish(s, "c").unwrap();
+        let pruned = prune(&spn, 1e-6).unwrap();
+        // Sum collapsed onto its surviving child: just one leaf remains.
+        assert_eq!(pruned.len(), 1);
+        assert!(pruned.node(pruned.root()).is_leaf());
+    }
+
+    #[test]
+    fn prune_rejects_removing_everything() {
+        let mut b = SpnBuilder::new(1);
+        let a = b.leaf(0, Leaf::byte_histogram(&[1.0]));
+        let c = b.leaf(0, Leaf::byte_histogram(&[1.0]));
+        let s = b.sum(vec![(0.5, a), (0.5, c)]);
+        let spn = b.finish(s, "x").unwrap();
+        assert!(prune(&spn, 0.9).is_err());
+    }
+
+    #[test]
+    fn normalize_fixes_drifted_weights() {
+        // Build with slightly-off weights via finish_unchecked.
+        let mut b = SpnBuilder::new(1);
+        let a = b.leaf(0, Leaf::byte_histogram(&[0.5, 0.5]));
+        let c = b.leaf(0, Leaf::byte_histogram(&[0.9, 0.1]));
+        let s = b.sum(vec![(0.6999, a), (0.2999, c)]); // sums to 0.9998
+        let drifted = b.finish_unchecked(s, "d");
+        assert!(crate::validate::validate(&drifted).is_err());
+        let fixed = normalize_weights(&drifted).unwrap();
+        match fixed.node(fixed.root()) {
+            Node::Sum { weights, .. } => {
+                let total: f64 = weights.iter().sum();
+                assert!((total - 1.0).abs() < 1e-15);
+            }
+            _ => panic!("root should stay a sum"),
+        }
+    }
+
+    #[test]
+    fn erf_accuracy() {
+        // Known values: erf(0) = 0, erf(1) ≈ 0.8427, erf(-1) = -erf(1).
+        assert!(erf(0.0).abs() < 1e-8);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + erf(1.0)).abs() < 1e-12); // odd symmetry is exact
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,233 @@
+//! AXI traffic planning: what the Load and Store Units actually put on
+//! the memory interface.
+//!
+//! For a job of N samples the Load Unit streams the input region as a
+//! sequence of large linear read requests (split to the AXI4 256-beat
+//! burst limit), and the Store Unit streams the packed results back as
+//! writes. This module produces that request sequence explicitly, so
+//!
+//! * tests can check it tiles the buffers exactly (no hole, no overlap,
+//!   no over-read), and
+//! * the sequence can be *replayed* against a `mem-model` channel to
+//!   check the memory system keeps up with the datapath — the §V-B
+//!   argument that "a single HBM channel should easily be able to
+//!   provide the data required for a single accelerator".
+
+use crate::core::AcceleratorConfig;
+use serde::{Deserialize, Serialize};
+
+/// Direction of a planned request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Dir {
+    /// Load Unit read.
+    Read,
+    /// Store Unit write.
+    Write,
+}
+
+/// One planned AXI request (pre-burst-splitting granule the DMA-style
+/// streaming engine issues; the interconnect splits it into protocol
+/// bursts transparently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Read or write.
+    pub dir: Dir,
+    /// Byte address within the channel region.
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// The plan for one job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficPlan {
+    /// Interleaved request sequence in issue order (reads lead writes by
+    /// the pipeline depth; the plan interleaves them proportionally).
+    pub requests: Vec<Request>,
+    /// Total read bytes.
+    pub read_bytes: u64,
+    /// Total written bytes.
+    pub write_bytes: u64,
+}
+
+/// Streaming request granule: the Fig. 2 saturation size.
+pub const REQUEST_GRANULE: u64 = 1 << 20;
+
+/// Plan the traffic for a job: `samples` samples of `input_bytes` each
+/// read from `in_addr`, results of `result_bytes` each written to
+/// `out_addr`.
+pub fn plan_job(
+    samples: u64,
+    input_bytes: u64,
+    result_bytes: u64,
+    in_addr: u64,
+    out_addr: u64,
+) -> TrafficPlan {
+    let read_total = samples * input_bytes;
+    let write_total = samples * result_bytes;
+    let mut requests = Vec::new();
+
+    // Issue order: proportional interleave so writes trail reads the way
+    // the Result Buffer drains behind the Sample Buffer.
+    let mut read_off = 0u64;
+    let mut write_off = 0u64;
+    while read_off < read_total || write_off < write_total {
+        // Keep the write stream at the same *fraction* as the read
+        // stream, one granule behind.
+        let read_frac = if read_total == 0 {
+            1.0
+        } else {
+            read_off as f64 / read_total as f64
+        };
+        let write_frac = if write_total == 0 {
+            1.0
+        } else {
+            write_off as f64 / write_total as f64
+        };
+        if read_off < read_total && (read_frac <= write_frac || write_off >= write_total) {
+            let len = REQUEST_GRANULE.min(read_total - read_off);
+            requests.push(Request {
+                dir: Dir::Read,
+                addr: in_addr + read_off,
+                len,
+            });
+            read_off += len;
+        } else {
+            let len = REQUEST_GRANULE.min(write_total - write_off);
+            requests.push(Request {
+                dir: Dir::Write,
+                addr: out_addr + write_off,
+                len,
+            });
+            write_off += len;
+        }
+    }
+
+    TrafficPlan {
+        requests,
+        read_bytes: read_total,
+        write_bytes: write_total,
+    }
+}
+
+/// Replay a plan against an HBM channel model and report whether the
+/// channel sustains the core's compute rate: returns
+/// `(memory_time_secs, compute_time_secs)`. Memory keeps up iff
+/// `memory_time <= compute_time`.
+pub fn replay_against_channel(
+    plan: &TrafficPlan,
+    channel: &mem_model::HbmChannelConfig,
+    accel: &AcceleratorConfig,
+    samples: u64,
+    input_bytes: u64,
+) -> (f64, f64) {
+    // The channel serves the whole request stream FIFO.
+    let mut busy = 0.0f64;
+    for r in &plan.requests {
+        busy += channel.service_time(r.len).as_secs_f64();
+    }
+    let compute = samples as f64 / accel.compute_rate(input_bytes);
+    (busy, compute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem_model::{ClockConfig, HbmChannelConfig};
+    use spn_core::NipsBenchmark;
+
+    #[test]
+    fn plan_tiles_both_regions_exactly() {
+        let plan = plan_job(1_000_000, 10, 8, 0, 64 << 20);
+        assert_eq!(plan.read_bytes, 10_000_000);
+        assert_eq!(plan.write_bytes, 8_000_000);
+        // Reads tile [0, 10e6) contiguously and in order.
+        let mut expect = 0u64;
+        for r in plan.requests.iter().filter(|r| r.dir == Dir::Read) {
+            assert_eq!(r.addr, expect);
+            assert!(r.len <= REQUEST_GRANULE && r.len > 0);
+            expect += r.len;
+        }
+        assert_eq!(expect, 10_000_000);
+        // Writes tile [64 MiB, 64 MiB + 8e6).
+        let mut expect = 64u64 << 20;
+        for r in plan.requests.iter().filter(|r| r.dir == Dir::Write) {
+            assert_eq!(r.addr, expect);
+            expect += r.len;
+        }
+        assert_eq!(expect, (64 << 20) + 8_000_000);
+    }
+
+    #[test]
+    fn reads_lead_writes() {
+        let plan = plan_job(1_000_000, 10, 8, 0, 64 << 20);
+        // The first request is a read; at every prefix, read progress
+        // fraction >= write progress fraction.
+        assert_eq!(plan.requests[0].dir, Dir::Read);
+        let mut read = 0u64;
+        let mut write = 0u64;
+        for r in &plan.requests {
+            match r.dir {
+                Dir::Read => read += r.len,
+                Dir::Write => write += r.len,
+            }
+            // Writes may overshoot the read fraction by at most one
+            // granule (the scheduler decides before issuing).
+            let read_frac = read as f64 / plan.read_bytes as f64;
+            let max_write = read_frac * plan.write_bytes as f64 + REQUEST_GRANULE as f64;
+            assert!(
+                (write as f64) <= max_write + 1.0,
+                "writes overtook reads by more than a granule"
+            );
+        }
+    }
+
+    #[test]
+    fn single_channel_feeds_every_single_core_benchmark() {
+        // §V-B: the channel easily keeps up with one core; the ratio is
+        // ~5x headroom for NIPS10.
+        let channel = HbmChannelConfig::calibrated(ClockConfig::Half225DoubleWidth);
+        let accel = AcceleratorConfig::paper_default();
+        for bench in spn_core::ALL_BENCHMARKS {
+            let samples = 4 << 20;
+            let inb = bench.input_bytes_per_sample();
+            let plan = plan_job(samples, inb, 8, 0, 128 << 20);
+            let (mem, compute) = replay_against_channel(&plan, &channel, &accel, samples, inb);
+            assert!(
+                mem < compute,
+                "{}: memory {mem}s vs compute {compute}s",
+                bench.name()
+            );
+        }
+        // Quantify the NIPS10 headroom (paper: 2.23 of ~12 GiB/s).
+        let samples = 4 << 20;
+        let plan = plan_job(samples, 10, 8, 0, 128 << 20);
+        let (mem, compute) = replay_against_channel(&plan, &channel, &accel, samples, 10);
+        let headroom = compute / mem;
+        assert!((4.0..7.0).contains(&headroom), "headroom {headroom}");
+    }
+
+    #[test]
+    fn four_nips10_cores_share_one_channel_at_the_limit() {
+        // §V-C: "a channel is easily able to accommodate at least four
+        // accelerators" — 4x the traffic still fits in the compute time.
+        let channel = HbmChannelConfig::calibrated(ClockConfig::Half225DoubleWidth);
+        let accel = AcceleratorConfig::paper_default();
+        let bench = NipsBenchmark::Nips10;
+        let samples = 4u64 << 20;
+        let plan = plan_job(samples, bench.input_bytes_per_sample(), 8, 0, 128 << 20);
+        let (mem, compute) =
+            replay_against_channel(&plan, &channel, &accel, samples, bench.input_bytes_per_sample());
+        assert!(mem * 4.0 < compute * 1.05, "4 cores: {} vs {}", mem * 4.0, compute);
+    }
+
+    #[test]
+    fn empty_and_tiny_jobs() {
+        let plan = plan_job(0, 10, 8, 0, 0);
+        assert!(plan.requests.is_empty());
+        let plan = plan_job(1, 10, 8, 0, 4096);
+        assert_eq!(plan.requests.len(), 2); // one read, one write
+        assert_eq!(plan.read_bytes, 10);
+        assert_eq!(plan.write_bytes, 8);
+    }
+}

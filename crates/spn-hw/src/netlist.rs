@@ -1,0 +1,237 @@
+//! Structural netlist emission: the HDL-generation step of the paper's
+//! toolflow.
+//!
+//! The real generator emits synthesizable hardware from the SPN
+//! description. This module emits the equivalent *structural* artifact:
+//! a Verilog-2001 module with one instantiated operator per datapath op
+//! (`spn_mul`, `spn_add`, `spn_const_mul`, `spn_hist_rom`), pipeline
+//! stage annotations from the ASAP schedule, and the leaf tables as
+//! `$readmemh` ROM initialization files. It is a faithful, inspectable
+//! rendering of exactly the circuit the resource/throughput models cost
+//! — useful for diffing against generator changes and as documentation
+//! of the compiled structure.
+
+use crate::pipeline::{OpLatencies, PipelineSchedule};
+use crate::program::{DatapathOp, DatapathProgram};
+use std::fmt::Write as _;
+
+/// A generated netlist: the module source plus one hex image per ROM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    /// Verilog module source.
+    pub verilog: String,
+    /// `(file name, hex contents)` for each histogram ROM.
+    pub rom_images: Vec<(String, String)>,
+    /// Module name.
+    pub module_name: String,
+}
+
+/// Emit a netlist for `prog` with `value_bits`-wide datapath values,
+/// scheduled with `latencies`.
+pub fn emit_verilog(prog: &DatapathProgram, value_bits: u32, latencies: &OpLatencies) -> Netlist {
+    let sched = PipelineSchedule::asap(prog, latencies);
+    let module_name = sanitize(&prog.name);
+    let mut v = String::new();
+    let mut roms = Vec::new();
+
+    let _ = writeln!(v, "// Generated SPN inference datapath: {}", prog.name);
+    let _ = writeln!(
+        v,
+        "// {} ops, pipeline depth {} cycles, II = 1",
+        prog.ops().len(),
+        sched.depth
+    );
+    let _ = writeln!(v, "module spn_{module_name} #(");
+    let _ = writeln!(v, "    parameter VALUE_W = {value_bits}");
+    let _ = writeln!(v, ") (");
+    let _ = writeln!(v, "    input  wire                 clk,");
+    let _ = writeln!(v, "    input  wire                 rst_n,");
+    let _ = writeln!(v, "    input  wire                 in_valid,");
+    let _ = writeln!(
+        v,
+        "    input  wire [{}:0]         in_sample, // {} byte lanes",
+        prog.num_vars() * 8 - 1,
+        prog.num_vars()
+    );
+    let _ = writeln!(v, "    output wire                 out_valid,");
+    let _ = writeln!(v, "    output wire [VALUE_W-1:0]   out_prob");
+    let _ = writeln!(v, ");");
+    let _ = writeln!(v);
+
+    // One wire per op result.
+    for (i, _) in prog.ops().iter().enumerate() {
+        let _ = writeln!(v, "    wire [VALUE_W-1:0] op{i};");
+    }
+    let _ = writeln!(v);
+
+    // Valid-chain shift register matched to pipeline depth.
+    let _ = writeln!(v, "    reg [{}:0] valid_sr;", sched.depth.max(1) - 1);
+    let _ = writeln!(v, "    always @(posedge clk or negedge rst_n)");
+    let _ = writeln!(v, "        if (!rst_n) valid_sr <= '0;");
+    let _ = writeln!(
+        v,
+        "        else        valid_sr <= {{valid_sr[{}:0], in_valid}};",
+        sched.depth.max(2) - 2
+    );
+    let _ = writeln!(v, "    assign out_valid = valid_sr[{}];", sched.depth.max(1) - 1);
+    let _ = writeln!(v);
+
+    for (i, op) in prog.ops().iter().enumerate() {
+        let stage = sched.start_cycle[i];
+        match op {
+            DatapathOp::LeafLookup { var, table } => {
+                let rom_file = format!("spn_{module_name}_rom{i}.hex");
+                let _ = writeln!(
+                    v,
+                    "    spn_hist_rom #(.VALUE_W(VALUE_W), .DEPTH({}), .INIT(\"{rom_file}\")) u{i} // V{var}, stage {stage}",
+                    table.len()
+                );
+                let _ = writeln!(
+                    v,
+                    "        (.clk(clk), .addr(in_sample[{}:{}]), .q(op{i}));",
+                    var * 8 + 7,
+                    var * 8
+                );
+                roms.push((rom_file, rom_hex(table, value_bits)));
+            }
+            DatapathOp::Mul { a, b } => {
+                let _ = writeln!(
+                    v,
+                    "    spn_mul #(.VALUE_W(VALUE_W)) u{i} // stage {stage}"
+                );
+                let _ = writeln!(
+                    v,
+                    "        (.clk(clk), .a(op{}), .b(op{}), .p(op{i}));",
+                    a.index(),
+                    b.index()
+                );
+            }
+            DatapathOp::ConstMul { a, weight } => {
+                let _ = writeln!(
+                    v,
+                    "    spn_const_mul #(.VALUE_W(VALUE_W), .WEIGHT(64'h{:016x})) u{i} // w = {weight}, stage {stage}",
+                    weight.to_bits()
+                );
+                let _ = writeln!(v, "        (.clk(clk), .a(op{}), .p(op{i}));", a.index());
+            }
+            DatapathOp::Add { a, b } => {
+                let _ = writeln!(
+                    v,
+                    "    spn_add #(.VALUE_W(VALUE_W)) u{i} // stage {stage}"
+                );
+                let _ = writeln!(
+                    v,
+                    "        (.clk(clk), .a(op{}), .b(op{}), .s(op{i}));",
+                    a.index(),
+                    b.index()
+                );
+            }
+        }
+    }
+
+    let _ = writeln!(v);
+    let _ = writeln!(v, "    assign out_prob = op{};", prog.root().index());
+    let _ = writeln!(v, "endmodule");
+
+    Netlist {
+        verilog: v,
+        rom_images: roms,
+        module_name: format!("spn_{module_name}"),
+    }
+}
+
+/// Hex ROM image: probabilities quantized to `value_bits`-wide fixed
+/// point of the raw f64 bits' top portion — a placeholder encoding that
+/// keeps images deterministic and diffable (real images come from the
+/// arithmetic generator's converter).
+fn rom_hex(table: &[f64], value_bits: u32) -> String {
+    let mut out = String::with_capacity(table.len() * 10);
+    let shift = 64 - value_bits.min(63);
+    for p in table {
+        let _ = writeln!(out, "{:0w$x}", p.to_bits() >> shift, w = (value_bits as usize).div_ceil(4));
+    }
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        s.insert(0, 'm');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_core::NipsBenchmark;
+
+    fn netlist(bench: NipsBenchmark) -> Netlist {
+        let prog = DatapathProgram::compile(&bench.build_spn());
+        emit_verilog(&prog, 33, &OpLatencies::cfp())
+    }
+
+    #[test]
+    fn module_structure_is_complete() {
+        let prog = DatapathProgram::compile(&NipsBenchmark::Nips10.build_spn());
+        let n = emit_verilog(&prog, 33, &OpLatencies::cfp());
+        assert!(n.verilog.starts_with("// Generated SPN inference datapath"));
+        assert!(n.verilog.contains("module spn_nips10"));
+        assert!(n.verilog.ends_with("endmodule\n"));
+        // One instance per op.
+        let counts = prog.op_counts();
+        let inst = |kw: &str| n.verilog.matches(kw).count();
+        assert_eq!(inst("spn_hist_rom #"), counts.lookups);
+        assert_eq!(inst("spn_mul #"), counts.muls);
+        assert_eq!(inst("spn_const_mul #"), counts.const_muls);
+        assert_eq!(inst("spn_add #"), counts.adds);
+        // One ROM image per lookup.
+        assert_eq!(n.rom_images.len(), counts.lookups);
+    }
+
+    #[test]
+    fn rom_images_are_hex_lines_matching_table_depth() {
+        let n = netlist(NipsBenchmark::Nips10);
+        for (name, hex) in &n.rom_images {
+            assert!(name.ends_with(".hex"));
+            let lines: Vec<&str> = hex.lines().collect();
+            assert_eq!(lines.len(), 256, "{name} depth");
+            assert!(lines
+                .iter()
+                .all(|l| l.chars().all(|c| c.is_ascii_hexdigit())));
+        }
+    }
+
+    #[test]
+    fn output_is_the_root_op() {
+        let prog = DatapathProgram::compile(&NipsBenchmark::Nips20.build_spn());
+        let n = emit_verilog(&prog, 33, &OpLatencies::cfp());
+        assert!(n
+            .verilog
+            .contains(&format!("assign out_prob = op{};", prog.root().index())));
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let a = netlist(NipsBenchmark::Nips30);
+        let b = netlist(NipsBenchmark::Nips30);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize("NIPS10"), "nips10");
+        assert_eq!(sanitize("my-model v2"), "my_model_v2");
+        assert_eq!(sanitize("9lives"), "m9lives");
+        assert_eq!(sanitize(""), "m");
+    }
+
+    #[test]
+    fn stage_annotations_present() {
+        let n = netlist(NipsBenchmark::Nips10);
+        assert!(n.verilog.contains("// stage "));
+    }
+}

@@ -1,0 +1,397 @@
+//! The virtual device: a functional model of the whole accelerator card.
+//!
+//! Holds real byte storage for every HBM channel, one accelerator core
+//! (with its AXI4-Lite register file) per channel, and the device
+//! memory manager. Control threads on the host *actually move bytes*
+//! into channel storage, program the register file, launch jobs, and
+//! read results back — the full paper dataflow, functionally exact.
+//! Timing is the business of [`crate::perf`]; this module answers "what
+//! bytes come back", which the tests verify against the `spn-core`
+//! reference inference.
+
+use crate::memmgr::{DeviceBuffer, DeviceMemoryManager};
+use parking_lot::Mutex;
+use sim_core::SplitMix64;
+use spn_arith::AnyFormat;
+use spn_hw::{AcceleratorConfig, AcceleratorCore, DatapathProgram, Reg, RegisterFile, SynthConfig};
+use std::sync::Arc;
+
+/// Transient-fault injection: each result independently suffers a
+/// single-bit flip with the given probability. Models SEUs / marginal
+/// timing on the real card; exists so the runtime's verification
+/// sampling has something real to catch.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjection {
+    /// Probability that one result value is corrupted.
+    pub flip_probability: f64,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+/// Device-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// PE index out of range.
+    NoSuchPe(u32),
+    /// Buffer does not belong to the PE's channel.
+    WrongChannel {
+        /// PE that was launched.
+        pe: u32,
+        /// Channel the buffer lives in.
+        buffer_channel: u32,
+    },
+    /// Access beyond the channel region.
+    OutOfBounds,
+    /// A register-file interaction failed.
+    Register(String),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::NoSuchPe(p) => write!(f, "no such PE: {p}"),
+            DeviceError::WrongChannel { pe, buffer_channel } => write!(
+                f,
+                "PE {pe} cannot reach channel {buffer_channel}: no crossbar"
+            ),
+            DeviceError::OutOfBounds => write!(f, "device memory access out of bounds"),
+            DeviceError::Register(e) => write!(f, "register access: {e}"),
+        }
+    }
+}
+impl std::error::Error for DeviceError {}
+
+struct PeInstance {
+    core: AcceleratorCore,
+    regs: RegisterFile,
+}
+
+/// The virtual accelerator card.
+///
+/// Cloneable-by-Arc and fully thread-safe: channel memories and PEs are
+/// individually locked, so threads working on different PEs never
+/// contend — mirroring the independence of the real HBM channels.
+pub struct VirtualDevice {
+    /// Per-channel byte storage.
+    channels: Vec<Mutex<Vec<u8>>>,
+    /// One PE per channel (the paper's 1:1 coupling).
+    pes: Vec<Mutex<PeInstance>>,
+    memmgr: Arc<DeviceMemoryManager>,
+    channel_capacity: u64,
+    faults: Option<FaultInjection>,
+    fault_rng: Mutex<SplitMix64>,
+}
+
+impl VirtualDevice {
+    /// Build a device with `num_pes` identical cores for `program`, each
+    /// wired to a dedicated channel of `channel_capacity` bytes.
+    pub fn new(
+        program: DatapathProgram,
+        format: AnyFormat,
+        accel: AcceleratorConfig,
+        num_pes: u32,
+        channel_capacity: u64,
+    ) -> Self {
+        assert!(num_pes > 0, "need at least one PE");
+        let pes = (0..num_pes)
+            .map(|_| {
+                let core = AcceleratorCore::new(accel, program.clone(), format);
+                let synth = SynthConfig {
+                    num_vars: program.num_vars() as u64,
+                    input_bytes: core.input_bytes(),
+                    result_bytes: core.result_bytes(),
+                    format_id: match format {
+                        AnyFormat::Cfp(_) => 0,
+                        AnyFormat::Lns(_) => 1,
+                        AnyFormat::Posit(_) => 2,
+                        AnyFormat::F64 => 3,
+                    },
+                };
+                Mutex::new(PeInstance {
+                    core,
+                    regs: RegisterFile::new(synth),
+                })
+            })
+            .collect();
+        VirtualDevice {
+            channels: (0..num_pes)
+                .map(|_| Mutex::new(vec![0u8; channel_capacity as usize]))
+                .collect(),
+            pes,
+            memmgr: Arc::new(DeviceMemoryManager::new(num_pes, channel_capacity)),
+            channel_capacity,
+            faults: None,
+            fault_rng: Mutex::new(SplitMix64::new(0)),
+        }
+    }
+
+    /// Enable transient-fault injection (testing/chaos mode).
+    pub fn with_faults(mut self, faults: FaultInjection) -> Self {
+        assert!((0.0..=1.0).contains(&faults.flip_probability));
+        self.fault_rng = Mutex::new(SplitMix64::new(faults.seed));
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Golden re-computation of one sample on the host, bypassing any
+    /// injected faults — the reference the runtime's verification
+    /// sampling checks against.
+    pub fn golden(&self, pe: u32, sample: &[u8]) -> Result<f64, DeviceError> {
+        let inst = self.pes.get(pe as usize).ok_or(DeviceError::NoSuchPe(pe))?;
+        Ok(inst.lock().core.run_sample(sample))
+    }
+
+    /// Number of PEs (= channels).
+    pub fn num_pes(&self) -> u32 {
+        self.pes.len() as u32
+    }
+
+    /// The device memory manager.
+    pub fn memory(&self) -> &Arc<DeviceMemoryManager> {
+        &self.memmgr
+    }
+
+    /// Capacity of each channel region.
+    pub fn channel_capacity(&self) -> u64 {
+        self.channel_capacity
+    }
+
+    /// Query a PE's synthesis configuration through its register file —
+    /// the paper's configuration-readout execution mode.
+    pub fn query_pe(&self, pe: u32) -> Result<SynthConfig, DeviceError> {
+        let inst = self.pes.get(pe as usize).ok_or(DeviceError::NoSuchPe(pe))?;
+        let inst = inst.lock();
+        Ok(SynthConfig {
+            num_vars: inst.regs.read(Reg::CfgVars),
+            input_bytes: inst.regs.read(Reg::CfgInputBytes),
+            result_bytes: inst.regs.read(Reg::CfgResultBytes),
+            format_id: inst.regs.read(Reg::CfgFormat),
+        })
+    }
+
+    /// Host→device copy into an allocated buffer (the functional half of
+    /// a DMA transfer).
+    pub fn copy_to_device(&self, buf: DeviceBuffer, data: &[u8]) -> Result<(), DeviceError> {
+        if data.len() as u64 > buf.len {
+            return Err(DeviceError::OutOfBounds);
+        }
+        let channel = self
+            .channels
+            .get(buf.channel as usize)
+            .ok_or(DeviceError::NoSuchPe(buf.channel))?;
+        let mut mem = channel.lock();
+        let start = buf.offset as usize;
+        let end = start + data.len();
+        if end > mem.len() {
+            return Err(DeviceError::OutOfBounds);
+        }
+        mem[start..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Device→host copy of a whole buffer.
+    pub fn copy_from_device(&self, buf: DeviceBuffer) -> Result<Vec<u8>, DeviceError> {
+        let channel = self
+            .channels
+            .get(buf.channel as usize)
+            .ok_or(DeviceError::NoSuchPe(buf.channel))?;
+        let mem = channel.lock();
+        let start = buf.offset as usize;
+        let end = start + buf.len as usize;
+        if end > mem.len() {
+            return Err(DeviceError::OutOfBounds);
+        }
+        Ok(mem[start..end].to_vec())
+    }
+
+    /// Launch an inference job on `pe`: program the register file, run
+    /// the datapath over `num_samples` read from `input`, store one f64
+    /// per sample (little-endian, as the Store Unit packs 512-bit words)
+    /// into `output`. Blocks until "hardware" completion — callers are
+    /// the runtime's control threads, which is exactly how the TaPaSCo
+    /// blocking launch behaves.
+    pub fn launch(
+        &self,
+        pe: u32,
+        input: DeviceBuffer,
+        output: DeviceBuffer,
+        num_samples: u64,
+    ) -> Result<(), DeviceError> {
+        let inst = self.pes.get(pe as usize).ok_or(DeviceError::NoSuchPe(pe))?;
+        // The paper's design has no crossbar: a PE reaches only its own
+        // channel.
+        for buf in [&input, &output] {
+            if buf.channel != pe {
+                return Err(DeviceError::WrongChannel {
+                    pe,
+                    buffer_channel: buf.channel,
+                });
+            }
+        }
+        let mut inst = inst.lock();
+        // Program the job registers and start.
+        inst.regs
+            .write(Reg::InAddr, input.offset)
+            .and_then(|_| inst.regs.write(Reg::OutAddr, output.offset))
+            .and_then(|_| inst.regs.write(Reg::NumSamples, num_samples))
+            .and_then(|_| inst.regs.write(Reg::Ctrl, 1))
+            .map_err(|e| DeviceError::Register(e.to_string()))?;
+
+        let in_bytes = num_samples * inst.core.input_bytes();
+        let out_bytes = num_samples * inst.core.result_bytes();
+        if in_bytes > input.len || out_bytes > output.len {
+            return Err(DeviceError::OutOfBounds);
+        }
+
+        // "Hardware" execution: read input from channel memory, execute
+        // the datapath, write results back.
+        let mut results = {
+            let mem = self.channels[pe as usize].lock();
+            let start = input.offset as usize;
+            let data = &mem[start..start + in_bytes as usize];
+            inst.core.run_job(data)
+        };
+        // Transient faults: flip one mantissa bit of unlucky results.
+        if let Some(f) = self.faults {
+            let mut rng = self.fault_rng.lock();
+            for r in &mut results {
+                if rng.next_f64() < f.flip_probability {
+                    let bit = rng.next_below(52) as u32; // mantissa bits
+                    *r = f64::from_bits(r.to_bits() ^ (1u64 << bit));
+                }
+            }
+        }
+        {
+            let mut mem = self.channels[pe as usize].lock();
+            let start = output.offset as usize;
+            for (i, r) in results.iter().enumerate() {
+                let bytes = r.to_le_bytes();
+                mem[start + i * 8..start + i * 8 + 8].copy_from_slice(&bytes);
+            }
+        }
+        inst.regs.signal_done();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::MIB;
+    use spn_arith::CfpFormat;
+    use spn_core::{Evaluator, NipsBenchmark};
+
+    fn device(pes: u32) -> (VirtualDevice, NipsBenchmark) {
+        let bench = NipsBenchmark::Nips10;
+        let prog = DatapathProgram::compile(&bench.build_spn());
+        let dev = VirtualDevice::new(
+            prog,
+            AnyFormat::Cfp(CfpFormat::paper_default()),
+            AcceleratorConfig::paper_default(),
+            pes,
+            16 * MIB,
+        );
+        (dev, bench)
+    }
+
+    #[test]
+    fn query_pe_reads_synth_config() {
+        let (dev, _) = device(2);
+        let cfg = dev.query_pe(1).unwrap();
+        assert_eq!(cfg.num_vars, 10);
+        assert_eq!(cfg.input_bytes, 10);
+        assert_eq!(cfg.result_bytes, 8);
+        assert_eq!(cfg.format_id, 0);
+        assert!(dev.query_pe(2).is_err());
+    }
+
+    #[test]
+    fn full_job_round_trip_matches_reference() {
+        let (dev, bench) = device(1);
+        let data = bench.dataset(64, 5);
+        let spn = bench.build_spn();
+        let mut ev = Evaluator::new(&spn);
+
+        let inb = dev.memory().alloc(0, data.raw().len() as u64).unwrap();
+        let outb = dev.memory().alloc(0, 64 * 8).unwrap();
+        dev.copy_to_device(inb, data.raw()).unwrap();
+        dev.launch(0, inb, outb, 64).unwrap();
+        let raw = dev.copy_from_device(outb).unwrap();
+
+        for (i, row) in data.rows().enumerate() {
+            let got = f64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().unwrap());
+            let reference = ev.log_likelihood_bytes(row).exp();
+            let rel = ((got - reference) / reference).abs();
+            assert!(rel < 1e-4, "sample {i}: {got} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn pe_cannot_reach_foreign_channel() {
+        let (dev, bench) = device(2);
+        let data = bench.dataset(4, 1);
+        let foreign_in = dev.memory().alloc(1, 64).unwrap();
+        let own_out = dev.memory().alloc(0, 64).unwrap();
+        dev.copy_to_device(foreign_in, data.raw()).unwrap();
+        assert!(matches!(
+            dev.launch(0, foreign_in, own_out, 4),
+            Err(DeviceError::WrongChannel { pe: 0, buffer_channel: 1 })
+        ));
+    }
+
+    #[test]
+    fn oversized_job_rejected() {
+        let (dev, bench) = device(1);
+        let data = bench.dataset(4, 1);
+        let inb = dev.memory().alloc(0, 40).unwrap();
+        let outb = dev.memory().alloc(0, 8).unwrap(); // room for 1 result only
+        dev.copy_to_device(inb, data.raw()).unwrap();
+        assert!(matches!(
+            dev.launch(0, inb, outb, 4),
+            Err(DeviceError::OutOfBounds)
+        ));
+    }
+
+    #[test]
+    fn copy_bounds_checked() {
+        let (dev, _) = device(1);
+        let b = dev.memory().alloc(0, 16).unwrap();
+        assert!(dev.copy_to_device(b, &[0u8; 17]).is_err());
+        let bogus = DeviceBuffer {
+            channel: 0,
+            offset: dev.channel_capacity() - 4,
+            len: 64,
+        };
+        assert!(dev.copy_from_device(bogus).is_err());
+    }
+
+    #[test]
+    fn concurrent_jobs_on_distinct_pes() {
+        let (dev, bench) = device(4);
+        let dev = Arc::new(dev);
+        let data = Arc::new(bench.dataset(256, 7));
+        let spn = bench.build_spn();
+        let mut handles = Vec::new();
+        for pe in 0..4u32 {
+            let dev = Arc::clone(&dev);
+            let data = Arc::clone(&data);
+            handles.push(std::thread::spawn(move || {
+                let inb = dev.memory().alloc(pe, data.raw().len() as u64).unwrap();
+                let outb = dev.memory().alloc(pe, 256 * 8).unwrap();
+                dev.copy_to_device(inb, data.raw()).unwrap();
+                dev.launch(pe, inb, outb, 256).unwrap();
+                dev.copy_from_device(outb).unwrap()
+            }));
+        }
+        let results: Vec<Vec<u8>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // All PEs computed identical results for identical inputs.
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        // Spot-check correctness.
+        let mut ev = Evaluator::new(&spn);
+        let got = f64::from_le_bytes(results[0][0..8].try_into().unwrap());
+        let reference = ev.log_likelihood_bytes(data.row(0)).exp();
+        assert!(((got - reference) / reference).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,127 @@
+//! Job decomposition: splitting an inference job into block-sized
+//! sub-jobs.
+//!
+//! The paper's runtime (Section IV-B) breaks each compute job into
+//! sub-jobs "according to a user-specified block-size"; control threads
+//! then pump blocks through transfer → execute → readback. Blocks are
+//! the unit of overlap: while one block computes, another transfers.
+
+use serde::{Deserialize, Serialize};
+
+/// One contiguous block of samples within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Index of the first sample.
+    pub first_sample: u64,
+    /// Number of samples in the block.
+    pub samples: u64,
+}
+
+impl Block {
+    /// Byte range of this block's input in the job's input buffer.
+    pub fn input_range(&self, input_bytes_per_sample: u64) -> (u64, u64) {
+        (
+            self.first_sample * input_bytes_per_sample,
+            self.samples * input_bytes_per_sample,
+        )
+    }
+
+    /// Byte range of this block's results in the job's output buffer.
+    pub fn output_range(&self, result_bytes_per_sample: u64) -> (u64, u64) {
+        (
+            self.first_sample * result_bytes_per_sample,
+            self.samples * result_bytes_per_sample,
+        )
+    }
+}
+
+/// Split `total_samples` into blocks of at most `block_samples`.
+///
+/// # Panics
+/// Panics if `block_samples` is zero.
+pub fn split_into_blocks(total_samples: u64, block_samples: u64) -> Vec<Block> {
+    assert!(block_samples > 0, "block size must be positive");
+    let mut blocks = Vec::with_capacity(total_samples.div_ceil(block_samples) as usize);
+    let mut first = 0;
+    while first < total_samples {
+        let samples = block_samples.min(total_samples - first);
+        blocks.push(Block {
+            first_sample: first,
+            samples,
+        });
+        first += samples;
+    }
+    blocks
+}
+
+/// Partition blocks across `pes` accelerators round-robin, preserving
+/// order within each accelerator's list.
+pub fn assign_to_pes(blocks: &[Block], pes: u32) -> Vec<Vec<Block>> {
+    assert!(pes > 0, "need at least one PE");
+    let mut per_pe: Vec<Vec<Block>> = vec![Vec::new(); pes as usize];
+    for (i, b) in blocks.iter().enumerate() {
+        per_pe[i % pes as usize].push(*b);
+    }
+    per_pe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let blocks = split_into_blocks(100, 25);
+        assert_eq!(blocks.len(), 4);
+        assert!(blocks.iter().all(|b| b.samples == 25));
+        assert_eq!(blocks[3].first_sample, 75);
+    }
+
+    #[test]
+    fn remainder_block_is_short() {
+        let blocks = split_into_blocks(10, 4);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[2].samples, 2);
+        // Blocks tile the job exactly.
+        let total: u64 = blocks.iter().map(|b| b.samples).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn single_block_jobs() {
+        assert_eq!(split_into_blocks(5, 100).len(), 1);
+        assert_eq!(split_into_blocks(0, 100).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_block_size_panics() {
+        split_into_blocks(10, 0);
+    }
+
+    #[test]
+    fn byte_ranges() {
+        let b = Block {
+            first_sample: 10,
+            samples: 5,
+        };
+        assert_eq!(b.input_range(10), (100, 50));
+        assert_eq!(b.output_range(8), (80, 40));
+    }
+
+    #[test]
+    fn round_robin_assignment_is_balanced() {
+        let blocks = split_into_blocks(100, 10); // 10 blocks
+        let per_pe = assign_to_pes(&blocks, 4);
+        let sizes: Vec<usize> = per_pe.iter().map(|v| v.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        // Every block appears exactly once.
+        let mut seen: Vec<u64> = per_pe
+            .iter()
+            .flatten()
+            .map(|b| b.first_sample)
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).map(|i| i * 10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,34 @@
+//! # spn-runtime — the multi-threaded host runtime and system simulation
+//!
+//! The software half of the paper's contribution, plus the end-to-end
+//! performance simulation that regenerates its figures:
+//!
+//! * [`memmgr`] — the thread-safe per-HBM-channel device memory manager
+//!   the paper built because TaPaSCo could not split the address space;
+//! * [`device`] — the functional virtual accelerator card: per-channel
+//!   byte storage, register files, bit-accurate cores;
+//! * [`runtime`] — the TaPaSCo-style host runtime: device queries, job
+//!   splitting, real control threads overlapping transfer and compute;
+//! * [`job`] — block decomposition;
+//! * [`perf`] — the virtual-time end-to-end simulation behind Figs. 4/6;
+//! * [`analysis`] — the Fig. 5 scaling-potential study and the §V-C
+//!   PCIe-generation outlook;
+//! * [`streaming`] — the 100G in-network comparison model (\[7\]).
+
+pub mod analysis;
+pub mod device;
+pub mod job;
+pub mod memmgr;
+pub mod perf;
+pub mod runtime;
+pub mod streaming;
+pub mod trace;
+
+pub use analysis::{hbm_limits, max_cores_by_hbm, pcie_outlook, required_bandwidth, HbmLimits, OutlookRow};
+pub use device::{DeviceError, FaultInjection, VirtualDevice};
+pub use job::{assign_to_pes, split_into_blocks, Block};
+pub use memmgr::{AllocError, DeviceBuffer, DeviceMemoryManager};
+pub use perf::{scaling_series, simulate, simulate_traced, PerfConfig, PerfResult};
+pub use trace::{Span, SpanKind, Trace};
+pub use runtime::{RuntimeConfig, RuntimeError, SpnRuntime};
+pub use streaming::{min_replication_for_line_rate, simulate_streaming, StreamingModel, StreamingSimConfig, StreamingSimResult};

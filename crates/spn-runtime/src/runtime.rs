@@ -1,0 +1,395 @@
+//! The multi-threaded host runtime (the paper's software contribution).
+//!
+//! Mirrors the TaPaSCo-based runtime of Section IV-B:
+//!
+//! * the runtime **queries the device** for PE count and each PE's
+//!   synthesis-time configuration (no manual parameter plumbing),
+//! * an inference job is **split into block-sized sub-jobs**,
+//! * each PE is driven by one or more **control threads**, each looping
+//!   `transfer → launch & wait → read back`,
+//! * with ≥2 threads per PE, thread A transfers block *n+1* while
+//!   thread B waits on the accelerator computing block *n* — the
+//!   overlap scheme that hides transfer time.
+//!
+//! These are real OS threads moving real bytes through the
+//! [`VirtualDevice`]; the results are bit-exact accelerator output.
+
+use crate::device::{DeviceError, VirtualDevice};
+use crate::job::{split_into_blocks, Block};
+use crate::memmgr::AllocError;
+use parking_lot::Mutex;
+use spn_core::Dataset;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Runtime configuration knobs (the paper's user-visible parameters).
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Samples per sub-job block.
+    pub block_samples: u64,
+    /// Control threads per PE (the paper found 2 sufficient to saturate
+    /// DMA, and used 1 for ≥4 PEs).
+    pub threads_per_pe: u32,
+    /// Fraction of results to re-verify against the host golden model
+    /// (0.0 disables). Catches transient device faults at proportional
+    /// host cost.
+    pub verify_fraction: f64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            block_samples: 1 << 16,
+            threads_per_pe: 2,
+            verify_fraction: 0.0,
+        }
+    }
+}
+
+/// Errors surfaced by the runtime.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Device memory exhausted.
+    Alloc(AllocError),
+    /// Device interaction failed.
+    Device(DeviceError),
+    /// Input shape mismatch with the PE configuration.
+    ShapeMismatch {
+        /// What the device expects per sample.
+        expected_bytes: u64,
+        /// What the dataset provides per sample.
+        got_bytes: u64,
+    },
+    /// A verified sample disagreed with the host golden model.
+    VerificationFailed {
+        /// Sample index that failed.
+        index: usize,
+        /// Device result.
+        got: f64,
+        /// Golden result.
+        expected: f64,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Alloc(e) => write!(f, "{e}"),
+            RuntimeError::Device(e) => write!(f, "{e}"),
+            RuntimeError::ShapeMismatch {
+                expected_bytes,
+                got_bytes,
+            } => write!(
+                f,
+                "dataset has {got_bytes} bytes/sample but the PE expects {expected_bytes}"
+            ),
+            RuntimeError::VerificationFailed {
+                index,
+                got,
+                expected,
+            } => write!(
+                f,
+                "verification failed at sample {index}: device {got}, golden {expected}"
+            ),
+        }
+    }
+}
+impl std::error::Error for RuntimeError {}
+
+impl From<AllocError> for RuntimeError {
+    fn from(e: AllocError) -> Self {
+        RuntimeError::Alloc(e)
+    }
+}
+impl From<DeviceError> for RuntimeError {
+    fn from(e: DeviceError) -> Self {
+        RuntimeError::Device(e)
+    }
+}
+
+/// The runtime handle.
+pub struct SpnRuntime {
+    device: Arc<VirtualDevice>,
+    config: RuntimeConfig,
+}
+
+impl SpnRuntime {
+    /// Attach to a device.
+    pub fn new(device: Arc<VirtualDevice>, config: RuntimeConfig) -> Self {
+        SpnRuntime { device, config }
+    }
+
+    /// The attached device.
+    pub fn device(&self) -> &Arc<VirtualDevice> {
+        &self.device
+    }
+
+    /// Run batch inference over a dataset, using all PEs.
+    /// Returns one probability per sample, in dataset order.
+    pub fn infer(&self, data: &Dataset) -> Result<Vec<f64>, RuntimeError> {
+        self.infer_on_pes(data, self.device.num_pes())
+    }
+
+    /// Run batch inference restricted to the first `num_pes` PEs
+    /// (the knob behind the scaling experiments).
+    pub fn infer_on_pes(&self, data: &Dataset, num_pes: u32) -> Result<Vec<f64>, RuntimeError> {
+        assert!(num_pes >= 1 && num_pes <= self.device.num_pes());
+        let pe_cfg = self.device.query_pe(0)?;
+        if pe_cfg.input_bytes != data.num_features() as u64 {
+            return Err(RuntimeError::ShapeMismatch {
+                expected_bytes: pe_cfg.input_bytes,
+                got_bytes: data.num_features() as u64,
+            });
+        }
+        let total = data.num_samples() as u64;
+        let blocks = split_into_blocks(total, self.config.block_samples);
+        if blocks.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Per-PE block queues: a shared cursor per PE; the PE's threads
+        // pop from it (the "multiple CPU threads per accelerator" of the
+        // paper — work within a PE is self-scheduled across its threads).
+        let per_pe: Vec<Vec<Block>> = crate::job::assign_to_pes(&blocks, num_pes);
+        let results = Arc::new(Mutex::new(vec![0.0f64; total as usize]));
+        let first_error: Arc<Mutex<Option<RuntimeError>>> = Arc::new(Mutex::new(None));
+
+        std::thread::scope(|scope| {
+            for (pe, pe_blocks) in per_pe.iter().enumerate() {
+                let cursor = Arc::new(AtomicUsize::new(0));
+                for _t in 0..self.config.threads_per_pe {
+                    let device = Arc::clone(&self.device);
+                    let results = Arc::clone(&results);
+                    let first_error = Arc::clone(&first_error);
+                    let cursor = Arc::clone(&cursor);
+                    let pe = pe as u32;
+                    scope.spawn(move || {
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(block) = pe_blocks.get(i) else { break };
+                            if first_error.lock().is_some() {
+                                break;
+                            }
+                            if let Err(e) =
+                                run_block(&device, pe, &pe_cfg, data, *block, &results)
+                            {
+                                let mut slot = first_error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                break;
+                            }
+                        }
+                    });
+                }
+            }
+        });
+
+        if let Some(e) = Arc::try_unwrap(first_error)
+            .map(|m| m.into_inner())
+            .unwrap_or(None)
+        {
+            return Err(e);
+        }
+        let results = Arc::try_unwrap(results)
+            .map(|m| m.into_inner())
+            .expect("all threads joined");
+
+        // Verification sampling: spot-check a deterministic stride of
+        // results against the golden model.
+        if self.config.verify_fraction > 0.0 {
+            let n = results.len();
+            let checks = ((n as f64 * self.config.verify_fraction).ceil() as usize).min(n);
+            if checks > 0 {
+                let stride = (n / checks).max(1);
+                for i in (0..n).step_by(stride) {
+                    let expected = self.device.golden(0, data.row(i))?;
+                    let got = results[i];
+                    let tolerance = expected.abs() * 1e-12 + f64::MIN_POSITIVE;
+                    if (got - expected).abs() > tolerance {
+                        return Err(RuntimeError::VerificationFailed {
+                            index: i,
+                            got,
+                            expected,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(results)
+    }
+}
+
+/// One control-thread iteration: allocate, transfer, launch, read back.
+fn run_block(
+    device: &VirtualDevice,
+    pe: u32,
+    pe_cfg: &spn_hw::SynthConfig,
+    data: &Dataset,
+    block: Block,
+    results: &Mutex<Vec<f64>>,
+) -> Result<(), RuntimeError> {
+    let in_bytes = block.samples * pe_cfg.input_bytes;
+    let out_bytes = block.samples * pe_cfg.result_bytes;
+    let inb = device.memory().alloc(pe, in_bytes)?;
+    let outb = match device.memory().alloc(pe, out_bytes) {
+        Ok(b) => b,
+        Err(e) => {
+            let _ = device.memory().free(inb);
+            return Err(e.into());
+        }
+    };
+    let run = || -> Result<Vec<u8>, RuntimeError> {
+        let (src_off, src_len) = block.input_range(pe_cfg.input_bytes);
+        let src = &data.raw()[src_off as usize..(src_off + src_len) as usize];
+        device.copy_to_device(inb, src)?;
+        device.launch(pe, inb, outb, block.samples)?;
+        Ok(device.copy_from_device(outb)?)
+    };
+    let out = run();
+    // Buffers are always returned, success or not.
+    let _ = device.memory().free(inb);
+    let _ = device.memory().free(outb);
+    let raw = out?;
+
+    let mut res = results.lock();
+    for i in 0..block.samples as usize {
+        let v = f64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().expect("8-byte result"));
+        res[block.first_sample as usize + i] = v;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::MIB;
+    use spn_arith::{AnyFormat, CfpFormat};
+    use spn_core::{Evaluator, NipsBenchmark};
+    use spn_hw::{AcceleratorConfig, DatapathProgram};
+
+    fn runtime(pes: u32, cfg: RuntimeConfig) -> (SpnRuntime, NipsBenchmark) {
+        let bench = NipsBenchmark::Nips10;
+        let prog = DatapathProgram::compile(&bench.build_spn());
+        let dev = VirtualDevice::new(
+            prog,
+            AnyFormat::Cfp(CfpFormat::paper_default()),
+            AcceleratorConfig::paper_default(),
+            pes,
+            16 * MIB,
+        );
+        (SpnRuntime::new(Arc::new(dev), cfg), bench)
+    }
+
+    fn reference(bench: NipsBenchmark, data: &Dataset) -> Vec<f64> {
+        let spn = bench.build_spn();
+        let mut ev = Evaluator::new(&spn);
+        data.rows()
+            .map(|r| ev.log_likelihood_bytes(r).exp())
+            .collect()
+    }
+
+    #[test]
+    fn inference_matches_reference_order_preserved() {
+        let (rt, bench) = runtime(
+            4,
+            RuntimeConfig {
+                block_samples: 100,
+                threads_per_pe: 2,
+                verify_fraction: 0.0,
+            },
+        );
+        let data = bench.dataset(1234, 11); // deliberately not block-aligned
+        let got = rt.infer(&data).unwrap();
+        let want = reference(bench, &data);
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            let rel = ((g - w) / w).abs();
+            assert!(rel < 1e-4, "sample {i}: {g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn single_pe_single_thread_works() {
+        let (rt, bench) = runtime(
+            1,
+            RuntimeConfig {
+                block_samples: 64,
+                threads_per_pe: 1,
+                verify_fraction: 0.0,
+            },
+        );
+        let data = bench.dataset(500, 3);
+        let got = rt.infer(&data).unwrap();
+        assert_eq!(got.len(), 500);
+        assert!(got.iter().all(|p| p.is_finite() && *p > 0.0));
+    }
+
+    #[test]
+    fn many_threads_per_pe_are_consistent() {
+        let (rt, bench) = runtime(
+            2,
+            RuntimeConfig {
+                block_samples: 32,
+                threads_per_pe: 4,
+                verify_fraction: 0.0,
+            },
+        );
+        let data = bench.dataset(1000, 17);
+        let a = rt.infer(&data).unwrap();
+        let b = rt.infer(&data).unwrap();
+        assert_eq!(a, b, "runtime results are deterministic");
+    }
+
+    #[test]
+    fn restricted_pe_count() {
+        let (rt, bench) = runtime(4, RuntimeConfig::default());
+        let data = bench.dataset(100, 2);
+        let got = rt.infer_on_pes(&data, 2).unwrap();
+        let want = reference(bench, &data);
+        for (g, w) in got.iter().zip(&want) {
+            assert!(((g - w) / w).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn empty_job() {
+        let (rt, bench) = runtime(2, RuntimeConfig::default());
+        let data = bench.dataset(0, 1);
+        assert!(rt.infer(&data).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let (rt, _) = runtime(1, RuntimeConfig::default());
+        let wrong = NipsBenchmark::Nips20.dataset(10, 1);
+        assert!(matches!(
+            rt.infer(&wrong),
+            Err(RuntimeError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn device_memory_is_returned_after_inference() {
+        let (rt, bench) = runtime(
+            2,
+            RuntimeConfig {
+                block_samples: 128,
+                threads_per_pe: 2,
+                verify_fraction: 0.0,
+            },
+        );
+        let before: Vec<u64> = (0..2)
+            .map(|c| rt.device().memory().free_bytes(c).unwrap())
+            .collect();
+        let data = bench.dataset(2000, 23);
+        rt.infer(&data).unwrap();
+        for (c, b) in before.iter().enumerate() {
+            assert_eq!(
+                rt.device().memory().free_bytes(c as u32).unwrap(),
+                *b,
+                "channel {c} leaked device memory"
+            );
+        }
+    }
+}

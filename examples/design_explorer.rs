@@ -1,0 +1,90 @@
+//! Design-space explorer: a what-if tool over the whole system model.
+//!
+//! For a chosen benchmark it sweeps core counts, control threads, block
+//! sizes and PCIe generations, reporting the predicted end-to-end rate
+//! and where the bottleneck sits — the kind of pre-silicon study the
+//! paper's Sections V-B/V-C perform by hand.
+//!
+//! ```sh
+//! cargo run --release -p examples --bin design_explorer [NIPS10|...|NIPS80]
+//! ```
+
+use pcie_model::{PcieGeneration, PcieLink};
+use spn_core::NipsBenchmark;
+use spn_runtime::perf::{simulate, PerfConfig};
+
+fn main() {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|s| NipsBenchmark::from_name(&s))
+        .unwrap_or(NipsBenchmark::Nips40);
+    println!("design space for {}\n", bench.name());
+
+    // 1. Core-count sweep at the paper's setup.
+    println!("cores  rate[M/s]  bottleneck");
+    for pes in [1u32, 2, 4, 6, 8] {
+        let r = simulate(&PerfConfig::paper_setup(bench, pes));
+        println!(
+            "{pes:>5}  {:>9.1}  {}",
+            r.samples_per_sec / 1e6,
+            bottleneck(r.dma_utilization, r.pe_utilization)
+        );
+    }
+
+    // 2. Control threads: where does the second thread stop paying?
+    println!("\ncores  1-thread[M/s]  2-thread[M/s]  gain");
+    for pes in [1u32, 2, 4, 8] {
+        let mut c1 = PerfConfig::paper_setup(bench, pes);
+        c1.threads_per_pe = 1;
+        let mut c2 = c1;
+        c2.threads_per_pe = 2;
+        let (a, b) = (
+            simulate(&c1).samples_per_sec,
+            simulate(&c2).samples_per_sec,
+        );
+        println!(
+            "{pes:>5}  {:>13.1}  {:>13.1}  {:.2}x",
+            a / 1e6,
+            b / 1e6,
+            b / a
+        );
+    }
+
+    // 3. Block size: the transfer-overlap granularity knob.
+    println!("\nblock[samples]  rate[M/s]");
+    for shift in [12u32, 14, 16, 18, 20, 22] {
+        let mut cfg = PerfConfig::paper_setup(bench, 8);
+        cfg.block_samples = 1 << shift;
+        let r = simulate(&cfg);
+        println!("{:>14}  {:>9.1}", 1u64 << shift, r.samples_per_sec / 1e6);
+    }
+
+    // 4. PCIe generations: when does the link stop being the wall?
+    println!("\ngeneration  rate@8cores[M/s]  dma-util");
+    for gen in PcieGeneration::ALL {
+        let mut cfg = PerfConfig::paper_setup(bench, 8);
+        cfg.dma = cfg.dma.with_link(PcieLink::future(gen));
+        let r = simulate(&cfg);
+        println!(
+            "{:>10}  {:>16.1}  {:>7.0}%",
+            gen.name(),
+            r.samples_per_sec / 1e6,
+            r.dma_utilization * 100.0
+        );
+    }
+
+    println!(
+        "\n(paper: on PCIe 3.0 the link saturates first; future generations \
+         shift the bound back toward the accelerators and HBM)"
+    );
+}
+
+fn bottleneck(dma: f64, pe: f64) -> &'static str {
+    if dma > 0.9 {
+        "PCIe DMA (saturated)"
+    } else if pe > 0.9 {
+        "accelerator cores"
+    } else {
+        "neither (latency-bound)"
+    }
+}

@@ -1,0 +1,95 @@
+//! The full toolflow the paper describes: *learn* an SPN from data
+//! (LearnSPN-style), export it to the textual interchange format,
+//! "synthesize" it into a hardware datapath, compare the number formats
+//! (CFP vs LNS vs posit) on accuracy, and estimate FPGA resources.
+//!
+//! ```sh
+//! cargo run --release -p examples --bin learn_and_accelerate
+//! ```
+
+use spn_arith::{CfpFormat, ErrorStats, F64Format, LnsFormat, PositFormat, SpnNumber};
+use spn_core::{generate_bag_of_words, learn_spn, to_text, BagOfWordsConfig, Evaluator, LearnParams};
+use spn_hw::{
+    datapath_cost, design_cost, ArithCosts, DatapathProgram, OpLatencies, PipelineSchedule,
+    PlatformCosts,
+};
+
+fn main() {
+    // Synthetic clustered bag-of-words data (stands in for the UCI NIPS
+    // corpus): 12 word-count features with 3 latent topics.
+    let cfg = BagOfWordsConfig {
+        num_features: 12,
+        domain: 32,
+        num_clusters: 3,
+        concentration: 1.5,
+        seed: 7,
+    };
+    let train = generate_bag_of_words(&cfg, 4000);
+    let test = generate_bag_of_words(&BagOfWordsConfig { seed: 8, ..cfg }, 1000);
+
+    // Structure learning: independence tests -> products, clustering ->
+    // sums, histograms at the leaves (Section II-A of the paper).
+    let spn = learn_spn(&train, &LearnParams::default(), "learned-bow").expect("learnable");
+    println!("learned SPN: {:?}", spn.stats());
+
+    let mut ev = Evaluator::new(&spn);
+    let mean_ll: f64 =
+        test.rows().map(|r| ev.log_likelihood_bytes(r)).sum::<f64>() / test.num_samples() as f64;
+    println!("held-out mean log-likelihood: {mean_ll:.3}");
+
+    // Export: this is the artifact the hardware generator consumes.
+    let text = to_text(&spn);
+    println!("\ntextual export: {} bytes (first line: {})",
+        text.len(),
+        text.lines().next().unwrap_or(""));
+
+    // "Synthesis": compile to a datapath and schedule the pipeline.
+    let prog = DatapathProgram::compile(&spn);
+    let sched = PipelineSchedule::asap(&prog, &OpLatencies::cfp());
+    let counts = prog.op_counts();
+    println!(
+        "\ndatapath: {} ops ({} mul, {} add, {} lookups), pipeline depth {} cycles \
+         ({:.0} ns at 225 MHz)",
+        prog.ops().len(),
+        counts.total_muls(),
+        counts.adds,
+        counts.lookups,
+        sched.depth,
+        sched.latency_secs(225_000_000) * 1e9
+    );
+
+    // Number-format study (the [4] methodology): accuracy vs f64.
+    println!("\nformat accuracy on {} held-out samples:", test.num_samples());
+    report_format(&prog, &test, "CFP(8,22)", &CfpFormat::paper_default());
+    report_format(&prog, &test, "LNS(12.20)", &LnsFormat::paper_default());
+    report_format(&prog, &test, "posit(32,2)", &PositFormat::paper_default());
+
+    // Resource estimate for a 4-core design of this learned SPN.
+    let dp = datapath_cost(&counts, &ArithCosts::cfp_this_work(), sched.balance_registers);
+    let total = design_cost(dp, &PlatformCosts::hbm_this_work(), 4, 4);
+    println!(
+        "\nestimated 4-core HBM design: {:.1} kLUT logic, {:.1} kLUT mem, \
+         {:.1} kRegs, {:.0} BRAM, {:.0} DSP",
+        total.klut_logic, total.klut_mem, total.kregs, total.bram, total.dsp
+    );
+}
+
+fn report_format<F: SpnNumber>(
+    prog: &DatapathProgram,
+    test: &spn_core::Dataset,
+    label: &str,
+    format: &F,
+) {
+    let mut stats = ErrorStats::new();
+    for row in test.rows() {
+        let reference = prog.execute(&F64Format, row);
+        let approx = prog.execute(format, row);
+        stats.record(reference, approx);
+    }
+    println!(
+        "  {label:<12} max rel err {:.2e}, mean rel err {:.2e}, underflows {}",
+        stats.max_relative(),
+        stats.mean_relative(),
+        stats.underflows
+    );
+}

@@ -1,0 +1,1 @@
+// examples crate; binaries live in examples/ subdirectory

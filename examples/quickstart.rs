@@ -1,0 +1,56 @@
+//! Quickstart: build a Sum-Product Network, validate it, run the three
+//! query types, and round-trip the SPFlow-style textual format.
+//!
+//! ```sh
+//! cargo run --release -p examples --bin quickstart
+//! ```
+
+use spn_core::{from_text, to_text, Evaluator, Leaf, SpnBuilder};
+
+fn main() {
+    // A tiny weather model over two byte variables:
+    //   X0 = sky (0 = clear, 1 = cloudy), X1 = ground (0 = dry, 1 = wet).
+    // Two latent regimes (fair / stormy) mixed 70/30.
+    let mut b = SpnBuilder::new(2);
+    let fair_sky = b.leaf(0, Leaf::byte_histogram(&[0.9, 0.1]));
+    let fair_ground = b.leaf(1, Leaf::byte_histogram(&[0.8, 0.2]));
+    let storm_sky = b.leaf(0, Leaf::byte_histogram(&[0.2, 0.8]));
+    let storm_ground = b.leaf(1, Leaf::byte_histogram(&[0.1, 0.9]));
+    let fair = b.product(vec![fair_sky, fair_ground]);
+    let storm = b.product(vec![storm_sky, storm_ground]);
+    let root = b.sum(vec![(0.7, fair), (0.3, storm)]);
+    // `finish` validates completeness, decomposability and weights.
+    let spn = b.finish(root, "weather").expect("structurally valid");
+
+    println!("built '{}' with {} nodes: {:?}\n", spn.name, spn.len(), spn.stats());
+
+    let mut ev = Evaluator::new(&spn);
+
+    // 1. Joint probability of complete evidence.
+    println!("joint probabilities:");
+    for sky in 0..2u8 {
+        for ground in 0..2u8 {
+            let p = ev.log_likelihood_bytes(&[sky, ground]).exp();
+            println!("  P(sky={sky}, ground={ground}) = {p:.4}");
+        }
+    }
+
+    // 2. Marginal: what is P(ground = wet), summing out the sky? This is
+    // the "handling uncertainty" capability the paper motivates SPNs with.
+    let p_wet = ev.log_marginal(&[None, Some(1.0)]).exp();
+    println!("\nP(ground=wet) marginalizing sky = {p_wet:.4}");
+
+    // 3. MPE: most probable explanation given the ground is wet.
+    let mpe = ev.mpe(&[None, Some(1.0)]);
+    println!("most probable sky given wet ground: {:?}", mpe[0]);
+
+    // Textual interchange (SPFlow-compatible): serialize and re-parse.
+    let text = to_text(&spn);
+    println!("\ntextual form:\n{text}");
+    let back = from_text(&text, "weather-reparsed", Some(2)).expect("round-trip parses");
+    let mut ev2 = Evaluator::new(&back);
+    let a = ev.log_likelihood_bytes(&[1, 1]);
+    let b2 = ev2.log_likelihood_bytes(&[1, 1]);
+    assert_eq!(a, b2, "round-trip preserves semantics");
+    println!("round-trip OK: log P(1,1) = {a:.6} in both");
+}

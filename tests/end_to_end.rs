@@ -1,0 +1,213 @@
+//! Integration: the full paper pipeline, spanning every crate.
+//!
+//! SPN (spn-core) → datapath compilation (spn-hw) → virtual device with
+//! per-channel HBM + register files → multi-threaded runtime
+//! (spn-runtime) → results verified against the reference evaluator,
+//! in multiple arithmetic formats (spn-arith).
+
+use spn_arith::AnyFormat;
+use spn_core::{Evaluator, NipsBenchmark};
+use spn_hw::{AcceleratorConfig, DatapathProgram};
+use spn_runtime::{RuntimeConfig, SpnRuntime, VirtualDevice};
+use std::sync::Arc;
+
+fn run_pipeline(bench: NipsBenchmark, format: AnyFormat, pes: u32, samples: usize) -> (Vec<f64>, Vec<f64>) {
+    let spn = bench.build_spn();
+    let prog = DatapathProgram::compile(&spn);
+    let device = Arc::new(VirtualDevice::new(
+        prog,
+        format,
+        AcceleratorConfig::paper_default(),
+        pes,
+        32 << 20,
+    ));
+    let rt = SpnRuntime::new(
+        device,
+        RuntimeConfig {
+            block_samples: 1000,
+            threads_per_pe: 2,
+            verify_fraction: 0.0,
+        },
+    );
+    let data = bench.dataset(samples, 0xFEED);
+    let got = rt.infer(&data).expect("pipeline runs");
+    let mut ev = Evaluator::new(&spn);
+    let want: Vec<f64> = data.rows().map(|r| ev.log_likelihood_bytes(r).exp()).collect();
+    (got, want)
+}
+
+#[test]
+fn cfp_pipeline_matches_reference_all_benchmarks() {
+    for bench in spn_core::ALL_BENCHMARKS {
+        let (got, want) = run_pipeline(bench, AnyFormat::paper_default(), 2, 512);
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            let rel = ((g - w) / w).abs();
+            assert!(rel < 1e-4, "{} sample {i}: {g} vs {w}", bench.name());
+        }
+    }
+}
+
+#[test]
+fn lns_pipeline_matches_reference() {
+    let (got, want) = run_pipeline(
+        NipsBenchmark::Nips30,
+        AnyFormat::from_name("lns").unwrap(),
+        4,
+        800,
+    );
+    for (g, w) in got.iter().zip(&want) {
+        assert!(((g - w) / w).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn f64_pipeline_is_exact() {
+    let (got, want) = run_pipeline(NipsBenchmark::Nips10, AnyFormat::F64, 3, 700);
+    for (g, w) in got.iter().zip(&want) {
+        // The datapath computes weight-folded trees; ordering differences
+        // against the evaluator's log-domain path stay within a few ulps.
+        assert!(((g - w) / w).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn many_pes_many_small_blocks() {
+    // Stress the block/thread bookkeeping: 8 PEs, tiny blocks, odd count.
+    let (got, want) = run_pipeline(NipsBenchmark::Nips10, AnyFormat::paper_default(), 8, 3_001);
+    assert_eq!(got.len(), 3_001);
+    for (g, w) in got.iter().zip(&want) {
+        assert!(((g - w) / w).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn runtime_reports_shape_mismatch_cleanly() {
+    let spn = NipsBenchmark::Nips10.build_spn();
+    let prog = DatapathProgram::compile(&spn);
+    let device = Arc::new(VirtualDevice::new(
+        prog,
+        AnyFormat::paper_default(),
+        AcceleratorConfig::paper_default(),
+        1,
+        1 << 20,
+    ));
+    let rt = SpnRuntime::new(device, RuntimeConfig::default());
+    let wrong = NipsBenchmark::Nips40.dataset(8, 1);
+    assert!(rt.infer(&wrong).is_err());
+}
+
+#[test]
+fn device_memory_restored_after_big_run() {
+    let spn = NipsBenchmark::Nips20.build_spn();
+    let prog = DatapathProgram::compile(&spn);
+    let device = Arc::new(VirtualDevice::new(
+        prog,
+        AnyFormat::paper_default(),
+        AcceleratorConfig::paper_default(),
+        4,
+        8 << 20,
+    ));
+    let before: Vec<u64> = (0..4).map(|c| device.memory().free_bytes(c).unwrap()).collect();
+    let rt = SpnRuntime::new(
+        Arc::clone(&device),
+        RuntimeConfig {
+            block_samples: 512,
+            threads_per_pe: 3,
+            verify_fraction: 0.0,
+        },
+    );
+    let data = NipsBenchmark::Nips20.dataset(20_000, 5);
+    rt.infer(&data).unwrap();
+    for (c, b) in before.iter().enumerate() {
+        assert_eq!(device.memory().free_bytes(c as u32).unwrap(), *b);
+    }
+}
+
+#[test]
+fn fault_injection_is_caught_by_verification() {
+    use spn_runtime::{FaultInjection, RuntimeError};
+    let bench = NipsBenchmark::Nips10;
+    let prog = DatapathProgram::compile(&bench.build_spn());
+    let device = VirtualDevice::new(
+        prog,
+        AnyFormat::paper_default(),
+        AcceleratorConfig::paper_default(),
+        2,
+        16 << 20,
+    )
+    .with_faults(FaultInjection {
+        flip_probability: 0.05,
+        seed: 99,
+    });
+    let rt = SpnRuntime::new(
+        Arc::new(device),
+        RuntimeConfig {
+            block_samples: 256,
+            threads_per_pe: 1,
+            verify_fraction: 1.0, // check every sample
+        },
+    );
+    let data = bench.dataset(2_000, 4);
+    match rt.infer(&data) {
+        Err(RuntimeError::VerificationFailed { index, got, expected }) => {
+            assert!(got != expected, "sample {index} flagged");
+        }
+        other => panic!("faults should be detected, got {other:?}"),
+    }
+}
+
+#[test]
+fn fault_free_device_passes_full_verification() {
+    let bench = NipsBenchmark::Nips10;
+    let prog = DatapathProgram::compile(&bench.build_spn());
+    let device = VirtualDevice::new(
+        prog,
+        AnyFormat::paper_default(),
+        AcceleratorConfig::paper_default(),
+        2,
+        16 << 20,
+    );
+    let rt = SpnRuntime::new(
+        Arc::new(device),
+        RuntimeConfig {
+            block_samples: 256,
+            threads_per_pe: 2,
+            verify_fraction: 1.0,
+        },
+    );
+    let data = bench.dataset(2_000, 4);
+    assert!(rt.infer(&data).is_ok());
+}
+
+#[test]
+fn sparse_verification_has_bounded_cost_and_still_catches_dense_faults() {
+    use spn_runtime::{FaultInjection, RuntimeError};
+    let bench = NipsBenchmark::Nips10;
+    let prog = DatapathProgram::compile(&bench.build_spn());
+    // Corrupt (nearly) everything; verify only 1% — detection still
+    // certain because every checked sample is corrupted.
+    let device = VirtualDevice::new(
+        prog,
+        AnyFormat::paper_default(),
+        AcceleratorConfig::paper_default(),
+        1,
+        16 << 20,
+    )
+    .with_faults(FaultInjection {
+        flip_probability: 1.0,
+        seed: 7,
+    });
+    let rt = SpnRuntime::new(
+        Arc::new(device),
+        RuntimeConfig {
+            block_samples: 512,
+            threads_per_pe: 1,
+            verify_fraction: 0.01,
+        },
+    );
+    let data = bench.dataset(5_000, 8);
+    assert!(matches!(
+        rt.infer(&data),
+        Err(RuntimeError::VerificationFailed { .. })
+    ));
+}
