@@ -7,27 +7,30 @@ use spn_arith::{AnyFormat, CfpFormat};
 use spn_core::NipsBenchmark;
 use spn_hw::{AcceleratorConfig, DatapathProgram};
 use spn_runtime::perf::{simulate, PerfConfig};
-use spn_runtime::{RuntimeConfig, SpnRuntime, VirtualDevice};
+use spn_runtime::{JobOptions, RuntimeConfig, Scheduler, SpnRuntime, VirtualDevice};
 use std::sync::Arc;
 
-fn benches(c: &mut Criterion) {
+fn make_device(pes: u32) -> (Arc<VirtualDevice>, NipsBenchmark) {
     let bench = NipsBenchmark::Nips10;
     let prog = DatapathProgram::compile(&bench.build_spn());
     let device = Arc::new(VirtualDevice::new(
         prog,
         AnyFormat::Cfp(CfpFormat::paper_default()),
         AcceleratorConfig::paper_default(),
-        4,
+        pes,
         16 << 20,
     ));
-    let rt = SpnRuntime::new(
-        device,
-        RuntimeConfig {
-            block_samples: 4096,
-            threads_per_pe: 2,
-            verify_fraction: 0.0,
-        },
-    );
+    (device, bench)
+}
+
+fn benches(c: &mut Criterion) {
+    let (device, bench) = make_device(4);
+    let config = RuntimeConfig::builder()
+        .block_samples(4096)
+        .threads_per_pe(2)
+        .build()
+        .expect("valid config");
+    let rt = SpnRuntime::new(Arc::clone(&device), config);
     let data = bench.dataset(65_536, 3);
 
     let mut g = c.benchmark_group("runtime");
@@ -37,6 +40,28 @@ fn benches(c: &mut Criterion) {
     g.throughput(Throughput::Elements(data.num_samples() as u64));
     g.bench_function("functional_infer_4pe", |b| {
         b.iter(|| black_box(rt.infer(black_box(&data)).unwrap()))
+    });
+    // The concurrent path: 4 jobs multiplexed across the same PEs by the
+    // persistent scheduler pool (per-call cost includes no thread spawns).
+    let sched = Scheduler::new(Arc::clone(&device), config).expect("scheduler starts");
+    let quarter: Vec<Arc<_>> = (0..4)
+        .map(|s| Arc::new(bench.dataset(16_384, s)))
+        .collect();
+    g.throughput(Throughput::Elements(4 * 16_384));
+    g.bench_function("scheduler_4_concurrent_jobs_4pe", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = quarter
+                .iter()
+                .map(|d| {
+                    sched
+                        .submit_blocking(Arc::clone(d), JobOptions::default())
+                        .unwrap()
+                })
+                .collect();
+            for h in handles {
+                black_box(h.wait().unwrap());
+            }
+        })
     });
     g.finish();
 

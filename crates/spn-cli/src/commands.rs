@@ -14,7 +14,9 @@ use spn_hw::{
     PipelineSchedule, PlatformCosts,
 };
 use spn_runtime::perf::{simulate, PerfConfig};
+use spn_runtime::prelude::*;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Command failure: message for stderr, non-zero exit.
 #[derive(Debug)]
@@ -73,6 +75,10 @@ COMMANDS:
              Draw samples from the model as CSV.
   simulate   --benchmark NIPS10 [--pes N] [--threads T] [--block B] [--no-transfers true] [--trace FILE.json]
              Virtual-time end-to-end performance of the accelerator card.
+  accelerate --benchmark NIPS10 [--pes N] [--threads T] [--block B] [--samples S] [--jobs J]
+             [--fault-rate P] [--retries R] [--seed S] [--metrics FILE.json]
+             Drive the functional virtual card through the concurrent
+             scheduler (J jobs in flight) and report a metrics snapshot.
   emit       --model FILE.spn [--prefix PATH]
              Emit the structural Verilog netlist and ROM images.
 ";
@@ -87,6 +93,7 @@ pub fn run(tokens: Vec<String>) -> Result<CmdResult, CmdError> {
         Some("infer") => cmd_infer(&args),
         Some("sample") => cmd_sample(&args),
         Some("simulate") => cmd_simulate(&args),
+        Some("accelerate") => cmd_accelerate(&args),
         Some("emit") => cmd_emit(&args),
         Some(other) => Err(CmdError(format!("unknown command '{other}'\n\n{USAGE}"))),
         None => Ok(CmdResult::text(USAGE.to_string())),
@@ -290,6 +297,107 @@ fn cmd_simulate(args: &Args) -> Result<CmdResult, CmdError> {
     )})
 }
 
+/// Drive the *functional* virtual card through the concurrent
+/// scheduler: several jobs in flight at once, per-block retry under
+/// optional fault injection, and a JSON metrics snapshot at the end —
+/// the submit/wait runtime API, end to end, from the command line.
+fn cmd_accelerate(args: &Args) -> Result<CmdResult, CmdError> {
+    args.check_known(&[
+        "benchmark", "pes", "threads", "block", "samples", "jobs", "fault-rate", "retries",
+        "seed", "metrics",
+    ])?;
+    let bench = NipsBenchmark::from_name(args.get("benchmark").unwrap_or("NIPS10"))
+        .ok_or_else(|| CmdError("unknown benchmark".into()))?;
+    let pes = args.get_or("pes", 4u32)?;
+    let jobs = args.get_or("jobs", 2usize)?;
+    let samples = args.get_or("samples", 10_000usize)?;
+    let seed = args.get_or("seed", 1u64)?;
+    let fault_rate = args.get_or("fault-rate", 0.0f64)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(CmdError("--fault-rate must lie in [0, 1]".into()));
+    }
+    let config = RuntimeConfig::builder()
+        .block_samples(args.get_or("block", 2048u64)?)
+        .threads_per_pe(args.get_or("threads", 2u32)?)
+        .build()
+        .map_err(|e| CmdError(e.to_string()))?;
+    let opts = JobOptions::builder()
+        .max_retries(args.get_or("retries", 3u32)?)
+        .build()
+        .map_err(|e| CmdError(e.to_string()))?;
+
+    let prog = DatapathProgram::compile(&bench.build_spn());
+    let mut device = VirtualDevice::new(
+        prog,
+        AnyFormat::paper_default(),
+        spn_hw::AcceleratorConfig::paper_default(),
+        pes,
+        64 << 20,
+    );
+    if fault_rate > 0.0 {
+        device = device.with_faults(FaultInjection {
+            launch_fail_probability: fault_rate,
+            seed,
+            ..FaultInjection::default()
+        });
+    }
+    let scheduler =
+        Scheduler::new(Arc::new(device), config).map_err(|e| CmdError(e.to_string()))?;
+
+    let t0 = std::time::Instant::now();
+    let mut handles = Vec::new();
+    for j in 0..jobs {
+        let data = Arc::new(bench.dataset(samples, seed.wrapping_add(j as u64)));
+        handles.push(
+            scheduler
+                .submit_blocking(data, opts)
+                .map_err(|e| CmdError(e.to_string()))?,
+        );
+    }
+    let mut out = String::new();
+    let mut ok_jobs = 0usize;
+    for h in handles {
+        let id = h.id();
+        match h.wait() {
+            Ok(r) => {
+                ok_jobs += 1;
+                let _ = writeln!(
+                    out,
+                    "job {id}: ok, {} samples, p[0] = {:.6e}",
+                    r.len(),
+                    r.first().copied().unwrap_or(f64::NAN)
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "job {id}: FAILED: {e}");
+            }
+        }
+    }
+    let host_secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let snap = scheduler.metrics_snapshot();
+    let _ = writeln!(
+        out,
+        "{ok_jobs}/{jobs} jobs ok: {} samples on {pes} PEs in {host_secs:.2}s host time \
+         ({:.2} M samples/s), {} blocks, {} retries",
+        ok_jobs * samples,
+        (ok_jobs * samples) as f64 / host_secs / 1e6,
+        snap.blocks_executed,
+        snap.block_retries,
+    );
+    let json = snap.to_json();
+    let files = match args.get("metrics") {
+        Some(path) => {
+            let _ = writeln!(out, "wrote metrics snapshot to {path}");
+            vec![(path.to_string(), json)]
+        }
+        None => {
+            let _ = write!(out, "metrics: {json}");
+            Vec::new()
+        }
+    };
+    Ok(CmdResult { stdout: out, files })
+}
+
 fn cmd_emit(args: &Args) -> Result<CmdResult, CmdError> {
     args.check_known(&["model", "prefix"])?;
     let spn = load_model(args)?;
@@ -360,6 +468,38 @@ mod tests {
         let r = run_tokens("simulate --benchmark NIPS10 --pes 2 --samples 2097152").unwrap();
         assert!(r.stdout.contains("M samples/s"));
         assert!(r.stdout.contains("NIPS10 on 2 PEs"));
+    }
+
+    #[test]
+    fn accelerate_runs_concurrent_jobs_and_prints_metrics() {
+        let r = run_tokens(
+            "accelerate --benchmark NIPS10 --pes 2 --jobs 3 --samples 300 --block 64 --threads 1",
+        )
+        .unwrap();
+        assert!(r.stdout.contains("3/3 jobs ok"), "stdout: {}", r.stdout);
+        assert!(r.stdout.contains("\"jobs_completed\": 3"));
+        assert!(r.stdout.contains("\"blocks_executed\": 15")); // 3 x ceil(300/64)
+        assert!(r.stdout.contains("\"block_retries\": 0"));
+    }
+
+    #[test]
+    fn accelerate_survives_faults_and_writes_metrics_file() {
+        let r = run_tokens(
+            "accelerate --benchmark NIPS10 --pes 2 --jobs 2 --samples 200 --block 64 \
+             --fault-rate 0.3 --retries 50 --seed 5 --metrics /tmp/spn_metrics.json",
+        )
+        .unwrap();
+        assert!(r.stdout.contains("2/2 jobs ok"), "stdout: {}", r.stdout);
+        assert_eq!(r.files.len(), 1);
+        assert_eq!(r.files[0].0, "/tmp/spn_metrics.json");
+        let snap: serde_json::Value = serde_json::from_str(&r.files[0].1).unwrap();
+        assert_eq!(snap["jobs_completed"], 2);
+        assert!(snap["block_retries"].as_u64().unwrap() > 0, "p=0.3 retries");
+    }
+
+    #[test]
+    fn accelerate_rejects_bad_fault_rate() {
+        assert!(run_tokens("accelerate --fault-rate 1.5").is_err());
     }
 
     #[test]

@@ -17,13 +17,21 @@ use spn_hw::{AcceleratorConfig, AcceleratorCore, DatapathProgram, Reg, RegisterF
 use std::sync::Arc;
 
 /// Transient-fault injection: each result independently suffers a
-/// single-bit flip with the given probability. Models SEUs / marginal
-/// timing on the real card; exists so the runtime's verification
-/// sampling has something real to catch.
-#[derive(Debug, Clone, Copy)]
+/// single-bit flip with `flip_probability`, and each launch
+/// independently aborts with a [`DeviceError::TransientFault`] with
+/// `launch_fail_probability`. Models SEUs / marginal timing on the real
+/// card; exists so the runtime's verification sampling has something
+/// real to catch and so the scheduler's per-block retry logic can be
+/// exercised deterministically.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct FaultInjection {
-    /// Probability that one result value is corrupted.
+    /// Probability that one result value is corrupted (silent fault —
+    /// caught only by verification sampling).
     pub flip_probability: f64,
+    /// Probability that a launch aborts with a loud, transient
+    /// [`DeviceError::TransientFault`] (caught and retried by the
+    /// scheduler).
+    pub launch_fail_probability: f64,
     /// Deterministic seed.
     pub seed: u64,
 }
@@ -44,6 +52,21 @@ pub enum DeviceError {
     OutOfBounds,
     /// A register-file interaction failed.
     Register(String),
+    /// The launch aborted transiently (SEU, marginal timing, dropped
+    /// DMA descriptor). Retrying the same block is expected to succeed;
+    /// the scheduler does exactly that, up to
+    /// [`crate::job::JobOptions::max_retries`] times.
+    TransientFault {
+        /// PE on which the launch aborted.
+        pe: u32,
+    },
+}
+
+impl DeviceError {
+    /// Whether retrying the failed operation can reasonably succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DeviceError::TransientFault { .. })
+    }
 }
 
 impl std::fmt::Display for DeviceError {
@@ -56,6 +79,9 @@ impl std::fmt::Display for DeviceError {
             ),
             DeviceError::OutOfBounds => write!(f, "device memory access out of bounds"),
             DeviceError::Register(e) => write!(f, "register access: {e}"),
+            DeviceError::TransientFault { pe } => {
+                write!(f, "transient fault on PE {pe}: launch aborted (retryable)")
+            }
         }
     }
 }
@@ -128,6 +154,7 @@ impl VirtualDevice {
     /// Enable transient-fault injection (testing/chaos mode).
     pub fn with_faults(mut self, faults: FaultInjection) -> Self {
         assert!((0.0..=1.0).contains(&faults.flip_probability));
+        assert!((0.0..=1.0).contains(&faults.launch_fail_probability));
         self.fault_rng = Mutex::new(SplitMix64::new(faults.seed));
         self.faults = Some(faults);
         self
@@ -226,6 +253,15 @@ impl VirtualDevice {
                     pe,
                     buffer_channel: buf.channel,
                 });
+            }
+        }
+        // Loud transient faults: the launch aborts before touching the
+        // register file; the block is untouched and can be retried.
+        if let Some(f) = self.faults {
+            if f.launch_fail_probability > 0.0
+                && self.fault_rng.lock().next_f64() < f.launch_fail_probability
+            {
+                return Err(DeviceError::TransientFault { pe });
             }
         }
         let mut inst = inst.lock();
@@ -363,6 +399,47 @@ mod tests {
             len: 64,
         };
         assert!(dev.copy_from_device(bogus).is_err());
+    }
+
+    #[test]
+    fn transient_launch_faults_are_loud_and_retryable() {
+        let bench = NipsBenchmark::Nips10;
+        let prog = DatapathProgram::compile(&bench.build_spn());
+        let dev = VirtualDevice::new(
+            prog,
+            AnyFormat::Cfp(CfpFormat::paper_default()),
+            AcceleratorConfig::paper_default(),
+            1,
+            16 * MIB,
+        )
+        .with_faults(FaultInjection {
+            launch_fail_probability: 0.5,
+            seed: 11,
+            ..FaultInjection::default()
+        });
+        let data = bench.dataset(8, 3);
+        let inb = dev.memory().alloc(0, data.raw().len() as u64).unwrap();
+        let outb = dev.memory().alloc(0, 8 * 8).unwrap();
+        dev.copy_to_device(inb, data.raw()).unwrap();
+        let (mut failures, mut successes) = (0u32, 0u32);
+        for _ in 0..64 {
+            match dev.launch(0, inb, outb, 8) {
+                Ok(()) => successes += 1,
+                Err(e @ DeviceError::TransientFault { pe: 0 }) => {
+                    assert!(e.is_transient());
+                    failures += 1;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(failures > 0, "faults should fire at p=0.5");
+        assert!(successes > 0, "retries should eventually succeed");
+        // A successful launch after failures still produces correct bytes.
+        let raw = dev.copy_from_device(outb).unwrap();
+        let mut ev = Evaluator::new(&bench.build_spn());
+        let got = f64::from_le_bytes(raw[0..8].try_into().unwrap());
+        let reference = ev.log_likelihood_bytes(data.row(0)).exp();
+        assert!(((got - reference) / reference).abs() < 1e-4);
     }
 
     #[test]

@@ -1,11 +1,15 @@
-//! Job decomposition: splitting an inference job into block-sized
-//! sub-jobs.
+//! Job decomposition and per-job options.
 //!
 //! The paper's runtime (Section IV-B) breaks each compute job into
 //! sub-jobs "according to a user-specified block-size"; control threads
 //! then pump blocks through transfer → execute → readback. Blocks are
 //! the unit of overlap: while one block computes, another transfers.
+//! With the [`crate::scheduler::Scheduler`], blocks are also the unit
+//! of *multiplexing*: blocks from many concurrent jobs interleave on
+//! the same PEs, and [`JobOptions`] carries the per-job knobs (retry
+//! budget, backoff, PE restriction).
 
+use crate::runtime::RuntimeError;
 use serde::{Deserialize, Serialize};
 
 /// One contiguous block of samples within a job.
@@ -65,9 +69,110 @@ pub fn assign_to_pes(blocks: &[Block], pes: u32) -> Vec<Vec<Block>> {
     per_pe
 }
 
+/// Per-job options for [`crate::scheduler::Scheduler::submit`].
+///
+/// Construct via [`JobOptions::builder`] (validating) or rely on
+/// [`JobOptions::default`]. All fields are public for read access;
+/// the builder keeps invalid combinations out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobOptions {
+    /// Per-block retry budget for *transient* failures
+    /// ([`crate::DeviceError::TransientFault`] and out-of-memory races
+    /// against other in-flight jobs). `0` fails the job on the first
+    /// transient error.
+    pub max_retries: u32,
+    /// Base backoff between retry attempts, in microseconds. The
+    /// actual sleep grows linearly with the attempt number and is
+    /// bounded (see [`crate::scheduler`]); `0` retries immediately.
+    pub retry_backoff_us: u64,
+    /// Restrict the job to the first `n` PEs (`None` = all PEs).
+    /// The scaling-experiment knob behind
+    /// [`crate::SpnRuntime::infer_on_pes`].
+    pub num_pes: Option<u32>,
+}
+
+impl Default for JobOptions {
+    fn default() -> Self {
+        JobOptions {
+            max_retries: 3,
+            retry_backoff_us: 200,
+            num_pes: None,
+        }
+    }
+}
+
+impl JobOptions {
+    /// Fluent, validating builder.
+    pub fn builder() -> JobOptionsBuilder {
+        JobOptionsBuilder {
+            opts: JobOptions::default(),
+        }
+    }
+}
+
+/// Builder for [`JobOptions`]; see [`JobOptions::builder`].
+#[derive(Debug, Clone)]
+pub struct JobOptionsBuilder {
+    opts: JobOptions,
+}
+
+impl JobOptionsBuilder {
+    /// Per-block transient-failure retry budget.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.opts.max_retries = n;
+        self
+    }
+
+    /// Base backoff between retries, in microseconds.
+    pub fn retry_backoff_us(mut self, us: u64) -> Self {
+        self.opts.retry_backoff_us = us;
+        self
+    }
+
+    /// Restrict the job to the first `n` PEs.
+    pub fn num_pes(mut self, n: u32) -> Self {
+        self.opts.num_pes = Some(n);
+        self
+    }
+
+    /// Validate and build. `num_pes == 0` is rejected here; an
+    /// out-of-range count (greater than the device's PE count) is
+    /// rejected at submission, where the device is known.
+    pub fn build(self) -> Result<JobOptions, RuntimeError> {
+        if self.opts.num_pes == Some(0) {
+            return Err(RuntimeError::InvalidConfig {
+                reason: "num_pes must be at least 1".into(),
+            });
+        }
+        Ok(self.opts)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn job_options_builder_validates() {
+        let o = JobOptions::builder()
+            .max_retries(7)
+            .retry_backoff_us(50)
+            .num_pes(2)
+            .build()
+            .unwrap();
+        assert_eq!(o.max_retries, 7);
+        assert_eq!(o.retry_backoff_us, 50);
+        assert_eq!(o.num_pes, Some(2));
+        assert!(matches!(
+            JobOptions::builder().num_pes(0).build(),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn job_options_default_is_buildable() {
+        assert_eq!(JobOptions::builder().build().unwrap(), JobOptions::default());
+    }
 
     #[test]
     fn exact_division() {

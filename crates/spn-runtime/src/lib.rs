@@ -9,26 +9,79 @@
 //!   byte storage, register files, bit-accurate cores;
 //! * [`runtime`] — the TaPaSCo-style host runtime: device queries, job
 //!   splitting, real control threads overlapping transfer and compute;
-//! * [`job`] — block decomposition;
+//! * [`scheduler`] — the concurrent multi-job scheduler: a persistent
+//!   worker pool, `submit`/`wait` job handles, per-block fault retry,
+//!   round-robin fairness and a bounded backpressure queue;
+//! * [`metrics`] — atomic runtime counters/gauges with JSON snapshots;
+//! * [`job`] — block decomposition and per-job options;
 //! * [`perf`] — the virtual-time end-to-end simulation behind Figs. 4/6;
 //! * [`analysis`] — the Fig. 5 scaling-potential study and the §V-C
 //!   PCIe-generation outlook;
 //! * [`streaming`] — the 100G in-network comparison model (\[7\]).
+//!
+//! ## Runtime API in one example
+//!
+//! ```no_run
+//! use spn_runtime::prelude::*;
+//! use std::sync::Arc;
+//! # fn device() -> Arc<VirtualDevice> { unimplemented!() }
+//! # fn dataset() -> Arc<spn_core::Dataset> { unimplemented!() }
+//!
+//! let config = RuntimeConfig::builder()
+//!     .block_samples(4096)
+//!     .threads_per_pe(2)
+//!     .build()?;
+//! let scheduler = Scheduler::new(device(), config)?;
+//!
+//! // Submit as many jobs as you like; they share the PEs fairly.
+//! let a = scheduler.submit(dataset(), JobOptions::default())?;
+//! let b = scheduler.submit(
+//!     dataset(),
+//!     JobOptions::builder().max_retries(8).build()?,
+//! )?;
+//!
+//! println!("job {} progress: {:?}", a.id(), a.progress());
+//! let results_b = b.wait()?;   // per-sample probabilities
+//! let results_a = a.wait()?;
+//!
+//! println!("{}", scheduler.metrics_snapshot().to_json());
+//! # let _ = (results_a, results_b);
+//! # Ok::<(), RuntimeError>(())
+//! ```
 
 pub mod analysis;
 pub mod device;
 pub mod job;
 pub mod memmgr;
+pub mod metrics;
 pub mod perf;
 pub mod runtime;
+pub mod scheduler;
 pub mod streaming;
 pub mod trace;
 
 pub use analysis::{hbm_limits, max_cores_by_hbm, pcie_outlook, required_bandwidth, HbmLimits, OutlookRow};
 pub use device::{DeviceError, FaultInjection, VirtualDevice};
-pub use job::{assign_to_pes, split_into_blocks, Block};
+pub use job::{assign_to_pes, split_into_blocks, Block, JobOptions, JobOptionsBuilder};
 pub use memmgr::{AllocError, DeviceBuffer, DeviceMemoryManager};
+pub use metrics::{JobOutcome, MetricsRegistry, MetricsSnapshot};
 pub use perf::{scaling_series, simulate, simulate_traced, PerfConfig, PerfResult};
 pub use trace::{Span, SpanKind, Trace};
-pub use runtime::{RuntimeConfig, RuntimeError, SpnRuntime};
+pub use runtime::{RuntimeConfig, RuntimeConfigBuilder, RuntimeError, SpnRuntime};
+pub use scheduler::{JobHandle, JobStatus, Scheduler};
 pub use streaming::{min_replication_for_line_rate, simulate_streaming, StreamingModel, StreamingSimConfig, StreamingSimResult};
+
+/// One-stop import for the runtime API: scheduler, job handles,
+/// options, metrics, errors and the device types they operate on.
+///
+/// ```
+/// use spn_runtime::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::device::{DeviceError, FaultInjection, VirtualDevice};
+    pub use crate::job::{Block, JobOptions, JobOptionsBuilder};
+    pub use crate::memmgr::{AllocError, DeviceBuffer, DeviceMemoryManager};
+    pub use crate::metrics::{JobOutcome, MetricsRegistry, MetricsSnapshot};
+    pub use crate::runtime::{RuntimeConfig, RuntimeConfigBuilder, RuntimeError, SpnRuntime};
+    pub use crate::scheduler::{JobHandle, JobStatus, Scheduler};
+}

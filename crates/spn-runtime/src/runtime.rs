@@ -11,19 +11,32 @@
 //!   thread B waits on the accelerator computing block *n* — the
 //!   overlap scheme that hides transfer time.
 //!
+//! Since the scheduler redesign, the control threads live in a
+//! persistent [`crate::scheduler::Scheduler`] worker pool owned by the
+//! runtime, and [`SpnRuntime::infer`] is a thin
+//! `submit_blocking` + `wait` wrapper around it — the blocking
+//! single-job API and the concurrent multi-job API share one code
+//! path. Use [`SpnRuntime::scheduler`] (or build a
+//! [`crate::Scheduler`] directly) for concurrent submission, job
+//! handles and metrics.
+//!
 //! These are real OS threads moving real bytes through the
 //! [`VirtualDevice`]; the results are bit-exact accelerator output.
 
 use crate::device::{DeviceError, VirtualDevice};
-use crate::job::{split_into_blocks, Block};
+use crate::job::JobOptions;
 use crate::memmgr::AllocError;
-use parking_lot::Mutex;
+use crate::metrics::MetricsSnapshot;
+use crate::scheduler::Scheduler;
 use spn_core::Dataset;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Runtime configuration knobs (the paper's user-visible parameters).
-#[derive(Debug, Clone, Copy)]
+/// Runtime configuration knobs (the paper's user-visible parameters,
+/// plus the scheduler's queue bound).
+///
+/// Construct via [`RuntimeConfig::builder`] for validation, or rely on
+/// [`RuntimeConfig::default`].
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeConfig {
     /// Samples per sub-job block.
     pub block_samples: u64,
@@ -34,6 +47,10 @@ pub struct RuntimeConfig {
     /// (0.0 disables). Catches transient device faults at proportional
     /// host cost.
     pub verify_fraction: f64,
+    /// Maximum number of jobs the scheduler accepts before exerting
+    /// backpressure (`submit` returns [`RuntimeError::QueueFull`];
+    /// `submit_blocking` waits).
+    pub queue_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -42,8 +59,86 @@ impl Default for RuntimeConfig {
             block_samples: 1 << 16,
             threads_per_pe: 2,
             verify_fraction: 0.0,
+            queue_capacity: 32,
         }
     }
+}
+
+impl RuntimeConfig {
+    /// Fluent, validating builder.
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder {
+            cfg: RuntimeConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`RuntimeConfig`]; see [`RuntimeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfigBuilder {
+    cfg: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Samples per sub-job block (must be positive).
+    pub fn block_samples(mut self, n: u64) -> Self {
+        self.cfg.block_samples = n;
+        self
+    }
+
+    /// Control threads per PE (must be at least 1).
+    pub fn threads_per_pe(mut self, n: u32) -> Self {
+        self.cfg.threads_per_pe = n;
+        self
+    }
+
+    /// Verification sampling fraction (must lie in `[0, 1]`).
+    pub fn verify_fraction(mut self, f: f64) -> Self {
+        self.cfg.verify_fraction = f;
+        self
+    }
+
+    /// Scheduler queue bound (must be at least 1).
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.cfg.queue_capacity = n;
+        self
+    }
+
+    /// Validate and build.
+    pub fn build(self) -> Result<RuntimeConfig, RuntimeError> {
+        validate_config(&self.cfg)?;
+        Ok(self.cfg)
+    }
+}
+
+/// Range-check a configuration; every entry point into the scheduler
+/// funnels through this, so a hand-rolled struct literal gets the same
+/// validation as the builder.
+pub(crate) fn validate_config(cfg: &RuntimeConfig) -> Result<(), RuntimeError> {
+    if cfg.block_samples == 0 {
+        return Err(RuntimeError::InvalidConfig {
+            reason: "block_samples must be positive".into(),
+        });
+    }
+    if cfg.threads_per_pe == 0 {
+        return Err(RuntimeError::InvalidConfig {
+            reason: "threads_per_pe must be at least 1".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&cfg.verify_fraction) {
+        return Err(RuntimeError::InvalidConfig {
+            reason: format!(
+                "verify_fraction must lie in [0, 1], got {}",
+                cfg.verify_fraction
+            ),
+        });
+    }
+    if cfg.queue_capacity == 0 {
+        return Err(RuntimeError::InvalidConfig {
+            reason: "queue_capacity must be at least 1".into(),
+        });
+    }
+    Ok(())
 }
 
 /// Errors surfaced by the runtime.
@@ -69,6 +164,19 @@ pub enum RuntimeError {
         /// Golden result.
         expected: f64,
     },
+    /// A configuration or request parameter is out of range.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The scheduler's bounded queue is full (backpressure). Retry
+    /// later or use `submit_blocking`.
+    QueueFull {
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// The job was cancelled before completion.
+    Cancelled,
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -91,10 +199,29 @@ impl std::fmt::Display for RuntimeError {
                 f,
                 "verification failed at sample {index}: device {got}, golden {expected}"
             ),
+            RuntimeError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+            RuntimeError::QueueFull { capacity } => write!(
+                f,
+                "scheduler queue full ({capacity} jobs in flight); retry or submit_blocking"
+            ),
+            RuntimeError::Cancelled => write!(f, "job cancelled"),
         }
     }
 }
-impl std::error::Error for RuntimeError {}
+
+impl std::error::Error for RuntimeError {
+    /// Wrapped [`AllocError`] / [`DeviceError`] chains are
+    /// introspectable through the standard error-source mechanism.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Alloc(e) => Some(e),
+            RuntimeError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<AllocError> for RuntimeError {
     fn from(e: AllocError) -> Self {
@@ -107,16 +234,30 @@ impl From<DeviceError> for RuntimeError {
     }
 }
 
-/// The runtime handle.
+/// The runtime handle: a device plus a persistent scheduler.
+///
+/// [`SpnRuntime::infer`] keeps the classic one-call blocking API (now
+/// a deprecated-in-spirit thin wrapper, retained indefinitely for
+/// convenience); [`SpnRuntime::scheduler`] exposes the concurrent
+/// submit/wait API underneath it.
 pub struct SpnRuntime {
     device: Arc<VirtualDevice>,
     config: RuntimeConfig,
+    /// `None` when `config` failed validation; every entry point then
+    /// reports the validation error instead of panicking.
+    scheduler: Option<Scheduler>,
 }
 
 impl SpnRuntime {
-    /// Attach to a device.
+    /// Attach to a device. Never panics: an invalid `config` is
+    /// reported by the first call that needs the scheduler.
     pub fn new(device: Arc<VirtualDevice>, config: RuntimeConfig) -> Self {
-        SpnRuntime { device, config }
+        let scheduler = Scheduler::new(Arc::clone(&device), config).ok();
+        SpnRuntime {
+            device,
+            config,
+            scheduler,
+        }
     }
 
     /// The attached device.
@@ -124,140 +265,49 @@ impl SpnRuntime {
         &self.device
     }
 
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The underlying concurrent scheduler — the submit/wait API.
+    pub fn scheduler(&self) -> Result<&Scheduler, RuntimeError> {
+        match &self.scheduler {
+            Some(s) => Ok(s),
+            None => Err(match validate_config(&self.config) {
+                Err(e) => e,
+                Ok(()) => RuntimeError::InvalidConfig {
+                    reason: "scheduler failed to start".into(),
+                },
+            }),
+        }
+    }
+
+    /// A point-in-time metrics snapshot, if the scheduler is running.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.scheduler.as_ref().map(|s| s.metrics_snapshot())
+    }
+
     /// Run batch inference over a dataset, using all PEs.
     /// Returns one probability per sample, in dataset order.
+    ///
+    /// Equivalent to `scheduler().submit_blocking(..).wait()`; kept as
+    /// the convenient single-job entry point.
     pub fn infer(&self, data: &Dataset) -> Result<Vec<f64>, RuntimeError> {
-        self.infer_on_pes(data, self.device.num_pes())
+        self.scheduler()?
+            .submit_blocking(Arc::new(data.clone()), JobOptions::default())?
+            .wait()
     }
 
     /// Run batch inference restricted to the first `num_pes` PEs
-    /// (the knob behind the scaling experiments).
+    /// (the knob behind the scaling experiments). Zero or out-of-range
+    /// PE counts are reported as [`RuntimeError::InvalidConfig`].
     pub fn infer_on_pes(&self, data: &Dataset, num_pes: u32) -> Result<Vec<f64>, RuntimeError> {
-        assert!(num_pes >= 1 && num_pes <= self.device.num_pes());
-        let pe_cfg = self.device.query_pe(0)?;
-        if pe_cfg.input_bytes != data.num_features() as u64 {
-            return Err(RuntimeError::ShapeMismatch {
-                expected_bytes: pe_cfg.input_bytes,
-                got_bytes: data.num_features() as u64,
-            });
-        }
-        let total = data.num_samples() as u64;
-        let blocks = split_into_blocks(total, self.config.block_samples);
-        if blocks.is_empty() {
-            return Ok(Vec::new());
-        }
-
-        // Per-PE block queues: a shared cursor per PE; the PE's threads
-        // pop from it (the "multiple CPU threads per accelerator" of the
-        // paper — work within a PE is self-scheduled across its threads).
-        let per_pe: Vec<Vec<Block>> = crate::job::assign_to_pes(&blocks, num_pes);
-        let results = Arc::new(Mutex::new(vec![0.0f64; total as usize]));
-        let first_error: Arc<Mutex<Option<RuntimeError>>> = Arc::new(Mutex::new(None));
-
-        std::thread::scope(|scope| {
-            for (pe, pe_blocks) in per_pe.iter().enumerate() {
-                let cursor = Arc::new(AtomicUsize::new(0));
-                for _t in 0..self.config.threads_per_pe {
-                    let device = Arc::clone(&self.device);
-                    let results = Arc::clone(&results);
-                    let first_error = Arc::clone(&first_error);
-                    let cursor = Arc::clone(&cursor);
-                    let pe = pe as u32;
-                    scope.spawn(move || {
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(block) = pe_blocks.get(i) else { break };
-                            if first_error.lock().is_some() {
-                                break;
-                            }
-                            if let Err(e) =
-                                run_block(&device, pe, &pe_cfg, data, *block, &results)
-                            {
-                                let mut slot = first_error.lock();
-                                if slot.is_none() {
-                                    *slot = Some(e);
-                                }
-                                break;
-                            }
-                        }
-                    });
-                }
-            }
-        });
-
-        if let Some(e) = Arc::try_unwrap(first_error)
-            .map(|m| m.into_inner())
-            .unwrap_or(None)
-        {
-            return Err(e);
-        }
-        let results = Arc::try_unwrap(results)
-            .map(|m| m.into_inner())
-            .expect("all threads joined");
-
-        // Verification sampling: spot-check a deterministic stride of
-        // results against the golden model.
-        if self.config.verify_fraction > 0.0 {
-            let n = results.len();
-            let checks = ((n as f64 * self.config.verify_fraction).ceil() as usize).min(n);
-            if checks > 0 {
-                let stride = (n / checks).max(1);
-                for i in (0..n).step_by(stride) {
-                    let expected = self.device.golden(0, data.row(i))?;
-                    let got = results[i];
-                    let tolerance = expected.abs() * 1e-12 + f64::MIN_POSITIVE;
-                    if (got - expected).abs() > tolerance {
-                        return Err(RuntimeError::VerificationFailed {
-                            index: i,
-                            got,
-                            expected,
-                        });
-                    }
-                }
-            }
-        }
-        Ok(results)
+        let opts = JobOptions::builder().num_pes(num_pes).build()?;
+        self.scheduler()?
+            .submit_blocking(Arc::new(data.clone()), opts)?
+            .wait()
     }
-}
-
-/// One control-thread iteration: allocate, transfer, launch, read back.
-fn run_block(
-    device: &VirtualDevice,
-    pe: u32,
-    pe_cfg: &spn_hw::SynthConfig,
-    data: &Dataset,
-    block: Block,
-    results: &Mutex<Vec<f64>>,
-) -> Result<(), RuntimeError> {
-    let in_bytes = block.samples * pe_cfg.input_bytes;
-    let out_bytes = block.samples * pe_cfg.result_bytes;
-    let inb = device.memory().alloc(pe, in_bytes)?;
-    let outb = match device.memory().alloc(pe, out_bytes) {
-        Ok(b) => b,
-        Err(e) => {
-            let _ = device.memory().free(inb);
-            return Err(e.into());
-        }
-    };
-    let run = || -> Result<Vec<u8>, RuntimeError> {
-        let (src_off, src_len) = block.input_range(pe_cfg.input_bytes);
-        let src = &data.raw()[src_off as usize..(src_off + src_len) as usize];
-        device.copy_to_device(inb, src)?;
-        device.launch(pe, inb, outb, block.samples)?;
-        Ok(device.copy_from_device(outb)?)
-    };
-    let out = run();
-    // Buffers are always returned, success or not.
-    let _ = device.memory().free(inb);
-    let _ = device.memory().free(outb);
-    let raw = out?;
-
-    let mut res = results.lock();
-    for i in 0..block.samples as usize {
-        let v = f64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().expect("8-byte result"));
-        res[block.first_sample as usize + i] = v;
-    }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -293,11 +343,11 @@ mod tests {
     fn inference_matches_reference_order_preserved() {
         let (rt, bench) = runtime(
             4,
-            RuntimeConfig {
-                block_samples: 100,
-                threads_per_pe: 2,
-                verify_fraction: 0.0,
-            },
+            RuntimeConfig::builder()
+                .block_samples(100)
+                .threads_per_pe(2)
+                .build()
+                .unwrap(),
         );
         let data = bench.dataset(1234, 11); // deliberately not block-aligned
         let got = rt.infer(&data).unwrap();
@@ -313,11 +363,11 @@ mod tests {
     fn single_pe_single_thread_works() {
         let (rt, bench) = runtime(
             1,
-            RuntimeConfig {
-                block_samples: 64,
-                threads_per_pe: 1,
-                verify_fraction: 0.0,
-            },
+            RuntimeConfig::builder()
+                .block_samples(64)
+                .threads_per_pe(1)
+                .build()
+                .unwrap(),
         );
         let data = bench.dataset(500, 3);
         let got = rt.infer(&data).unwrap();
@@ -329,11 +379,11 @@ mod tests {
     fn many_threads_per_pe_are_consistent() {
         let (rt, bench) = runtime(
             2,
-            RuntimeConfig {
-                block_samples: 32,
-                threads_per_pe: 4,
-                verify_fraction: 0.0,
-            },
+            RuntimeConfig::builder()
+                .block_samples(32)
+                .threads_per_pe(4)
+                .build()
+                .unwrap(),
         );
         let data = bench.dataset(1000, 17);
         let a = rt.infer(&data).unwrap();
@@ -350,6 +400,90 @@ mod tests {
         for (g, w) in got.iter().zip(&want) {
             assert!(((g - w) / w).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn zero_and_out_of_range_pe_counts_are_errors_not_panics() {
+        let (rt, bench) = runtime(2, RuntimeConfig::default());
+        let data = bench.dataset(16, 2);
+        assert!(matches!(
+            rt.infer_on_pes(&data, 0),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            rt.infer_on_pes(&data, 3),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+        // The runtime still works afterwards.
+        assert_eq!(rt.infer_on_pes(&data, 2).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn zero_block_samples_is_an_error_not_a_panic() {
+        let cfg = RuntimeConfig {
+            block_samples: 0,
+            ..RuntimeConfig::default()
+        };
+        let (rt, bench) = runtime(1, cfg);
+        let data = bench.dataset(8, 1);
+        match rt.infer(&data) {
+            Err(RuntimeError::InvalidConfig { reason }) => {
+                assert!(reason.contains("block_samples"), "got: {reason}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_validates_ranges() {
+        assert!(RuntimeConfig::builder().build().is_ok());
+        assert!(matches!(
+            RuntimeConfig::builder().block_samples(0).build(),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            RuntimeConfig::builder().threads_per_pe(0).build(),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            RuntimeConfig::builder().verify_fraction(1.5).build(),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            RuntimeConfig::builder().verify_fraction(-0.1).build(),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            RuntimeConfig::builder().verify_fraction(f64::NAN).build(),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            RuntimeConfig::builder().queue_capacity(0).build(),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+        let cfg = RuntimeConfig::builder()
+            .block_samples(128)
+            .threads_per_pe(3)
+            .verify_fraction(0.5)
+            .queue_capacity(4)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.block_samples, 128);
+        assert_eq!(cfg.threads_per_pe, 3);
+        assert_eq!(cfg.verify_fraction, 0.5);
+        assert_eq!(cfg.queue_capacity, 4);
+    }
+
+    #[test]
+    fn error_sources_are_introspectable() {
+        use std::error::Error as _;
+        let e = RuntimeError::from(AllocError::NoSuchChannel(3));
+        assert!(e.source().is_some());
+        assert!(e.source().unwrap().to_string().contains("3"));
+        let e = RuntimeError::from(DeviceError::NoSuchPe(1));
+        assert!(e.source().is_some());
+        let e = RuntimeError::Cancelled;
+        assert!(e.source().is_none());
     }
 
     #[test]
@@ -373,11 +507,11 @@ mod tests {
     fn device_memory_is_returned_after_inference() {
         let (rt, bench) = runtime(
             2,
-            RuntimeConfig {
-                block_samples: 128,
-                threads_per_pe: 2,
-                verify_fraction: 0.0,
-            },
+            RuntimeConfig::builder()
+                .block_samples(128)
+                .threads_per_pe(2)
+                .build()
+                .unwrap(),
         );
         let before: Vec<u64> = (0..2)
             .map(|c| rt.device().memory().free_bytes(c).unwrap())
@@ -391,5 +525,26 @@ mod tests {
                 "channel {c} leaked device memory"
             );
         }
+    }
+
+    #[test]
+    fn infer_feeds_the_metrics_registry() {
+        let (rt, bench) = runtime(
+            2,
+            RuntimeConfig::builder()
+                .block_samples(50)
+                .threads_per_pe(1)
+                .build()
+                .unwrap(),
+        );
+        let data = bench.dataset(525, 9);
+        rt.infer(&data).unwrap();
+        let m = rt.metrics_snapshot().unwrap();
+        assert_eq!(m.jobs_submitted, 1);
+        assert_eq!(m.jobs_completed, 1);
+        assert_eq!(m.blocks_executed, 11); // ceil(525 / 50)
+        assert_eq!(m.h2d_bytes, 525 * 10); // NIPS10: 10 B/sample
+        assert_eq!(m.d2h_bytes, 525 * 8);
+        assert_eq!(m.block_retries, 0);
     }
 }

@@ -119,6 +119,20 @@ impl Trace {
         Ok(())
     }
 
+    /// Cumulative [`SpanKind::Execute`] time per PE — the simulated
+    /// counterpart of the live scheduler's per-PE busy-time gauge
+    /// (see [`crate::metrics::MetricsSnapshot::pe_busy_secs`]), so a
+    /// virtual-time trace and a functional run can be compared on the
+    /// same axis.
+    pub fn execute_busy_per_pe(&self) -> std::collections::BTreeMap<u32, SimDuration> {
+        let mut busy: std::collections::BTreeMap<u32, SimDuration> = Default::default();
+        for s in self.of_kind(SpanKind::Execute) {
+            let acc = busy.entry(s.pe).or_default();
+            *acc = acc.saturating_add(s.duration());
+        }
+        busy
+    }
+
     /// Export as Chrome trace-event JSON (complete events, "X" phase;
     /// one row per control thread).
     pub fn to_chrome_json(&self) -> String {
@@ -217,6 +231,20 @@ mod tests {
         assert_eq!(events[0]["ts"], 0.0);
         assert_eq!(events[0]["dur"], 2.0); // 2 us
         assert_eq!(events[1]["tid"], 0);
+    }
+
+    #[test]
+    fn execute_busy_per_pe_aggregates_only_execute_spans() {
+        let mut t = Trace::new();
+        t.record(span(SpanKind::H2D, 0, 0, 0, 100));
+        t.record(span(SpanKind::Execute, 0, 0, 100, 500)); // pe 0: 400
+        t.record(span(SpanKind::Execute, 1, 1, 0, 250)); // pe 1: 250
+        t.record(span(SpanKind::Execute, 1, 2, 300, 350)); // pe 1: +50
+        t.record(span(SpanKind::D2H, 0, 0, 500, 900));
+        let busy = t.execute_busy_per_pe();
+        assert_eq!(busy.len(), 2);
+        assert_eq!(busy[&0], SimDuration::from_ps(400));
+        assert_eq!(busy[&1], SimDuration::from_ps(300));
     }
 
     #[test]

@@ -59,15 +59,23 @@ fn main() {
     let data = bench.dataset(samples, 2024);
     let rt = SpnRuntime::new(
         Arc::clone(&device),
-        RuntimeConfig {
-            block_samples: 16 * 1024,
-            threads_per_pe: 2,
-            verify_fraction: 0.0,
-        },
+        RuntimeConfig::builder()
+            .block_samples(16 * 1024)
+            .threads_per_pe(2)
+            .build()
+            .expect("valid runtime config"),
     );
     let t0 = std::time::Instant::now();
     let probs = rt.infer(&data).expect("inference succeeds");
     let host_secs = t0.elapsed().as_secs_f64();
+    if let Some(metrics) = rt.metrics_snapshot() {
+        println!(
+            "runtime metrics: {} blocks, {:.1} MiB H2D, {:.1} MiB D2H",
+            metrics.blocks_executed,
+            metrics.h2d_bytes as f64 / (1 << 20) as f64,
+            metrics.d2h_bytes as f64 / (1 << 20) as f64,
+        );
+    }
 
     // Verify against the reference evaluator.
     let mut ev = Evaluator::new(&spn);

@@ -23,11 +23,11 @@ fn run_pipeline(bench: NipsBenchmark, format: AnyFormat, pes: u32, samples: usiz
     ));
     let rt = SpnRuntime::new(
         device,
-        RuntimeConfig {
-            block_samples: 1000,
-            threads_per_pe: 2,
-            verify_fraction: 0.0,
-        },
+        RuntimeConfig::builder()
+            .block_samples(1000)
+            .threads_per_pe(2)
+            .build()
+            .expect("valid config"),
     );
     let data = bench.dataset(samples, 0xFEED);
     let got = rt.infer(&data).expect("pipeline runs");
@@ -110,11 +110,11 @@ fn device_memory_restored_after_big_run() {
     let before: Vec<u64> = (0..4).map(|c| device.memory().free_bytes(c).unwrap()).collect();
     let rt = SpnRuntime::new(
         Arc::clone(&device),
-        RuntimeConfig {
-            block_samples: 512,
-            threads_per_pe: 3,
-            verify_fraction: 0.0,
-        },
+        RuntimeConfig::builder()
+            .block_samples(512)
+            .threads_per_pe(3)
+            .build()
+            .unwrap(),
     );
     let data = NipsBenchmark::Nips20.dataset(20_000, 5);
     rt.infer(&data).unwrap();
@@ -138,14 +138,16 @@ fn fault_injection_is_caught_by_verification() {
     .with_faults(FaultInjection {
         flip_probability: 0.05,
         seed: 99,
+        ..FaultInjection::default()
     });
     let rt = SpnRuntime::new(
         Arc::new(device),
-        RuntimeConfig {
-            block_samples: 256,
-            threads_per_pe: 1,
-            verify_fraction: 1.0, // check every sample
-        },
+        RuntimeConfig::builder()
+            .block_samples(256)
+            .threads_per_pe(1)
+            .verify_fraction(1.0) // check every sample
+            .build()
+            .unwrap(),
     );
     let data = bench.dataset(2_000, 4);
     match rt.infer(&data) {
@@ -169,11 +171,12 @@ fn fault_free_device_passes_full_verification() {
     );
     let rt = SpnRuntime::new(
         Arc::new(device),
-        RuntimeConfig {
-            block_samples: 256,
-            threads_per_pe: 2,
-            verify_fraction: 1.0,
-        },
+        RuntimeConfig::builder()
+            .block_samples(256)
+            .threads_per_pe(2)
+            .verify_fraction(1.0)
+            .build()
+            .unwrap(),
     );
     let data = bench.dataset(2_000, 4);
     assert!(rt.infer(&data).is_ok());
@@ -196,14 +199,16 @@ fn sparse_verification_has_bounded_cost_and_still_catches_dense_faults() {
     .with_faults(FaultInjection {
         flip_probability: 1.0,
         seed: 7,
+        ..FaultInjection::default()
     });
     let rt = SpnRuntime::new(
         Arc::new(device),
-        RuntimeConfig {
-            block_samples: 512,
-            threads_per_pe: 1,
-            verify_fraction: 0.01,
-        },
+        RuntimeConfig::builder()
+            .block_samples(512)
+            .threads_per_pe(1)
+            .verify_fraction(0.01)
+            .build()
+            .unwrap(),
     );
     let data = bench.dataset(5_000, 8);
     assert!(matches!(

@@ -1,0 +1,262 @@
+//! Integration: the concurrent multi-job scheduler.
+//!
+//! Proves the PR's acceptance criteria end to end, across crates:
+//!
+//! * two jobs genuinely in flight at once, results bit-identical to the
+//!   sequential `infer()` path, metrics consistent;
+//! * a fault-injected job succeeds via retries and leaves every HBM
+//!   channel's `free_bytes` exactly where it started;
+//! * a failing job never poisons a concurrent healthy one;
+//! * `cancel()` frees device memory and unblocks `wait()`.
+
+use spn_arith::AnyFormat;
+use spn_core::NipsBenchmark;
+use spn_hw::{AcceleratorConfig, DatapathProgram};
+use spn_runtime::prelude::*;
+use std::sync::Arc;
+
+fn make_device(bench: NipsBenchmark, pes: u32, faults: Option<FaultInjection>) -> Arc<VirtualDevice> {
+    let prog = DatapathProgram::compile(&bench.build_spn());
+    let mut dev = VirtualDevice::new(
+        prog,
+        AnyFormat::paper_default(),
+        AcceleratorConfig::paper_default(),
+        pes,
+        16 << 20,
+    );
+    if let Some(f) = faults {
+        dev = dev.with_faults(f);
+    }
+    Arc::new(dev)
+}
+
+fn free_bytes_per_channel(dev: &VirtualDevice) -> Vec<u64> {
+    (0..dev.num_pes())
+        .map(|c| dev.memory().free_bytes(c).unwrap())
+        .collect()
+}
+
+/// Assert channel memory returns to `before`, giving in-flight blocks of
+/// an already-failed job a moment to drain (their workers free buffers
+/// on every path, but strictly after the failing job's `wait()` returns).
+fn assert_memory_restored(dev: &VirtualDevice, before: &[u64], what: &str) {
+    for _ in 0..500 {
+        if free_bytes_per_channel(dev) == before {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(free_bytes_per_channel(dev), before, "{what} leaked");
+}
+
+/// The acceptance-criteria test: two jobs overlap on the same device,
+/// both match the sequential path bit for bit, and the metrics add up.
+#[test]
+fn two_concurrent_jobs_match_sequential_path_bitwise() {
+    let bench = NipsBenchmark::Nips10;
+    let config = RuntimeConfig::builder()
+        .block_samples(100)
+        .threads_per_pe(2)
+        .build()
+        .unwrap();
+
+    // Sequential reference: the classic one-job-at-a-time infer() on an
+    // identical (separate) device.
+    let rt = SpnRuntime::new(make_device(bench, 4, None), config);
+    let big_data = bench.dataset(30_000, 11);
+    let small_data = bench.dataset(300, 22);
+    let seq_big = rt.infer(&big_data).unwrap();
+    let seq_small = rt.infer(&small_data).unwrap();
+
+    // Concurrent run: submit the big job, then the small one behind it.
+    let device = make_device(bench, 4, None);
+    let sched = Scheduler::new(Arc::clone(&device), config).unwrap();
+    let before = free_bytes_per_channel(&device);
+    let big = sched
+        .submit(Arc::new(big_data), JobOptions::default())
+        .unwrap();
+    let small = sched
+        .submit(Arc::new(small_data), JobOptions::default())
+        .unwrap();
+
+    // Round-robin fairness: the small job (3 blocks) completes while the
+    // big one (300 blocks) is still running — two jobs provably in
+    // flight simultaneously.
+    let got_small = small.wait().unwrap();
+    let (big_done, big_total) = big.progress();
+    assert!(
+        big_done < big_total,
+        "big job finished ({big_done}/{big_total}) before the small one — no overlap"
+    );
+    let got_big = big.wait().unwrap();
+
+    // Bit-identical to the sequential path (the device is a
+    // deterministic functional model; scheduling must not change math).
+    assert_eq!(got_big, seq_big);
+    assert_eq!(got_small, seq_small);
+
+    // Metrics consistency.
+    let pe_cfg = device.query_pe(0).unwrap();
+    let samples = 30_000u64 + 300;
+    let m = sched.metrics_snapshot();
+    assert_eq!(m.jobs_submitted, 2);
+    assert_eq!(m.jobs_completed, 2);
+    assert_eq!(m.jobs_failed, 0);
+    assert_eq!(m.jobs_cancelled, 0);
+    assert_eq!(m.blocks_executed, 300 + 3);
+    assert_eq!(m.block_retries, 0, "no faults, no retries");
+    assert_eq!(m.h2d_bytes, samples * pe_cfg.input_bytes);
+    assert_eq!(m.d2h_bytes, samples * pe_cfg.result_bytes);
+    assert_eq!(m.jobs_in_flight, 0);
+    assert_eq!(m.queue_high_watermark, 2);
+    assert!(m.pe_busy_secs.iter().any(|&b| b > 0.0));
+
+    // No leaked device buffers.
+    assert_eq!(free_bytes_per_channel(&device), before);
+}
+
+/// A transient-fault job succeeds via retries; channel memory is fully
+/// restored afterwards.
+#[test]
+fn fault_injected_job_succeeds_via_retries_without_leaking() {
+    let bench = NipsBenchmark::Nips10;
+    let device = make_device(
+        bench,
+        2,
+        Some(FaultInjection {
+            launch_fail_probability: 0.3,
+            seed: 17,
+            ..FaultInjection::default()
+        }),
+    );
+    let config = RuntimeConfig::builder()
+        .block_samples(128)
+        .threads_per_pe(2)
+        .build()
+        .unwrap();
+    let sched = Scheduler::new(Arc::clone(&device), config).unwrap();
+    let before = free_bytes_per_channel(&device);
+
+    let data = Arc::new(bench.dataset(4_000, 33));
+    let opts = JobOptions::builder()
+        .max_retries(200)
+        .retry_backoff_us(0)
+        .build()
+        .unwrap();
+    let got = sched.submit(Arc::clone(&data), opts).unwrap().wait().unwrap();
+    assert_eq!(got.len(), 4_000);
+
+    let m = sched.metrics_snapshot();
+    assert!(m.block_retries > 0, "p=0.3 launch faults must cause retries");
+    assert_eq!(m.jobs_completed, 1);
+    assert_eq!(m.jobs_failed, 0);
+    assert_eq!(free_bytes_per_channel(&device), before, "retry paths leaked");
+}
+
+/// One job exhausting its retries fails alone; a concurrent job with a
+/// retry budget completes and matches the fault-free reference.
+#[test]
+fn failed_job_does_not_poison_concurrent_jobs() {
+    let bench = NipsBenchmark::Nips10;
+    let device = make_device(
+        bench,
+        2,
+        Some(FaultInjection {
+            launch_fail_probability: 0.5,
+            seed: 7,
+            ..FaultInjection::default()
+        }),
+    );
+    let config = RuntimeConfig::builder()
+        .block_samples(64)
+        .threads_per_pe(2)
+        .build()
+        .unwrap();
+    let sched = Scheduler::new(Arc::clone(&device), config).unwrap();
+    let before = free_bytes_per_channel(&device);
+
+    let data = bench.dataset(2_000, 44);
+    // Fault-free reference for the surviving job.
+    let rt = SpnRuntime::new(make_device(bench, 2, None), config);
+    let want = rt.infer(&data).unwrap();
+
+    let doomed_opts = JobOptions::builder().max_retries(0).build().unwrap();
+    let hardy_opts = JobOptions::builder()
+        .max_retries(500)
+        .retry_backoff_us(0)
+        .build()
+        .unwrap();
+    let doomed = sched
+        .submit(Arc::new(bench.dataset(2_000, 55)), doomed_opts)
+        .unwrap();
+    let hardy = sched.submit(Arc::new(data), hardy_opts).unwrap();
+
+    // With p=0.5 and zero retries, the doomed job fails on an early
+    // block; the error is a transient device fault surfaced verbatim.
+    match doomed.wait() {
+        Err(RuntimeError::Device(e)) => assert!(e.is_transient()),
+        other => panic!("doomed job should fail with a device fault, got {other:?}"),
+    }
+    let got = hardy.wait().expect("healthy job must survive its neighbour");
+    assert_eq!(got, want);
+
+    let m = sched.metrics_snapshot();
+    assert_eq!(m.jobs_failed, 1);
+    assert_eq!(m.jobs_completed, 1);
+    assert_eq!(m.jobs_in_flight, 0);
+    assert_memory_restored(&device, &before, "failure path");
+}
+
+/// Cancelling a running job unblocks `wait()` with
+/// [`RuntimeError::Cancelled`] and returns every allocated buffer.
+#[test]
+fn cancel_unblocks_wait_and_frees_device_memory() {
+    let bench = NipsBenchmark::Nips10;
+    let device = make_device(bench, 1, None);
+    let config = RuntimeConfig::builder()
+        .block_samples(32)
+        .threads_per_pe(1)
+        .build()
+        .unwrap();
+    let sched = Scheduler::new(Arc::clone(&device), config).unwrap();
+    let before = free_bytes_per_channel(&device);
+
+    let handle = sched
+        .submit(Arc::new(bench.dataset(50_000, 66)), JobOptions::default())
+        .unwrap();
+    handle.cancel();
+    match handle.wait() {
+        Err(RuntimeError::Cancelled) => {}
+        other => panic!("cancelled job must report Cancelled, got {other:?}"),
+    }
+
+    let m = sched.metrics_snapshot();
+    assert_eq!(m.jobs_cancelled, 1);
+    assert_eq!(m.jobs_in_flight, 0);
+    // All in-flight blocks drained and freed by the time wait() returns.
+    assert_eq!(free_bytes_per_channel(&device), before, "cancel path leaked");
+}
+
+/// Config and option validation happens at the API boundary — errors,
+/// never panics.
+#[test]
+fn invalid_configs_are_errors_not_panics() {
+    // Builder-level validation.
+    assert!(RuntimeConfig::builder().block_samples(0).build().is_err());
+    assert!(RuntimeConfig::builder().threads_per_pe(0).build().is_err());
+    assert!(RuntimeConfig::builder().verify_fraction(1.5).build().is_err());
+    assert!(RuntimeConfig::builder().queue_capacity(0).build().is_err());
+    assert!(JobOptions::builder().num_pes(0).build().is_err());
+
+    // Submit-time validation: more PEs than the device has.
+    let bench = NipsBenchmark::Nips10;
+    let device = make_device(bench, 2, None);
+    let sched = Scheduler::new(device, RuntimeConfig::default()).unwrap();
+    let opts = JobOptions::builder().num_pes(5).build().unwrap();
+    let err = sched
+        .submit(Arc::new(bench.dataset(8, 1)), opts)
+        .unwrap_err();
+    assert!(matches!(err, RuntimeError::InvalidConfig { .. }));
+    // The error chain is introspectable (std::error::Error).
+    let _ = std::error::Error::source(&err);
+}
