@@ -213,7 +213,10 @@ mod tests {
             assert!((4.0..10.0).contains(s), "{}: V100 speedup {s}", b.name());
         }
         let geo = geometric_mean(&speedups).unwrap();
-        assert!((geo - 6.9).abs() < 1.0, "geo-mean V100 speedup {geo} (paper 6.9)");
+        assert!(
+            (geo - 6.9).abs() < 1.0,
+            "geo-mean V100 speedup {geo} (paper 6.9)"
+        );
     }
 
     #[test]
@@ -254,6 +257,9 @@ mod tests {
         let at8 = simulate(&PerfConfig::paper_setup(NipsBenchmark::Nips10, 8)).samples_per_sec;
         assert!(best >= at8);
         let paper = calib::PAPER_NIPS10_FIVE_CORE;
-        assert!((best - paper).abs() / paper < 0.15, "best {best} vs paper {paper}");
+        assert!(
+            (best - paper).abs() / paper < 0.15,
+            "best {best} vs paper {paper}"
+        );
     }
 }

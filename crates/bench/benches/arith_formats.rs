@@ -5,7 +5,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughpu
 use spn_arith::{CfpFormat, F64Format, LnsFormat, PositFormat, SpnNumber};
 
 fn bench_format<F: SpnNumber>(c: &mut Criterion, name: &str, format: &F) {
-    let xs: Vec<F::Value> = (1..=256).map(|i| format.from_f64(i as f64 / 257.0)).collect();
+    let xs: Vec<F::Value> = (1..=256)
+        .map(|i| format.from_f64(i as f64 / 257.0))
+        .collect();
     let mut g = c.benchmark_group(format!("arith/{name}"));
     g.sample_size(30)
         .measurement_time(std::time::Duration::from_secs(3))

@@ -2,8 +2,8 @@
 //! log-domain inference, per NIPS benchmark. This is the measured
 //! series of Fig. 6.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use baselines::CpuBaseline;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use spn_core::ALL_BENCHMARKS;
 
 fn benches(c: &mut Criterion) {

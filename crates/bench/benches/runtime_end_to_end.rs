@@ -44,9 +44,7 @@ fn benches(c: &mut Criterion) {
     // The concurrent path: 4 jobs multiplexed across the same PEs by the
     // persistent scheduler pool (per-call cost includes no thread spawns).
     let sched = Scheduler::new(Arc::clone(&device), config).expect("scheduler starts");
-    let quarter: Vec<Arc<_>> = (0..4)
-        .map(|s| Arc::new(bench.dataset(16_384, s)))
-        .collect();
+    let quarter: Vec<Arc<_>> = (0..4).map(|s| Arc::new(bench.dataset(16_384, s))).collect();
     g.throughput(Throughput::Elements(4 * 16_384));
     g.bench_function("scheduler_4_concurrent_jobs_4pe", |b| {
         b.iter(|| {

@@ -13,7 +13,9 @@ use serde::Serialize;
 use sim_core::{SimTime, MIB};
 use spn_core::NipsBenchmark;
 use spn_runtime::perf::{simulate, PerfConfig};
-use spn_runtime::streaming::{min_replication_for_line_rate, simulate_streaming, StreamingSimConfig};
+use spn_runtime::streaming::{
+    min_replication_for_line_rate, simulate_streaming, StreamingSimConfig,
+};
 
 #[derive(Serialize, Default)]
 struct Ablations {
@@ -36,7 +38,8 @@ fn main() {
     let mut dev = HbmDevice::new(cfg);
     let local = dev.transfer(0, SimTime::ZERO, MIB, false).unwrap();
     let remote = dev.transfer(1, SimTime::ZERO, MIB, true).unwrap();
-    let gib = |g: sim_core::Grant| MIB as f64 / (g.end - g.start).as_secs_f64() / (1u64 << 30) as f64;
+    let gib =
+        |g: sim_core::Grant| MIB as f64 / (g.end - g.start).as_secs_f64() / (1u64 << 30) as f64;
     out.crossbar_local_gib_s = gib(local);
     out.crossbar_remote_gib_s = gib(remote);
     println!(
@@ -72,7 +75,10 @@ fn main() {
         let mut cfg = PerfConfig::paper_setup(NipsBenchmark::Nips40, 8);
         cfg.block_samples = 1 << shift;
         let r = simulate(&cfg);
-        table.row(vec![format!("{}", 1u64 << shift), fmt_rate(r.samples_per_sec)]);
+        table.row(vec![
+            format!("{}", 1u64 << shift),
+            fmt_rate(r.samples_per_sec),
+        ]);
         out.block_sweep.push((1 << shift, r.samples_per_sec));
     }
     table.print();
@@ -93,7 +99,11 @@ fn main() {
 
     // 5. Streaming replication degree ([7]).
     println!("== streaming-architecture replication for 100G line rate ==");
-    let mut table = Table::new(vec!["benchmark", "cores for line rate", "rate at that degree"]);
+    let mut table = Table::new(vec![
+        "benchmark",
+        "cores for line rate",
+        "rate at that degree",
+    ]);
     for bench in spn_core::ALL_BENCHMARKS {
         let r = min_replication_for_line_rate(bench, 0.99);
         let res = simulate_streaming(&StreamingSimConfig::paper_100g(bench, r), bench, 4 << 20);
@@ -102,7 +112,8 @@ fn main() {
             r.to_string(),
             fmt_rate(res.samples_per_sec),
         ]);
-        out.streaming_replication.push((bench.name().to_string(), r));
+        out.streaming_replication
+            .push((bench.name().to_string(), r));
     }
     table.print();
 

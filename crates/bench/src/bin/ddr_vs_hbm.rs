@@ -38,7 +38,11 @@ fn main() {
 
     // -------- F1: every (cores, soft controllers) combination --------
     let f1_platform = PlatformCosts::f1_prior_work();
-    let f1_dp = datapath_cost(&counts, &ArithCosts::fp64_prior_work(), sched.balance_registers);
+    let f1_dp = datapath_cost(
+        &counts,
+        &ArithCosts::fp64_prior_work(),
+        sched.balance_registers,
+    );
     let f1_avail = row_to_resources(&calib::AVAILABLE_PRIOR);
     // Prior-work core: FP64 datapath at a deteriorated ~140 MHz clock,
     // 2 cycles/sample for 80-byte inputs.
@@ -62,7 +66,11 @@ fn main() {
                 cores.to_string(),
                 controllers.to_string(),
                 if fits { "yes" } else { "NO" }.to_string(),
-                if fits { fmt_rate(rate) } else { "-".to_string() },
+                if fits {
+                    fmt_rate(rate)
+                } else {
+                    "-".to_string()
+                },
             ]);
             points.push(DesignPoint {
                 cores,
@@ -85,7 +93,11 @@ fn main() {
 
     // -------- HBM: controllers are hard IP; scale cores --------
     let hbm_platform = PlatformCosts::hbm_this_work();
-    let hbm_dp = datapath_cost(&counts, &ArithCosts::cfp_this_work(), sched.balance_registers);
+    let hbm_dp = datapath_cost(
+        &counts,
+        &ArithCosts::cfp_this_work(),
+        sched.balance_registers,
+    );
     let hbm_avail = row_to_resources(&calib::AVAILABLE_NEW);
     let channel = HbmChannelConfig::calibrated(ClockConfig::Half225DoubleWidth);
     let hbm_core_rate: f64 = 225.0e6 * 0.5917 / 2.0; // 80-byte samples: 2 cycles
@@ -95,8 +107,8 @@ fn main() {
     for cores in [1u32, 2, 4, 8] {
         let cost = design_cost(hbm_dp, &hbm_platform, cores, cores);
         let fits = cost.fits_in(&hbm_avail, hbm_platform.utilization_ceiling);
-        let per_core_mem = channel.sustained_bandwidth().bytes_per_sec()
-            / bench.total_bytes_per_sample() as f64;
+        let per_core_mem =
+            channel.sustained_bandwidth().bytes_per_sec() / bench.total_bytes_per_sample() as f64;
         let rate = cores as f64 * hbm_core_rate.min(per_core_mem);
         table.row(vec![
             cores.to_string(),

@@ -25,10 +25,7 @@ fn main() {
     // 4 KiB .. 16 MiB, powers of two — the paper's x-axis range.
     let sizes: Vec<u64> = (0..13).map(|i| (4 * KIB) << i).collect();
 
-    let native = sweep_request_sizes(
-        HbmChannelConfig::calibrated(ClockConfig::Native450),
-        &sizes,
-    );
+    let native = sweep_request_sizes(HbmChannelConfig::calibrated(ClockConfig::Native450), &sizes);
     let half = sweep_request_sizes(
         HbmChannelConfig::calibrated(ClockConfig::Half225DoubleWidth),
         &sizes,

@@ -30,7 +30,10 @@ fn main() {
     let w1 = scaling_series(bench, &pes, true, 1);
     let w2 = scaling_series(bench, &pes, true, 2);
 
-    println!("Fig. 4 — {} scaling by PE count (100M samples)\n", bench.name());
+    println!(
+        "Fig. 4 — {} scaling by PE count (100M samples)\n",
+        bench.name()
+    );
     let mut table = Table::new(vec![
         "PEs",
         "w/o transfers",
@@ -75,7 +78,9 @@ fn main() {
 
     // The other benchmarks' end-to-end scaling, for completeness.
     println!("\nw/ transfers, 1 thread, all benchmarks:");
-    let mut table = Table::new(vec!["PEs", "NIPS10", "NIPS20", "NIPS30", "NIPS40", "NIPS80"]);
+    let mut table = Table::new(vec![
+        "PEs", "NIPS10", "NIPS20", "NIPS30", "NIPS40", "NIPS80",
+    ]);
     let all: Vec<Vec<(u32, spn_runtime::PerfResult)>> = spn_core::ALL_BENCHMARKS
         .iter()
         .map(|b| scaling_series(*b, &pes, true, 1))

@@ -66,7 +66,11 @@ fn main() {
             "NIPS10" | "NIPS20" => ">=128 (NIPS10) / 64+ (NIPS20)",
             _ => ">=64",
         };
-        table.row(vec![bench.name().to_string(), max.to_string(), paper.to_string()]);
+        table.row(vec![
+            bench.name().to_string(),
+            max.to_string(),
+            paper.to_string(),
+        ]);
         series.push(Series {
             benchmark: bench.name().to_string(),
             cores: cores.clone(),

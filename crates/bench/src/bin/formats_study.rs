@@ -70,7 +70,11 @@ fn main() {
             ),
             (
                 "LNS(12.20)/8b table".into(),
-                study(&prog, &data, &LnsFormat::paper_default().with_table_frac_bits(8)),
+                study(
+                    &prog,
+                    &data,
+                    &LnsFormat::paper_default().with_table_frac_bits(8),
+                ),
             ),
             (
                 "posit(32,2)".into(),

@@ -28,7 +28,11 @@ fn main() {
     println!("== idle latency by access path (pointer chase, 64 B) ==");
     let mut table = Table::new(vec!["path", "latency [ns]", "dependent-stream BW"]);
     for (name, clock, crossbar) in [
-        ("450 MHz native", ClockConfig::Native450, CrossbarMode::Disabled),
+        (
+            "450 MHz native",
+            ClockConfig::Native450,
+            CrossbarMode::Disabled,
+        ),
         (
             "225 MHz via SmartConnect",
             ClockConfig::Half225DoubleWidth,
@@ -61,7 +65,12 @@ fn main() {
         table.row(vec![
             p.outstanding.to_string(),
             format!("{:.2}", p.bandwidth.gib_per_sec()),
-            if p.latency_bound { "latency-bound" } else { "wire-bound" }.to_string(),
+            if p.latency_bound {
+                "latency-bound"
+            } else {
+                "wire-bound"
+            }
+            .to_string(),
         ]);
         out.sweep.push((p.outstanding, p.bandwidth.gib_per_sec()));
     }

@@ -31,7 +31,11 @@ fn main() {
     println!("PCIe outlook (§V-C): link-bound samples/s and cores kept busy\n");
     let mut rows = Vec::new();
     for bench in ALL_BENCHMARKS {
-        println!("== {} ({} B/sample) ==", bench.name(), bench.total_bytes_per_sample());
+        println!(
+            "== {} ({} B/sample) ==",
+            bench.name(),
+            bench.total_bytes_per_sample()
+        );
         let mut table = Table::new(vec![
             "generation",
             "practical GiB/s",

@@ -69,7 +69,11 @@ fn main() {
                 format!("{:.0} / {}", m.bram, row.bram),
                 format!("{:.0} / {}", m.dsp, row.dsp),
             ]);
-            let design = if label.starts_with("New") { "new" } else { "prior" };
+            let design = if label.starts_with("New") {
+                "new"
+            } else {
+                "prior"
+            };
             for (resource, model, paper) in [
                 ("klut_logic", m.klut_logic, row.klut_logic),
                 ("klut_mem", m.klut_mem, row.klut_mem),
@@ -93,9 +97,18 @@ fn main() {
     // Headline reductions (paper §V-A: ~66% fewer LUT/BRAM/DSP, ~50%
     // fewer registers).
     println!("== reductions (prior / new, model) ==");
-    let mut table = Table::new(vec!["benchmark", "DSP ratio", "logic-LUT ratio", "reg ratio"]);
+    let mut table = Table::new(vec![
+        "benchmark",
+        "DSP ratio",
+        "logic-LUT ratio",
+        "reg ratio",
+    ]);
     for bench in TABLE1_BENCHMARKS {
-        let new = model_design(bench, &ArithCosts::cfp_this_work(), &PlatformCosts::hbm_this_work());
+        let new = model_design(
+            bench,
+            &ArithCosts::cfp_this_work(),
+            &PlatformCosts::hbm_this_work(),
+        );
         let prior = model_design(
             bench,
             &ArithCosts::fp64_prior_work(),
@@ -115,13 +128,21 @@ fn main() {
     let sched = PipelineSchedule::asap(&prog, &OpLatencies::cfp());
     let counts = prog.op_counts();
     let new_max = max_cores(
-        datapath_cost(&counts, &ArithCosts::cfp_this_work(), sched.balance_registers),
+        datapath_cost(
+            &counts,
+            &ArithCosts::cfp_this_work(),
+            sched.balance_registers,
+        ),
         &PlatformCosts::hbm_this_work(),
         &row_to_resources(&calib::AVAILABLE_NEW),
         32,
     );
     let prior_max = max_cores(
-        datapath_cost(&counts, &ArithCosts::fp64_prior_work(), sched.balance_registers),
+        datapath_cost(
+            &counts,
+            &ArithCosts::fp64_prior_work(),
+            sched.balance_registers,
+        ),
         &PlatformCosts::f1_prior_work(),
         &row_to_resources(&calib::AVAILABLE_PRIOR),
         4,

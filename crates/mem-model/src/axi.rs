@@ -130,7 +130,9 @@ impl SmartConnect {
 
     /// Sustained bandwidth through the connection: the narrower side wins.
     pub fn through_bandwidth(&self) -> Bandwidth {
-        self.master.wire_bandwidth().min(self.slave.wire_bandwidth())
+        self.master
+            .wire_bandwidth()
+            .min(self.slave.wire_bandwidth())
     }
 
     /// True when the two sides need a clock-domain crossing.

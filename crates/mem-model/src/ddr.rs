@@ -138,7 +138,10 @@ mod tests {
     fn f1_channel_bandwidth() {
         let c = DdrChannelConfig::aws_f1();
         let gib = c.sustained().gib_per_sec();
-        assert!((11.0..13.0).contains(&gib), "F1 channel sustains {gib} GiB/s");
+        assert!(
+            (11.0..13.0).contains(&gib),
+            "F1 channel sustains {gib} GiB/s"
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ pub struct PointerChaseResult {
 
 /// Dependent-read chain: each access waits for the previous one, so the
 /// measured time per access *is* the latency.
-pub fn pointer_chase(model: &LatencyModel, request_bytes: u64, accesses: u64) -> PointerChaseResult {
+pub fn pointer_chase(
+    model: &LatencyModel,
+    request_bytes: u64,
+    accesses: u64,
+) -> PointerChaseResult {
     assert!(accesses > 0);
     let lat = model.idle_latency();
     PointerChaseResult {

@@ -90,7 +90,10 @@ impl Model for Bench {
 
 /// Execute the micro-benchmark and report achieved throughput.
 pub fn run_channel_benchmark(cfg: HbmChannelConfig, run: TrafficRun) -> TrafficResult {
-    assert!(run.outstanding_per_engine > 0, "need at least 1 outstanding");
+    assert!(
+        run.outstanding_per_engine > 0,
+        "need at least 1 outstanding"
+    );
     assert!(run.request_bytes > 0, "requests must move data");
     let mut engine = Engine::new(Bench {
         cfg,
@@ -194,7 +197,7 @@ mod tests {
 
     #[test]
     fn sweep_is_monotone_and_saturates() {
-        let sizes: Vec<u64> = (0..9).map(|i| 4 * KIB << i).collect(); // 4KiB..1MiB
+        let sizes: Vec<u64> = (0..9).map(|i| (4 * KIB) << i).collect(); // 4KiB..1MiB
         let curve = sweep_request_sizes(cfg(), &sizes);
         for w in curve.windows(2) {
             assert!(w[1].1.gib_per_sec() >= w[0].1.gib_per_sec() * 0.999);

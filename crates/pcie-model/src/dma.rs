@@ -187,7 +187,10 @@ mod tests {
     fn small_transfers_are_setup_dominated() {
         let cfg = DmaConfig::paper_default();
         let eff = cfg.effective_bandwidth(4096) / (1u64 << 30) as f64;
-        assert!(eff < 1.0, "4 KiB at {eff} GiB/s should be far below the link");
+        assert!(
+            eff < 1.0,
+            "4 KiB at {eff} GiB/s should be far below the link"
+        );
         let mut last = 0.0;
         let mut size = 4096u64;
         while size <= 64 * MIB {

@@ -106,9 +106,7 @@ impl PcieLink {
     /// Theoretical one-directional bandwidth (datasheet convention).
     pub fn theoretical_per_direction(&self) -> Bandwidth {
         let raw_gbps = self.generation.gt_per_sec() * self.lanes as f64;
-        Bandwidth::from_bytes_per_sec(
-            raw_gbps * 1e9 / 8.0 * self.generation.encoding_efficiency(),
-        )
+        Bandwidth::from_bytes_per_sec(raw_gbps * 1e9 / 8.0 * self.generation.encoding_efficiency())
     }
 
     /// Practical sustained one-directional DMA bandwidth.
@@ -148,7 +146,9 @@ mod tests {
             (PcieGeneration::Gen6, 92.0),
         ];
         for (gen, want) in expect {
-            let got = PcieLink::future(gen).practical_per_direction().gib_per_sec();
+            let got = PcieLink::future(gen)
+                .practical_per_direction()
+                .gib_per_sec();
             assert!(
                 (got - want).abs() / want < 0.05,
                 "{}: got {got}, want ~{want}",
@@ -160,10 +160,7 @@ mod tests {
     #[test]
     fn bandwidth_scales_with_lanes() {
         let x16 = PcieLink::paper_gen3_x16();
-        let x8 = PcieLink {
-            lanes: 8,
-            ..x16
-        };
+        let x8 = PcieLink { lanes: 8, ..x16 };
         let ratio = x16.theoretical_per_direction().bytes_per_sec()
             / x8.theoretical_per_direction().bytes_per_sec();
         assert!((ratio - 2.0).abs() < 1e-9);

@@ -202,7 +202,10 @@ mod tests {
                 Ev::Mark(tag) => self.log.push((sched.now().as_ps(), tag)),
                 Ev::FanOut { count, gap_ps } => {
                     for i in 0..count {
-                        sched.schedule_in(SimDuration::from_ps(gap_ps * (i as u64 + 1)), Ev::Mark(i));
+                        sched.schedule_in(
+                            SimDuration::from_ps(gap_ps * (i as u64 + 1)),
+                            Ev::Mark(i),
+                        );
                     }
                 }
             }
@@ -227,8 +230,13 @@ mod tests {
     #[test]
     fn handlers_can_schedule_followups() {
         let mut e = engine();
-        e.scheduler()
-            .schedule_in(SimDuration::from_ps(5), Ev::FanOut { count: 3, gap_ps: 10 });
+        e.scheduler().schedule_in(
+            SimDuration::from_ps(5),
+            Ev::FanOut {
+                count: 3,
+                gap_ps: 10,
+            },
+        );
         e.run_to_completion();
         assert_eq!(e.model().log, vec![(15, 0), (25, 1), (35, 2)]);
     }
@@ -251,7 +259,8 @@ mod tests {
     #[test]
     fn run_until_includes_events_exactly_at_deadline() {
         let mut e = engine();
-        e.scheduler().schedule_at(SimTime::from_ps(100), Ev::Mark(7));
+        e.scheduler()
+            .schedule_at(SimTime::from_ps(100), Ev::Mark(7));
         e.run_until(SimTime::from_ps(100));
         assert_eq!(e.model().log, vec![(100, 7)]);
     }
@@ -260,7 +269,8 @@ mod tests {
     #[should_panic(expected = "causality")]
     fn scheduling_in_past_panics() {
         let mut e = engine();
-        e.scheduler().schedule_at(SimTime::from_ps(100), Ev::Mark(0));
+        e.scheduler()
+            .schedule_at(SimTime::from_ps(100), Ev::Mark(0));
         e.run_to_completion();
         // now == 100; scheduling at 50 must panic.
         e.scheduler().schedule_at(SimTime::from_ps(50), Ev::Mark(1));

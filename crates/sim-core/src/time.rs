@@ -11,8 +11,8 @@
 //! `std::time::{Instant, Duration}` so the API feels familiar.
 
 use core::fmt;
-use serde::{Deserialize, Serialize};
 use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
 
 /// Picoseconds per nanosecond.
 pub const PS_PER_NS: u64 = 1_000;

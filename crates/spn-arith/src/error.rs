@@ -42,8 +42,7 @@ impl ErrorStats {
             self.sum_rel += rel;
             self.max_rel = self.max_rel.max(rel);
         }
-        if approx.is_infinite() || (reference.is_finite() && approx.abs() > reference.abs() * 1e6)
-        {
+        if approx.is_infinite() || (reference.is_finite() && approx.abs() > reference.abs() * 1e6) {
             self.overflows += 1;
         }
     }

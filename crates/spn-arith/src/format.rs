@@ -236,8 +236,14 @@ mod tests {
 
     #[test]
     fn any_format_from_name() {
-        assert!(matches!(AnyFormat::from_name("cfp"), Some(AnyFormat::Cfp(_))));
-        assert!(matches!(AnyFormat::from_name("LNS"), Some(AnyFormat::Lns(_))));
+        assert!(matches!(
+            AnyFormat::from_name("cfp"),
+            Some(AnyFormat::Cfp(_))
+        ));
+        assert!(matches!(
+            AnyFormat::from_name("LNS"),
+            Some(AnyFormat::Lns(_))
+        ));
         assert!(matches!(
             AnyFormat::from_name("Posit"),
             Some(AnyFormat::Posit(_))

@@ -155,7 +155,10 @@ impl LnsFormat {
 
     /// Encode 1.0 exactly (log 0).
     pub fn one(&self) -> Lns {
-        Lns { log: 0, zero: false }
+        Lns {
+            log: 0,
+            zero: false,
+        }
     }
 
     /// Worst-case relative error of a single rounding, ~ln(2)·2^-(f+1).
@@ -282,7 +285,10 @@ mod tests {
     #[test]
     fn add_is_commutative() {
         let f = fmt();
-        let vals: Vec<Lns> = [0.1, 0.9, 1e-20, 42.0].iter().map(|&x| f.from_f64(x)).collect();
+        let vals: Vec<Lns> = [0.1, 0.9, 1e-20, 42.0]
+            .iter()
+            .map(|&x| f.from_f64(x))
+            .collect();
         for &a in &vals {
             for &b in &vals {
                 assert_eq!(f.add(a, b), f.add(b, a));

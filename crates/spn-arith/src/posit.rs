@@ -326,7 +326,10 @@ mod tests {
             let v = f.from_f64(far_x);
             (f.to_f64(v) - far_x).abs() / far_x
         };
-        assert!(near < far, "near {near} should be more precise than far {far}");
+        assert!(
+            near < far,
+            "near {near} should be more precise than far {far}"
+        );
     }
 
     #[test]

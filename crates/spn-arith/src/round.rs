@@ -97,14 +97,12 @@ mod tests {
                     // f64 round-half-to-even of `exact`.
                     let floor = exact.floor();
                     let frac = exact - floor;
-                    if frac > 0.5 {
+                    let round_up =
+                        frac > 0.5 || (frac == 0.5 && !(floor as u64).is_multiple_of(2));
+                    if round_up {
                         floor + 1.0
-                    } else if frac < 0.5 {
-                        floor
-                    } else if (floor as u64) % 2 == 0 {
-                        floor
                     } else {
-                        floor + 1.0
+                        floor
                     }
                 } as u128;
                 assert_eq!(got, want, "sig={sig:b} shift={shift}");

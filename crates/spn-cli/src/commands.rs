@@ -15,6 +15,7 @@ use spn_hw::{
 };
 use spn_runtime::perf::{simulate, PerfConfig};
 use spn_runtime::prelude::*;
+use spn_server::{run_load, BatchPolicy, LoadConfig, ModelSpec, ServerConfig, SpnServer};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -81,6 +82,16 @@ COMMANDS:
              scheduler (J jobs in flight) and report a metrics snapshot.
   emit       --model FILE.spn [--prefix PATH]
              Emit the structural Verilog netlist and ROM images.
+  serve      [--benchmarks NIPS10,NIPS20] [--pes N] [--threads T] [--block B] [--port P]
+             [--batch-samples N] [--batch-delay-us U] [--max-inflight N]
+             [--retries R] [--port-file FILE]
+             Serve inference over TCP with adaptive micro-batching;
+             runs until a client sends the Shutdown opcode.
+  load       --addr HOST:PORT | --port-file FILE [--benchmark NIPS10]
+             [--connections C] [--requests N] [--batch K] [--deadline-ms D]
+             [--seed S] [--stats true] [--shutdown true]
+             Closed-loop load generation against a running server;
+             reports samples/s and p50/p99 latency.
 ";
 
 /// Dispatch a command line (without the program name).
@@ -95,6 +106,8 @@ pub fn run(tokens: Vec<String>) -> Result<CmdResult, CmdError> {
         Some("simulate") => cmd_simulate(&args),
         Some("accelerate") => cmd_accelerate(&args),
         Some("emit") => cmd_emit(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("load") => cmd_load(&args),
         Some(other) => Err(CmdError(format!("unknown command '{other}'\n\n{USAGE}"))),
         None => Ok(CmdResult::text(USAGE.to_string())),
     }
@@ -102,8 +115,8 @@ pub fn run(tokens: Vec<String>) -> Result<CmdResult, CmdError> {
 
 fn load_model(args: &Args) -> Result<Spn, CmdError> {
     let path = args.require("model")?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CmdError(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CmdError(format!("cannot read {path}: {e}")))?;
     from_text(&text, path, None).map_err(|e| CmdError(format!("{path}: {e}")))
 }
 
@@ -154,7 +167,10 @@ fn cmd_learn(args: &Args) -> Result<CmdResult, CmdError> {
         let (fitted, history) = spn_core::em_weights(
             &spn,
             &data,
-            &spn_core::EmParams { iterations: em_iters, smoothing: 0.1 },
+            &spn_core::EmParams {
+                iterations: em_iters,
+                smoothing: 0.1,
+            },
         )
         .map_err(|e| CmdError(e.to_string()))?;
         em_note = format!(
@@ -185,7 +201,11 @@ fn cmd_info(args: &Args) -> Result<CmdResult, CmdError> {
     let prog = DatapathProgram::compile(&spn);
     let counts = prog.op_counts();
     let sched = PipelineSchedule::asap(&prog, &OpLatencies::cfp());
-    let dp = datapath_cost(&counts, &ArithCosts::cfp_this_work(), sched.balance_registers);
+    let dp = datapath_cost(
+        &counts,
+        &ArithCosts::cfp_this_work(),
+        sched.balance_registers,
+    );
     let one_core = design_cost(dp, &PlatformCosts::hbm_this_work(), 1, 1);
     let mut s = String::new();
     let _ = writeln!(s, "model    : {}", spn.name);
@@ -266,7 +286,15 @@ fn cmd_sample(args: &Args) -> Result<CmdResult, CmdError> {
 }
 
 fn cmd_simulate(args: &Args) -> Result<CmdResult, CmdError> {
-    args.check_known(&["benchmark", "pes", "threads", "block", "samples", "no-transfers", "trace"])?;
+    args.check_known(&[
+        "benchmark",
+        "pes",
+        "threads",
+        "block",
+        "samples",
+        "no-transfers",
+        "trace",
+    ])?;
     let bench = NipsBenchmark::from_name(args.get("benchmark").unwrap_or("NIPS10"))
         .ok_or_else(|| CmdError("unknown benchmark".into()))?;
     let mut cfg = PerfConfig::paper_setup(bench, args.get_or("pes", 4u32)?);
@@ -303,8 +331,16 @@ fn cmd_simulate(args: &Args) -> Result<CmdResult, CmdError> {
 /// the submit/wait runtime API, end to end, from the command line.
 fn cmd_accelerate(args: &Args) -> Result<CmdResult, CmdError> {
     args.check_known(&[
-        "benchmark", "pes", "threads", "block", "samples", "jobs", "fault-rate", "retries",
-        "seed", "metrics",
+        "benchmark",
+        "pes",
+        "threads",
+        "block",
+        "samples",
+        "jobs",
+        "fault-rate",
+        "retries",
+        "seed",
+        "metrics",
     ])?;
     let bench = NipsBenchmark::from_name(args.get("benchmark").unwrap_or("NIPS10"))
         .ok_or_else(|| CmdError("unknown benchmark".into()))?;
@@ -421,6 +457,173 @@ fn cmd_emit(args: &Args) -> Result<CmdResult, CmdError> {
     })
 }
 
+/// Build the scheduler stack (`SPN → datapath → virtual card →
+/// scheduler`) for one benchmark — shared by `serve`.
+fn build_scheduler(
+    bench: NipsBenchmark,
+    pes: u32,
+    threads: u32,
+    block: u64,
+) -> Result<Arc<Scheduler>, CmdError> {
+    let config = RuntimeConfig::builder()
+        .block_samples(block)
+        .threads_per_pe(threads)
+        .build()
+        .map_err(|e| CmdError(e.to_string()))?;
+    let prog = DatapathProgram::compile(&bench.build_spn());
+    let device = VirtualDevice::new(
+        prog,
+        AnyFormat::paper_default(),
+        spn_hw::AcceleratorConfig::paper_default(),
+        pes,
+        64 << 20,
+    );
+    Scheduler::new(Arc::new(device), config)
+        .map(Arc::new)
+        .map_err(|e| CmdError(e.to_string()))
+}
+
+/// Serve inference over TCP until a client sends the `Shutdown`
+/// opcode. The chosen port is written to `--port-file` *while the
+/// server runs* (deliberately outside the usual deferred-files
+/// mechanism: clients need it to find the server).
+fn cmd_serve(args: &Args) -> Result<CmdResult, CmdError> {
+    args.check_known(&[
+        "benchmarks",
+        "pes",
+        "threads",
+        "block",
+        "port",
+        "batch-samples",
+        "batch-delay-us",
+        "max-inflight",
+        "retries",
+        "port-file",
+    ])?;
+    let pes = args.get_or("pes", 4u32)?;
+    let threads = args.get_or("threads", 2u32)?;
+    let block = args.get_or("block", 2048u64)?;
+    let opts = JobOptions::builder()
+        .max_retries(args.get_or("retries", 3u32)?)
+        .build()
+        .map_err(|e| CmdError(e.to_string()))?;
+
+    let mut models = Vec::new();
+    for name in args.get("benchmarks").unwrap_or("NIPS10").split(',') {
+        let bench = NipsBenchmark::from_name(name.trim())
+            .ok_or_else(|| CmdError(format!("unknown benchmark '{name}'")))?;
+        let scheduler = build_scheduler(bench, pes, threads, block)?;
+        models.push(ModelSpec {
+            name: bench.name().to_string(),
+            scheduler,
+            num_features: bench.num_vars() as u32,
+            domain: 256,
+            opts,
+        });
+    }
+
+    let config = ServerConfig {
+        addr: format!("127.0.0.1:{}", args.get_or("port", 0u16)?),
+        batch: BatchPolicy {
+            max_batch_samples: args.get_or("batch-samples", 4096u64)?,
+            max_batch_delay: std::time::Duration::from_micros(
+                args.get_or("batch-delay-us", 2000u64)?,
+            ),
+        },
+        max_inflight_samples: args.get_or("max-inflight", 1u64 << 20)?,
+        ..ServerConfig::default()
+    };
+    let mut server =
+        SpnServer::serve(config, models).map_err(|e| CmdError(format!("cannot serve: {e}")))?;
+    let addr = server.local_addr();
+    if let Some(path) = args.get("port-file") {
+        std::fs::write(path, addr.port().to_string())
+            .map_err(|e| CmdError(format!("cannot write {path}: {e}")))?;
+    }
+    eprintln!("spn serve: listening on {addr} (send the Shutdown opcode to stop)");
+
+    server.wait_for_shutdown();
+    server.shutdown();
+    let snap = server.metrics_snapshot();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "served {} requests ({} samples) in {} batches; \
+         rejected: {} busy, {} deadline, {} malformed",
+        snap.requests_total,
+        snap.samples_total,
+        snap.batches_total,
+        snap.rejected_server_busy,
+        snap.rejected_deadline,
+        snap.rejected_malformed,
+    );
+    let _ = write!(out, "server metrics: {}", snap.to_json());
+    Ok(CmdResult::text(out))
+}
+
+/// Offer closed-loop load to a running server and report throughput
+/// and latency percentiles.
+fn cmd_load(args: &Args) -> Result<CmdResult, CmdError> {
+    args.check_known(&[
+        "addr",
+        "port-file",
+        "benchmark",
+        "connections",
+        "requests",
+        "batch",
+        "deadline-ms",
+        "seed",
+        "stats",
+        "shutdown",
+    ])?;
+    let addr: std::net::SocketAddr = match (args.get("addr"), args.get("port-file")) {
+        (Some(a), _) => a
+            .parse()
+            .map_err(|e| CmdError(format!("bad --addr '{a}': {e}")))?,
+        (None, Some(path)) => {
+            let port = std::fs::read_to_string(path)
+                .map_err(|e| CmdError(format!("cannot read {path}: {e}")))?;
+            format!("127.0.0.1:{}", port.trim())
+                .parse()
+                .map_err(|e| CmdError(format!("bad port in {path}: {e}")))?
+        }
+        (None, None) => return Err(CmdError("need --addr or --port-file".into())),
+    };
+    let bench = NipsBenchmark::from_name(args.get("benchmark").unwrap_or("NIPS10"))
+        .ok_or_else(|| CmdError("unknown benchmark".into()))?;
+    let cfg = LoadConfig {
+        addr,
+        model: bench.name().to_string(),
+        num_features: bench.num_vars() as u32,
+        domain: 255,
+        connections: args.get_or("connections", 4usize)?,
+        requests_per_connection: args.get_or("requests", 64usize)?,
+        samples_per_request: args.get_or("batch", 1u32)?,
+        deadline_ms: args.get_or("deadline-ms", 0u32)?,
+        seed: args.get_or("seed", 1u64)?,
+    };
+    let report = run_load(&cfg).map_err(|e| CmdError(format!("load run failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", report.summary());
+    if args.get("stats").is_some() {
+        let mut client = spn_server::Client::connect(addr)
+            .map_err(|e| CmdError(format!("cannot connect for stats: {e}")))?;
+        let stats = client
+            .stats()
+            .map_err(|e| CmdError(format!("stats failed: {e}")))?;
+        let _ = writeln!(out, "server stats: {stats}");
+    }
+    if args.get("shutdown").is_some() {
+        let mut client = spn_server::Client::connect(addr)
+            .map_err(|e| CmdError(format!("cannot connect for shutdown: {e}")))?;
+        client
+            .shutdown_server()
+            .map_err(|e| CmdError(format!("shutdown failed: {e}")))?;
+        let _ = writeln!(out, "sent shutdown");
+    }
+    Ok(CmdResult::text(out))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -521,11 +724,7 @@ mod tests {
             data.display()
         ))
         .unwrap();
-        let lls: Vec<f64> = out
-            .stdout
-            .lines()
-            .map(|l| l.parse().unwrap())
-            .collect();
+        let lls: Vec<f64> = out.stdout.lines().map(|l| l.parse().unwrap()).collect();
         assert_eq!(lls.len(), 2);
         assert!(lls.iter().all(|l| l.is_finite() && *l < 0.0));
         // Hardware-exact CFP inference agrees closely.
@@ -600,5 +799,60 @@ mod tests {
         assert!(out.stdout.contains("learned from 120 samples"));
         let spn = from_text(&out.files[0].1, "l", None).unwrap();
         assert_eq!(spn.num_vars(), 2);
+    }
+
+    #[test]
+    fn load_requires_an_address() {
+        let err = run_tokens("load").unwrap_err();
+        assert!(err.0.contains("--addr or --port-file"));
+    }
+
+    #[test]
+    fn serve_rejects_unknown_benchmark() {
+        let err = run_tokens("serve --benchmarks NOPE9").unwrap_err();
+        assert!(err.0.contains("unknown benchmark"));
+    }
+
+    /// End-to-end through the *CLI layer*: `serve` in a background
+    /// thread (port published via `--port-file`), `load` against it,
+    /// then a client-initiated shutdown lets `serve` return its
+    /// summary.
+    #[test]
+    fn serve_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("spn_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("port");
+        let _ = std::fs::remove_file(&port_file);
+
+        let pf = port_file.display().to_string();
+        let serve = std::thread::spawn(move || {
+            run_tokens(&format!(
+                "serve --benchmarks NIPS10 --pes 2 --block 256 \
+                 --batch-delay-us 500 --port-file {pf}"
+            ))
+        });
+        // Wait for the server to publish its port.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !port_file.exists() {
+            assert!(std::time::Instant::now() < deadline, "server never came up");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let out = run_tokens(&format!(
+            "load --port-file {} --benchmark NIPS10 --connections 2 \
+             --requests 4 --batch 8 --shutdown true",
+            port_file.display()
+        ))
+        .unwrap();
+        assert!(out.stdout.contains("samples/s"), "got: {}", out.stdout);
+        assert!(out.stdout.contains("p99"));
+        assert!(out.stdout.contains("sent shutdown"));
+
+        let summary = serve.join().unwrap().unwrap();
+        assert!(
+            summary.stdout.contains("served 8 requests (64 samples)"),
+            "got: {}",
+            summary.stdout
+        );
     }
 }

@@ -176,7 +176,9 @@ pub fn generate_bag_of_words(cfg: &BagOfWordsConfig, num_samples: usize) -> Data
     }
 
     // Topic mixture weights: Dirichlet-ish via normalized uniforms.
-    let mut weights: Vec<f64> = (0..cfg.num_clusters).map(|_| rng.gen::<f64>() + 0.1).collect();
+    let mut weights: Vec<f64> = (0..cfg.num_clusters)
+        .map(|_| rng.gen::<f64>() + 0.1)
+        .collect();
     let wsum: f64 = weights.iter().sum();
     for w in &mut weights {
         *w /= wsum;
@@ -195,7 +197,12 @@ pub fn generate_bag_of_words(cfg: &BagOfWordsConfig, num_samples: usize) -> Data
 
 /// Generate i.i.d. uniform byte data (for throughput benchmarks where
 /// content does not matter, only size).
-pub fn generate_uniform(num_samples: usize, num_features: usize, domain: usize, seed: u64) -> Dataset {
+pub fn generate_uniform(
+    num_samples: usize,
+    num_features: usize,
+    domain: usize,
+    seed: u64,
+) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let data = (0..num_samples * num_features)
         .map(|_| rng.gen_range(0..domain) as u8)

@@ -102,9 +102,7 @@ fn e_step(spn: &Spn, data: &Dataset) -> (f64, Vec<Vec<f64>>) {
         for (i, node) in spn.nodes().iter().enumerate() {
             log_value[i] = match node {
                 Node::Leaf { var, dist } => dist.log_density(Some(row[*var] as f64)),
-                Node::Product { children } => {
-                    children.iter().map(|c| log_value[c.index()]).sum()
-                }
+                Node::Product { children } => children.iter().map(|c| log_value[c.index()]).sum(),
                 Node::Sum { children, weights } => {
                     let m = children
                         .iter()
@@ -172,12 +170,9 @@ fn m_step(spn: &Spn, flows: &[Vec<f64>], smoothing: f64) -> Result<Spn, SpnError
     for (i, node) in spn.nodes().iter().enumerate() {
         let id = match node {
             Node::Leaf { var, dist } => b.leaf(*var, dist.clone()),
-            Node::Product { children } => b.product(
-                children
-                    .iter()
-                    .map(|c| map[c.index()])
-                    .collect(),
-            ),
+            Node::Product { children } => {
+                b.product(children.iter().map(|c| map[c.index()]).collect())
+            }
             Node::Sum { children, .. } => {
                 let counts = &flows[i];
                 let total: f64 = counts.iter().sum::<f64>() + smoothing * counts.len() as f64;
@@ -245,8 +240,15 @@ mod tests {
         let truth = true_model(0.85);
         let data = data_from(&truth, 3000, 7);
         let start = true_model(0.3);
-        let (_, history) =
-            em_weights(&start, &data, &EmParams { iterations: 8, smoothing: 1e-3 }).unwrap();
+        let (_, history) = em_weights(
+            &start,
+            &data,
+            &EmParams {
+                iterations: 8,
+                smoothing: 1e-3,
+            },
+        )
+        .unwrap();
         assert_eq!(history.len(), 9);
         for w in history.windows(2) {
             assert!(
@@ -258,8 +260,7 @@ mod tests {
         }
         // And meaningfully improves from the bad start.
         assert!(
-            history.last().unwrap().mean_log_likelihood
-                > history[0].mean_log_likelihood + 0.01
+            history.last().unwrap().mean_log_likelihood > history[0].mean_log_likelihood + 0.01
         );
     }
 
@@ -277,11 +278,17 @@ mod tests {
         let data = crate::dataset::generate_bag_of_words(&cfg, 2000);
         let learned =
             crate::learn::learn_spn(&data, &crate::learn::LearnParams::default(), "l").unwrap();
-        let (_, history) =
-            em_weights(&learned, &data, &EmParams { iterations: 5, smoothing: 0.05 }).unwrap();
+        let (_, history) = em_weights(
+            &learned,
+            &data,
+            &EmParams {
+                iterations: 5,
+                smoothing: 0.05,
+            },
+        )
+        .unwrap();
         assert!(
-            history.last().unwrap().mean_log_likelihood
-                >= history[0].mean_log_likelihood - 1e-9
+            history.last().unwrap().mean_log_likelihood >= history[0].mean_log_likelihood - 1e-9
         );
     }
 
@@ -309,7 +316,10 @@ mod tests {
         let (fitted, _) = em_weights(
             &start,
             &data,
-            &EmParams { iterations: 6, smoothing: 0.5 },
+            &EmParams {
+                iterations: 6,
+                smoothing: 0.5,
+            },
         )
         .unwrap();
         match fitted.node(fitted.root()) {

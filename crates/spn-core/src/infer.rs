@@ -91,9 +91,7 @@ impl<'a> Evaluator<'a> {
         for (i, node) in self.spn.nodes().iter().enumerate() {
             self.values[i] = match node {
                 Node::Leaf { var, dist } => dist.log_density(value_of(*var)),
-                Node::Product { children } => {
-                    children.iter().map(|c| self.values[c.index()]).sum()
-                }
+                Node::Product { children } => children.iter().map(|c| self.values[c.index()]).sum(),
                 Node::Sum { children, weights } => {
                     // Gather child values into a small stack buffer path:
                     // child counts are tiny (2-8) in practice, so a simple
@@ -130,11 +128,7 @@ impl<'a> Evaluator<'a> {
     ///
     /// # Panics
     /// Panics if a variable appears in both with different values.
-    pub fn log_conditional(
-        &mut self,
-        query: &[(usize, f64)],
-        evidence: &[(usize, f64)],
-    ) -> f64 {
+    pub fn log_conditional(&mut self, query: &[(usize, f64)], evidence: &[(usize, f64)]) -> f64 {
         let n = self.spn.num_vars();
         let mut joint: Vec<Option<f64>> = vec![None; n];
         let mut cond: Vec<Option<f64>> = vec![None; n];
@@ -159,10 +153,9 @@ impl<'a> Evaluator<'a> {
         for (i, node) in self.spn.nodes().iter().enumerate() {
             self.values[i] = match node {
                 Node::Leaf { var, dist } => dist.density(sample[*var]),
-                Node::Product { children } => children
-                    .iter()
-                    .map(|c| self.values[c.index()])
-                    .product(),
+                Node::Product { children } => {
+                    children.iter().map(|c| self.values[c.index()]).product()
+                }
                 Node::Sum { children, weights } => children
                     .iter()
                     .zip(weights)
@@ -191,9 +184,7 @@ impl<'a> Evaluator<'a> {
                     Some(v) => dist.log_density(Some(v)),
                     None => mode_log_density(dist),
                 },
-                Node::Product { children } => {
-                    children.iter().map(|c| self.values[c.index()]).sum()
-                }
+                Node::Product { children } => children.iter().map(|c| self.values[c.index()]).sum(),
                 Node::Sum { children, weights } => {
                     let mut best = f64::NEG_INFINITY;
                     let mut arg = 0u32;
@@ -214,10 +205,7 @@ impl<'a> Evaluator<'a> {
         }
         // Traceback: walk the induced tree from the root, assigning each
         // leaf's variable.
-        let mut assignment: Vec<f64> = evidence
-            .iter()
-            .map(|e| e.unwrap_or(f64::NAN))
-            .collect();
+        let mut assignment: Vec<f64> = evidence.iter().map(|e| e.unwrap_or(f64::NAN)).collect();
         let mut stack: Vec<NodeId> = vec![spn.root()];
         while let Some(id) = stack.pop() {
             match spn.node(id) {
@@ -268,10 +256,7 @@ fn mode_value(dist: &crate::leaf::Leaf) -> f64 {
 /// One-shot convenience: log-likelihoods of many byte samples.
 pub fn batch_log_likelihood(spn: &Spn, samples: &[Vec<u8>]) -> Vec<f64> {
     let mut ev = Evaluator::new(spn);
-    samples
-        .iter()
-        .map(|s| ev.log_likelihood_bytes(s))
-        .collect()
+    samples.iter().map(|s| ev.log_likelihood_bytes(s)).collect()
 }
 
 #[cfg(test)]
@@ -410,10 +395,7 @@ mod tests {
         assert!(r.is_finite());
         assert!(r < -799.0 && r > -801.0);
         // Degenerate: all weights zero.
-        assert_eq!(
-            log_sum_exp_weighted(&[-1.0], &[0.0]),
-            f64::NEG_INFINITY
-        );
+        assert_eq!(log_sum_exp_weighted(&[-1.0], &[0.0]), f64::NEG_INFINITY);
         // Exact small case: log(0.3 e^0 + 0.7 e^0) = log 1.
         let r = log_sum_exp_weighted(&[0.0, 0.0], &[0.3, 0.7]);
         assert!(r.abs() < 1e-12);

@@ -81,11 +81,21 @@ impl Leaf {
                         breaks.len()
                     )));
                 }
-                if breaks.windows(2).any(|w| w[1].partial_cmp(&w[0]) != Some(std::cmp::Ordering::Greater)) {
-                    return Err(LeafError("histogram breaks must be strictly ascending".into()));
+                if breaks
+                    .windows(2)
+                    .any(|w| w[1].partial_cmp(&w[0]) != Some(std::cmp::Ordering::Greater))
+                {
+                    return Err(LeafError(
+                        "histogram breaks must be strictly ascending".into(),
+                    ));
                 }
-                if densities.iter().any(|&d| d.is_nan() || d < 0.0 || !d.is_finite()) {
-                    return Err(LeafError("histogram densities must be finite and >= 0".into()));
+                if densities
+                    .iter()
+                    .any(|&d| d.is_nan() || d < 0.0 || !d.is_finite())
+                {
+                    return Err(LeafError(
+                        "histogram densities must be finite and >= 0".into(),
+                    ));
                 }
                 // Total mass should integrate to ~1.
                 let mass: f64 = breaks
@@ -113,8 +123,13 @@ impl Leaf {
                 if probs.is_empty() {
                     return Err(LeafError("categorical has no outcomes".into()));
                 }
-                if probs.iter().any(|&p| p.is_nan() || p < 0.0 || !p.is_finite()) {
-                    return Err(LeafError("categorical probs must be finite and >= 0".into()));
+                if probs
+                    .iter()
+                    .any(|&p| p.is_nan() || p < 0.0 || !p.is_finite())
+                {
+                    return Err(LeafError(
+                        "categorical probs must be finite and >= 0".into(),
+                    ));
                 }
                 let total: f64 = probs.iter().sum();
                 if (total - 1.0).abs() > 1e-6 {
@@ -137,8 +152,8 @@ impl Leaf {
                     return 0.0;
                 }
                 let idx = match breaks.binary_search_by(|b| b.partial_cmp(&x).unwrap()) {
-                    Ok(i) => i,              // exactly on a break: bucket i (left-closed)
-                    Err(i) => i - 1,         // insertion point; bucket to the left
+                    Ok(i) => i,      // exactly on a break: bucket i (left-closed)
+                    Err(i) => i - 1, // insertion point; bucket to the left
                 };
                 densities[idx.min(densities.len() - 1)]
             }
@@ -197,10 +212,7 @@ impl Leaf {
             counts[idx] += 1;
         }
         let total = values.len() as f64 + alpha * domain as f64;
-        let probs: Vec<f64> = counts
-            .iter()
-            .map(|&c| (c as f64 + alpha) / total)
-            .collect();
+        let probs: Vec<f64> = counts.iter().map(|&c| (c as f64 + alpha) / total).collect();
         Leaf::byte_histogram(&probs)
     }
 }
@@ -265,7 +277,10 @@ mod tests {
 
     #[test]
     fn gaussian_density_peaks_at_mean() {
-        let g = Leaf::Gaussian { mean: 2.0, std: 1.0 };
+        let g = Leaf::Gaussian {
+            mean: 2.0,
+            std: 1.0,
+        };
         g.validate().unwrap();
         let peak = g.density(2.0);
         assert!((peak - 0.3989422804014327).abs() < 1e-12);
@@ -275,9 +290,24 @@ mod tests {
 
     #[test]
     fn gaussian_validation() {
-        assert!(Leaf::Gaussian { mean: 0.0, std: 0.0 }.validate().is_err());
-        assert!(Leaf::Gaussian { mean: f64::NAN, std: 1.0 }.validate().is_err());
-        assert!(Leaf::Gaussian { mean: 0.0, std: -1.0 }.validate().is_err());
+        assert!(Leaf::Gaussian {
+            mean: 0.0,
+            std: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(Leaf::Gaussian {
+            mean: f64::NAN,
+            std: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Leaf::Gaussian {
+            mean: 0.0,
+            std: -1.0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -342,6 +372,13 @@ mod tests {
             .table_size(),
             Some(2)
         );
-        assert_eq!(Leaf::Gaussian { mean: 0.0, std: 1.0 }.table_size(), None);
+        assert_eq!(
+            Leaf::Gaussian {
+                mean: 0.0,
+                std: 1.0
+            }
+            .table_size(),
+            None
+        );
     }
 }

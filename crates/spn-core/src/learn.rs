@@ -333,10 +333,7 @@ mod tests {
         let data = clustered_data(5, 1000);
         let spn = learn_spn(&data, &LearnParams::default(), "fit").unwrap();
         let mut ev = Evaluator::new(&spn);
-        let mean_ll: f64 = data
-            .rows()
-            .map(|r| ev.log_likelihood_bytes(r))
-            .sum::<f64>()
+        let mean_ll: f64 = data.rows().map(|r| ev.log_likelihood_bytes(r)).sum::<f64>()
             / data.num_samples() as f64;
         // Uniform model over 8^5 outcomes -> mean LL = -5 ln 8 ≈ -10.4.
         let uniform_ll = -(5.0 * (8f64).ln());
@@ -378,8 +375,14 @@ mod tests {
         let rows: Vec<usize> = (0..n).collect();
         let dep = mutual_information(&d, &rows, 0, 1);
         let indep = mutual_information(&d, &rows, 0, 2);
-        assert!(dep > 1.0, "identical columns should have MI ~ln4, got {dep}");
-        assert!(indep < 0.01, "cycled columns should be ~independent, got {indep}");
+        assert!(
+            dep > 1.0,
+            "identical columns should have MI ~ln4, got {dep}"
+        );
+        assert!(
+            indep < 0.01,
+            "cycled columns should be ~independent, got {indep}"
+        );
     }
 
     #[test]

@@ -255,7 +255,10 @@ mod tests {
         assert!(sizes.windows(2).all(|w| w[0] < w[1]), "{sizes:?}");
         // ...and roughly linear: NIPS80 within [4x, 16x] of NIPS10.
         let ratio = sizes[4] as f64 / sizes[0] as f64;
-        assert!((4.0..16.0).contains(&ratio), "ratio {ratio}, sizes {sizes:?}");
+        assert!(
+            (4.0..16.0).contains(&ratio),
+            "ratio {ratio}, sizes {sizes:?}"
+        );
     }
 
     #[test]

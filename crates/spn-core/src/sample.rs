@@ -181,7 +181,13 @@ mod tests {
     #[test]
     fn gaussian_sampling_moments() {
         let mut b = SpnBuilder::new(1);
-        let g = b.leaf(0, Leaf::Gaussian { mean: 5.0, std: 2.0 });
+        let g = b.leaf(
+            0,
+            Leaf::Gaussian {
+                mean: 5.0,
+                std: 2.0,
+            },
+        );
         let spn = b.finish(g, "g").unwrap();
         let mut s = Sampler::new(&spn, 7);
         let n = 100_000;
@@ -195,7 +201,12 @@ mod tests {
     #[test]
     fn categorical_sampling_frequencies() {
         let mut b = SpnBuilder::new(1);
-        let c = b.leaf(0, Leaf::Categorical { probs: vec![0.1, 0.2, 0.7] });
+        let c = b.leaf(
+            0,
+            Leaf::Categorical {
+                probs: vec![0.1, 0.2, 0.7],
+            },
+        );
         let spn = b.finish(c, "c").unwrap();
         let mut s = Sampler::new(&spn, 3);
         let n = 100_000;
@@ -216,8 +227,8 @@ mod tests {
         let spn = mixture();
         let data_raw = Sampler::new(&spn, 77).sample_bytes(4000);
         let data = crate::dataset::Dataset::from_raw(data_raw, 2, 2);
-        let learned = crate::learn::learn_spn(&data, &crate::learn::LearnParams::default(), "rl")
-            .unwrap();
+        let learned =
+            crate::learn::learn_spn(&data, &crate::learn::LearnParams::default(), "rl").unwrap();
         let mut ev_true = Evaluator::new(&spn);
         let mut ev_learned = Evaluator::new(&learned);
         let mean = |ev: &mut Evaluator| -> f64 {

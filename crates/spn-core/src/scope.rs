@@ -170,8 +170,7 @@ mod tests {
     #[test]
     fn same_as_ignores_trailing_words() {
         let mut a = Scope::singleton(1);
-        let mut b = Scope::singleton(200);
-        b = Scope::singleton(1); // reuse var; b has longer word vec history? build fresh
+        let mut b = Scope::singleton(1);
         let _ = &mut b;
         assert!(a.same_as(&b));
         a.insert(200);

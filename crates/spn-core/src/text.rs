@@ -137,10 +137,7 @@ fn fmt_f64(x: f64) -> String {
 }
 
 fn join_f64(xs: &[f64]) -> String {
-    xs.iter()
-        .map(|x| fmt_f64(*x))
-        .collect::<Vec<_>>()
-        .join(",")
+    xs.iter().map(|x| fmt_f64(*x)).collect::<Vec<_>>().join(",")
 }
 
 /// Parse the textual format into a validated [`Spn`].
@@ -269,9 +266,11 @@ impl<'a> Parser<'a> {
     fn number(&mut self) -> Result<f64, ParseError> {
         self.skip_ws();
         let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(|b| {
-            b.is_ascii_digit() || matches!(b, b'.' | b'-' | b'+' | b'e' | b'E')
-        }) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'-' | b'+' | b'e' | b'E'))
+        {
             self.pos += 1;
         }
         if self.pos == start {
@@ -414,9 +413,26 @@ mod tests {
     fn sample_spn() -> Spn {
         let mut b = SpnBuilder::new(2);
         let a0 = b.leaf(0, Leaf::byte_histogram(&[0.5, 0.5]));
-        let a1 = b.leaf(1, Leaf::Gaussian { mean: 1.5, std: 0.25 });
-        let c0 = b.leaf(0, Leaf::Categorical { probs: vec![0.9, 0.1] });
-        let c1 = b.leaf(1, Leaf::Gaussian { mean: -2.0, std: 1.0 });
+        let a1 = b.leaf(
+            1,
+            Leaf::Gaussian {
+                mean: 1.5,
+                std: 0.25,
+            },
+        );
+        let c0 = b.leaf(
+            0,
+            Leaf::Categorical {
+                probs: vec![0.9, 0.1],
+            },
+        );
+        let c1 = b.leaf(
+            1,
+            Leaf::Gaussian {
+                mean: -2.0,
+                std: 1.0,
+            },
+        );
         let p1 = b.product(vec![a0, a1]);
         let p2 = b.product(vec![c0, c1]);
         let s = b.sum(vec![(0.3, p1), (0.7, p2)]);
@@ -448,7 +464,8 @@ mod tests {
 
     #[test]
     fn parses_with_arbitrary_whitespace() {
-        let text = "Sum(  0.5 * Histogram( V0 | [0,1] ; [1.0] ) ,\n 0.5*Histogram(V0|[0,1];[1.0]) )";
+        let text =
+            "Sum(  0.5 * Histogram( V0 | [0,1] ; [1.0] ) ,\n 0.5*Histogram(V0|[0,1];[1.0]) )";
         assert!(from_text(text, "ws", None).is_ok());
     }
 

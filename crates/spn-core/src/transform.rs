@@ -84,12 +84,7 @@ pub fn prune(spn: &Spn, epsilon: f64) -> Result<Spn, SpnError> {
                     survivors[0].1
                 } else {
                     let total: f64 = survivors.iter().map(|(w, _)| w).sum();
-                    b.sum(
-                        survivors
-                            .into_iter()
-                            .map(|(w, c)| (w / total, c))
-                            .collect(),
-                    )
+                    b.sum(survivors.into_iter().map(|(w, c)| (w / total, c)).collect())
                 }
             }
         };
@@ -114,9 +109,7 @@ pub fn normalize_weights(spn: &Spn) -> Result<Spn, SpnError> {
                 .collect();
             b.sum(kids)
         }
-        Node::Product { children } => {
-            b.product(children.iter().map(|c| map[c.index()]).collect())
-        }
+        Node::Product { children } => b.product(children.iter().map(|c| map[c.index()]).collect()),
         Node::Leaf { var, dist } => b.leaf(*var, dist.clone()),
     })
 }
@@ -166,9 +159,7 @@ fn rebuild(
 ) -> Result<Spn, SpnError> {
     rebuild_full(spn, |node, map, b| match node {
         Node::Leaf { var, dist } => leaf_fn(*var, dist, b),
-        Node::Product { children } => {
-            b.product(children.iter().map(|c| map[c.index()]).collect())
-        }
+        Node::Product { children } => b.product(children.iter().map(|c| map[c.index()]).collect()),
         Node::Sum { children, weights } => b.sum(
             children
                 .iter()
@@ -203,7 +194,8 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -215,10 +207,34 @@ mod tests {
     /// Fig. 1(a): a Gaussian-leaf SPN.
     fn gaussian_spn() -> Spn {
         let mut b = SpnBuilder::new(2);
-        let g00 = b.leaf(0, Leaf::Gaussian { mean: 3.0, std: 1.5 });
-        let g01 = b.leaf(1, Leaf::Gaussian { mean: 10.0, std: 2.0 });
-        let g10 = b.leaf(0, Leaf::Gaussian { mean: 12.0, std: 2.0 });
-        let g11 = b.leaf(1, Leaf::Gaussian { mean: 4.0, std: 1.0 });
+        let g00 = b.leaf(
+            0,
+            Leaf::Gaussian {
+                mean: 3.0,
+                std: 1.5,
+            },
+        );
+        let g01 = b.leaf(
+            1,
+            Leaf::Gaussian {
+                mean: 10.0,
+                std: 2.0,
+            },
+        );
+        let g10 = b.leaf(
+            0,
+            Leaf::Gaussian {
+                mean: 12.0,
+                std: 2.0,
+            },
+        );
+        let g11 = b.leaf(
+            1,
+            Leaf::Gaussian {
+                mean: 4.0,
+                std: 1.0,
+            },
+        );
         let p0 = b.product(vec![g00, g01]);
         let p1 = b.product(vec![g10, g11]);
         let s = b.sum(vec![(0.6, p0), (0.4, p1)]);
@@ -233,7 +249,10 @@ mod tests {
         // All leaves are now histograms.
         assert!(mixed.nodes().iter().all(|n| !matches!(
             n,
-            Node::Leaf { dist: Leaf::Gaussian { .. }, .. }
+            Node::Leaf {
+                dist: Leaf::Gaussian { .. },
+                ..
+            }
         )));
         // Likelihoods stay close where the density is non-negligible
         // (histograms hold the *average* density per bucket, which in
@@ -247,9 +266,7 @@ mod tests {
                 // Bucket [a, a+1) holds the average density, which is the
                 // continuous density at the bucket *midpoint* (to second
                 // order) — compare there.
-                let c = ec
-                    .log_likelihood(&[a as f64 + 0.5, b as f64 + 0.5])
-                    .exp();
+                let c = ec.log_likelihood(&[a as f64 + 0.5, b as f64 + 0.5]).exp();
                 let m = em.log_likelihood_bytes(&[a, b]).exp();
                 if c > 5e-3 {
                     // Bulk: tight agreement.

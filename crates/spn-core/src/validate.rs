@@ -114,11 +114,7 @@ pub fn validate(spn: &Spn) -> Result<(), SpnError> {
             if children.len() != weights.len() {
                 return Err(SpnError::BadWeights {
                     node: i,
-                    detail: format!(
-                        "{} children but {} weights",
-                        children.len(),
-                        weights.len()
-                    ),
+                    detail: format!("{} children but {} weights", children.len(), weights.len()),
                 });
             }
             if weights.is_empty() {

@@ -216,9 +216,19 @@ mod tests {
         let bench = NipsBenchmark::Nips10;
         let samples = 4u64 << 20;
         let plan = plan_job(samples, bench.input_bytes_per_sample(), 8, 0, 128 << 20);
-        let (mem, compute) =
-            replay_against_channel(&plan, &channel, &accel, samples, bench.input_bytes_per_sample());
-        assert!(mem * 4.0 < compute * 1.05, "4 cores: {} vs {}", mem * 4.0, compute);
+        let (mem, compute) = replay_against_channel(
+            &plan,
+            &channel,
+            &accel,
+            samples,
+            bench.input_bytes_per_sample(),
+        );
+        assert!(
+            mem * 4.0 < compute * 1.05,
+            "4 cores: {} vs {}",
+            mem * 4.0,
+            compute
+        );
     }
 
     #[test]

@@ -28,19 +28,75 @@ pub struct Table1Row {
 /// Table I, "New" columns (this work: 4 cores + 4 HBM channels on the
 /// Bittware XUP-VVH / VU37P).
 pub const TABLE1_NEW: [Table1Row; 4] = [
-    Table1Row { benchmark: "NIPS10", klut_logic: 169.8, klut_mem: 66.9, kregs: 275.1, bram: 122, dsp: 200 },
-    Table1Row { benchmark: "NIPS20", klut_logic: 180.5, klut_mem: 69.6, kregs: 320.7, bram: 126, dsp: 448 },
-    Table1Row { benchmark: "NIPS30", klut_logic: 230.9, klut_mem: 70.4, kregs: 354.4, bram: 122, dsp: 696 },
-    Table1Row { benchmark: "NIPS40", klut_logic: 241.2, klut_mem: 72.9, kregs: 401.6, bram: 132, dsp: 976 },
+    Table1Row {
+        benchmark: "NIPS10",
+        klut_logic: 169.8,
+        klut_mem: 66.9,
+        kregs: 275.1,
+        bram: 122,
+        dsp: 200,
+    },
+    Table1Row {
+        benchmark: "NIPS20",
+        klut_logic: 180.5,
+        klut_mem: 69.6,
+        kregs: 320.7,
+        bram: 126,
+        dsp: 448,
+    },
+    Table1Row {
+        benchmark: "NIPS30",
+        klut_logic: 230.9,
+        klut_mem: 70.4,
+        kregs: 354.4,
+        bram: 122,
+        dsp: 696,
+    },
+    Table1Row {
+        benchmark: "NIPS40",
+        klut_logic: 241.2,
+        klut_mem: 72.9,
+        kregs: 401.6,
+        bram: 132,
+        dsp: 976,
+    },
 ];
 
 /// Table I, "\[8\]" columns (prior work: 4 cores + 4 DDR4 soft memory
 /// controllers on AWS F1 / VU9P).
 pub const TABLE1_PRIOR: [Table1Row; 4] = [
-    Table1Row { benchmark: "NIPS10", klut_logic: 376.0, klut_mem: 45.4, kregs: 530.2, bram: 360, dsp: 612 },
-    Table1Row { benchmark: "NIPS20", klut_logic: 467.0, klut_mem: 54.4, kregs: 650.6, bram: 388, dsp: 1356 },
-    Table1Row { benchmark: "NIPS30", klut_logic: 577.3, klut_mem: 62.6, kregs: 765.4, bram: 364, dsp: 2100 },
-    Table1Row { benchmark: "NIPS40", klut_logic: 664.1, klut_mem: 75.1, kregs: 907.1, bram: 380, dsp: 2940 },
+    Table1Row {
+        benchmark: "NIPS10",
+        klut_logic: 376.0,
+        klut_mem: 45.4,
+        kregs: 530.2,
+        bram: 360,
+        dsp: 612,
+    },
+    Table1Row {
+        benchmark: "NIPS20",
+        klut_logic: 467.0,
+        klut_mem: 54.4,
+        kregs: 650.6,
+        bram: 388,
+        dsp: 1356,
+    },
+    Table1Row {
+        benchmark: "NIPS30",
+        klut_logic: 577.3,
+        klut_mem: 62.6,
+        kregs: 765.4,
+        bram: 364,
+        dsp: 2100,
+    },
+    Table1Row {
+        benchmark: "NIPS40",
+        klut_logic: 664.1,
+        klut_mem: 75.1,
+        kregs: 907.1,
+        bram: 380,
+        dsp: 2940,
+    },
 ];
 
 /// Table I "Available" row for this work's FPGA (VU37P).
@@ -110,7 +166,11 @@ mod tests {
         // "approx. 66% fewer" logic LUTs / BRAM / DSPs; ~50% fewer regs.
         for (n, p) in TABLE1_NEW.iter().zip(&TABLE1_PRIOR) {
             let dsp_ratio = p.dsp as f64 / n.dsp as f64;
-            assert!((2.8..3.3).contains(&dsp_ratio), "{}: {dsp_ratio}", n.benchmark);
+            assert!(
+                (2.8..3.3).contains(&dsp_ratio),
+                "{}: {dsp_ratio}",
+                n.benchmark
+            );
             let reg_ratio = p.kregs / n.kregs;
             assert!((1.8..2.3).contains(&reg_ratio));
             let bram_ratio = p.bram as f64 / n.bram as f64;

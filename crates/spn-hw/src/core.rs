@@ -145,9 +145,7 @@ impl AcceleratorCore {
             AnyFormat::Cfp(f) => self.program.execute_batch(f, input),
             AnyFormat::Lns(f) => self.program.execute_batch(f, input),
             AnyFormat::Posit(f) => self.program.execute_batch(f, input),
-            AnyFormat::F64 => self
-                .program
-                .execute_batch(&spn_arith::F64Format, input),
+            AnyFormat::F64 => self.program.execute_batch(&spn_arith::F64Format, input),
         }
     }
 

@@ -18,8 +18,8 @@
 
 pub mod axi_traffic;
 pub mod calib;
-pub mod netlist;
 pub mod core;
+pub mod netlist;
 pub mod pipeline;
 pub mod program;
 pub mod regfile;
@@ -31,6 +31,4 @@ pub use netlist::{emit_verilog, Netlist};
 pub use pipeline::{OpLatencies, PipelineSchedule};
 pub use program::{DatapathOp, DatapathProgram, OpCounts, OpId};
 pub use regfile::{Reg, RegisterFile, SynthConfig};
-pub use resources::{
-    datapath_cost, design_cost, max_cores, ArithCosts, PlatformCosts, Resources,
-};
+pub use resources::{datapath_cost, design_cost, max_cores, ArithCosts, PlatformCosts, Resources};

@@ -73,7 +73,11 @@ pub fn emit_verilog(prog: &DatapathProgram, value_bits: u32, latencies: &OpLaten
         "        else        valid_sr <= {{valid_sr[{}:0], in_valid}};",
         sched.depth.max(2) - 2
     );
-    let _ = writeln!(v, "    assign out_valid = valid_sr[{}];", sched.depth.max(1) - 1);
+    let _ = writeln!(
+        v,
+        "    assign out_valid = valid_sr[{}];",
+        sched.depth.max(1) - 1
+    );
     let _ = writeln!(v);
 
     for (i, op) in prog.ops().iter().enumerate() {
@@ -95,10 +99,7 @@ pub fn emit_verilog(prog: &DatapathProgram, value_bits: u32, latencies: &OpLaten
                 roms.push((rom_file, rom_hex(table, value_bits)));
             }
             DatapathOp::Mul { a, b } => {
-                let _ = writeln!(
-                    v,
-                    "    spn_mul #(.VALUE_W(VALUE_W)) u{i} // stage {stage}"
-                );
+                let _ = writeln!(v, "    spn_mul #(.VALUE_W(VALUE_W)) u{i} // stage {stage}");
                 let _ = writeln!(
                     v,
                     "        (.clk(clk), .a(op{}), .b(op{}), .p(op{i}));",
@@ -115,10 +116,7 @@ pub fn emit_verilog(prog: &DatapathProgram, value_bits: u32, latencies: &OpLaten
                 let _ = writeln!(v, "        (.clk(clk), .a(op{}), .p(op{i}));", a.index());
             }
             DatapathOp::Add { a, b } => {
-                let _ = writeln!(
-                    v,
-                    "    spn_add #(.VALUE_W(VALUE_W)) u{i} // stage {stage}"
-                );
+                let _ = writeln!(v, "    spn_add #(.VALUE_W(VALUE_W)) u{i} // stage {stage}");
                 let _ = writeln!(
                     v,
                     "        (.clk(clk), .a(op{}), .b(op{}), .s(op{i}));",
@@ -148,7 +146,12 @@ fn rom_hex(table: &[f64], value_bits: u32) -> String {
     let mut out = String::with_capacity(table.len() * 10);
     let shift = 64 - value_bits.min(63);
     for p in table {
-        let _ = writeln!(out, "{:0w$x}", p.to_bits() >> shift, w = (value_bits as usize).div_ceil(4));
+        let _ = writeln!(
+            out,
+            "{:0w$x}",
+            p.to_bits() >> shift,
+            w = (value_bits as usize).div_ceil(4)
+        );
     }
     out
 }
@@ -156,7 +159,13 @@ fn rom_hex(table: &[f64], value_bits: u32) -> String {
 fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
         s.insert(0, 'm');

@@ -193,7 +193,12 @@ mod tests {
         let lns = PipelineSchedule::asap(&prog, &OpLatencies::lns());
         // Both schedules are valid; they just differ. For mul-heavy SPN
         // datapaths LNS is shallower overall.
-        assert!(lns.depth < cfp.depth, "lns {} vs cfp {}", lns.depth, cfp.depth);
+        assert!(
+            lns.depth < cfp.depth,
+            "lns {} vs cfp {}",
+            lns.depth,
+            cfp.depth
+        );
     }
 
     #[test]

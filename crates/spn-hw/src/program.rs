@@ -129,8 +129,7 @@ impl DatapathProgram {
                     push(&mut ops, DatapathOp::LeafLookup { var: *var, table })
                 }
                 Node::Product { children } => {
-                    let inputs: Vec<OpId> =
-                        children.iter().map(|c| result[c.index()]).collect();
+                    let inputs: Vec<OpId> = children.iter().map(|c| result[c.index()]).collect();
                     reduce_tree(&mut ops, &inputs, |a, b| DatapathOp::Mul { a, b })
                 }
                 Node::Sum { children, weights } => {
@@ -337,10 +336,7 @@ mod tests {
                 ("posit", 1e-1, prog.execute(&posit, row)),
             ] {
                 let rel = ((got - reference) / reference).abs();
-                assert!(
-                    rel < tol,
-                    "{label}: {got} vs {reference} (rel {rel})"
-                );
+                assert!(rel < tol, "{label}: {got} vs {reference} (rel {rel})");
             }
         }
     }
@@ -398,7 +394,13 @@ mod tests {
     #[should_panic(expected = "table leaves")]
     fn gaussian_leaves_rejected() {
         let mut b = SpnBuilder::new(1);
-        let g = b.leaf(0, Leaf::Gaussian { mean: 0.0, std: 1.0 });
+        let g = b.leaf(
+            0,
+            Leaf::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
+        );
         let spn = b.finish(g, "gauss").unwrap();
         DatapathProgram::compile(&spn);
     }

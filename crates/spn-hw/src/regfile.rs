@@ -141,10 +141,12 @@ impl RegisterFile {
                 self.num_samples = value;
                 Ok(())
             }
-            Reg::Status | Reg::CfgVars | Reg::CfgInputBytes | Reg::CfgResultBytes
-            | Reg::CfgFormat | Reg::CfgVersion => {
-                Err(RegError(format!("register {reg:?} is read-only")))
-            }
+            Reg::Status
+            | Reg::CfgVars
+            | Reg::CfgInputBytes
+            | Reg::CfgResultBytes
+            | Reg::CfgFormat
+            | Reg::CfgVersion => Err(RegError(format!("register {reg:?} is read-only"))),
         }
     }
 

@@ -90,9 +90,27 @@ impl ArithCosts {
     /// LUT-based magnitude adders, tables in LUTRAM (33-bit entries fit).
     pub fn cfp_this_work() -> Self {
         ArithCosts {
-            mul: Resources { klut_logic: 0.15, klut_mem: 0.0, kregs: 0.30, bram: 0.0, dsp: 2.0 },
-            const_mul: Resources { klut_logic: 0.08, klut_mem: 0.0, kregs: 0.18, bram: 0.0, dsp: 1.0 },
-            add: Resources { klut_logic: 0.25, klut_mem: 0.0, kregs: 0.28, bram: 0.0, dsp: 0.0 },
+            mul: Resources {
+                klut_logic: 0.15,
+                klut_mem: 0.0,
+                kregs: 0.30,
+                bram: 0.0,
+                dsp: 2.0,
+            },
+            const_mul: Resources {
+                klut_logic: 0.08,
+                klut_mem: 0.0,
+                kregs: 0.18,
+                bram: 0.0,
+                dsp: 1.0,
+            },
+            add: Resources {
+                klut_logic: 0.25,
+                klut_mem: 0.0,
+                kregs: 0.28,
+                bram: 0.0,
+                dsp: 0.0,
+            },
             value_bits: 33,
             lutram_bits_per_lut: 106,
         }
@@ -102,9 +120,27 @@ impl ArithCosts {
     /// multipliers, wide adders, 64-bit tables too wide for LUTRAM.
     pub fn fp64_prior_work() -> Self {
         ArithCosts {
-            mul: Resources { klut_logic: 0.55, klut_mem: 0.0, kregs: 0.75, bram: 0.0, dsp: 6.0 },
-            const_mul: Resources { klut_logic: 0.35, klut_mem: 0.0, kregs: 0.45, bram: 0.0, dsp: 3.0 },
-            add: Resources { klut_logic: 0.75, klut_mem: 0.0, kregs: 0.70, bram: 0.0, dsp: 0.0 },
+            mul: Resources {
+                klut_logic: 0.55,
+                klut_mem: 0.0,
+                kregs: 0.75,
+                bram: 0.0,
+                dsp: 6.0,
+            },
+            const_mul: Resources {
+                klut_logic: 0.35,
+                klut_mem: 0.0,
+                kregs: 0.45,
+                bram: 0.0,
+                dsp: 3.0,
+            },
+            add: Resources {
+                klut_logic: 0.75,
+                klut_mem: 0.0,
+                kregs: 0.70,
+                bram: 0.0,
+                dsp: 0.0,
+            },
             value_bits: 64,
             lutram_bits_per_lut: 0, // tables spill to BRAM
         }
@@ -129,8 +165,20 @@ impl PlatformCosts {
     /// This work: XUP-VVH with TaPaSCo, hard HBM controllers.
     pub fn hbm_this_work() -> Self {
         PlatformCosts {
-            per_core: Resources { klut_logic: 8.0, klut_mem: 0.6, kregs: 20.0, bram: 8.0, dsp: 0.0 },
-            base: Resources { klut_logic: 120.0, klut_mem: 58.0, kregs: 140.0, bram: 90.0, dsp: 0.0 },
+            per_core: Resources {
+                klut_logic: 8.0,
+                klut_mem: 0.6,
+                kregs: 20.0,
+                bram: 8.0,
+                dsp: 0.0,
+            },
+            base: Resources {
+                klut_logic: 120.0,
+                klut_mem: 58.0,
+                kregs: 140.0,
+                bram: 90.0,
+                dsp: 0.0,
+            },
             per_memory_controller: Resources::default(), // hard IP
             utilization_ceiling: 0.70,
         }
@@ -139,9 +187,27 @@ impl PlatformCosts {
     /// Prior work: AWS F1 with shell + soft DDR4 controllers.
     pub fn f1_prior_work() -> Self {
         PlatformCosts {
-            per_core: Resources { klut_logic: 10.0, klut_mem: 1.2, kregs: 25.0, bram: 12.0, dsp: 0.0 },
-            base: Resources { klut_logic: 110.0, klut_mem: 28.0, kregs: 160.0, bram: 200.0, dsp: 0.0 },
-            per_memory_controller: Resources { klut_logic: 32.0, klut_mem: 2.0, kregs: 28.0, bram: 28.0, dsp: 0.0 },
+            per_core: Resources {
+                klut_logic: 10.0,
+                klut_mem: 1.2,
+                kregs: 25.0,
+                bram: 12.0,
+                dsp: 0.0,
+            },
+            base: Resources {
+                klut_logic: 110.0,
+                klut_mem: 28.0,
+                kregs: 160.0,
+                bram: 200.0,
+                dsp: 0.0,
+            },
+            per_memory_controller: Resources {
+                klut_logic: 32.0,
+                klut_mem: 2.0,
+                kregs: 28.0,
+                bram: 28.0,
+                dsp: 0.0,
+            },
             utilization_ceiling: 0.72,
         }
     }
@@ -284,10 +350,22 @@ mod tests {
     fn new_design_is_roughly_3x_leaner_in_dsp() {
         // The paper's headline Table I observation.
         for bench in TABLE1_BENCHMARKS {
-            let new = model_row(bench, &ArithCosts::cfp_this_work(), &PlatformCosts::hbm_this_work());
-            let prior = model_row(bench, &ArithCosts::fp64_prior_work(), &PlatformCosts::f1_prior_work());
+            let new = model_row(
+                bench,
+                &ArithCosts::cfp_this_work(),
+                &PlatformCosts::hbm_this_work(),
+            );
+            let prior = model_row(
+                bench,
+                &ArithCosts::fp64_prior_work(),
+                &PlatformCosts::f1_prior_work(),
+            );
             let ratio = prior.dsp / new.dsp;
-            assert!((2.5..3.5).contains(&ratio), "{}: DSP ratio {ratio}", bench.name());
+            assert!(
+                (2.5..3.5).contains(&ratio),
+                "{}: DSP ratio {ratio}",
+                bench.name()
+            );
             assert!(prior.klut_logic / new.klut_logic > 1.8);
             assert!(prior.kregs / new.kregs > 1.5);
         }
@@ -299,7 +377,11 @@ mod tests {
         let sched = PipelineSchedule::asap(&prog, &OpLatencies::cfp());
         let counts = prog.op_counts();
 
-        let new_dp = datapath_cost(&counts, &ArithCosts::cfp_this_work(), sched.balance_registers);
+        let new_dp = datapath_cost(
+            &counts,
+            &ArithCosts::cfp_this_work(),
+            sched.balance_registers,
+        );
         let new_max = max_cores(
             new_dp,
             &PlatformCosts::hbm_this_work(),
@@ -311,7 +393,11 @@ mod tests {
             "HBM design should fit >= 8 NIPS80 cores, model says {new_max}"
         );
 
-        let prior_dp = datapath_cost(&counts, &ArithCosts::fp64_prior_work(), sched.balance_registers);
+        let prior_dp = datapath_cost(
+            &counts,
+            &ArithCosts::fp64_prior_work(),
+            sched.balance_registers,
+        );
         let prior_max = max_cores(
             prior_dp,
             &PlatformCosts::f1_prior_work(),
@@ -327,11 +413,23 @@ mod tests {
 
     #[test]
     fn resources_algebra() {
-        let a = Resources { klut_logic: 1.0, klut_mem: 2.0, kregs: 3.0, bram: 4.0, dsp: 5.0 };
+        let a = Resources {
+            klut_logic: 1.0,
+            klut_mem: 2.0,
+            kregs: 3.0,
+            bram: 4.0,
+            dsp: 5.0,
+        };
         let b = a.times(2.0).plus(a);
         assert_eq!(b.klut_logic, 3.0);
         assert_eq!(b.dsp, 15.0);
-        let budget = Resources { klut_logic: 10.0, klut_mem: 10.0, kregs: 10.0, bram: 13.0, dsp: 15.0 };
+        let budget = Resources {
+            klut_logic: 10.0,
+            klut_mem: 10.0,
+            kregs: 10.0,
+            bram: 13.0,
+            dsp: 15.0,
+        };
         assert!(b.fits_in(&budget, 1.0));
         assert!(!b.fits_in(&budget, 0.5));
     }

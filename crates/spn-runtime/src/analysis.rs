@@ -10,12 +10,12 @@
 //! stops being the bottleneck.
 
 use mem_model::{ClockConfig, HbmConfig};
-use spn_hw::DatapathProgram;
 use pcie_model::{PcieGeneration, PcieLink};
 use serde::{Deserialize, Serialize};
 use sim_core::Bandwidth;
 use spn_core::NipsBenchmark;
 use spn_hw::AcceleratorConfig;
+use spn_hw::DatapathProgram;
 
 /// The three HBM reference lines of Fig. 5.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -88,7 +88,11 @@ pub fn arithmetic_intensity(bench: NipsBenchmark) -> ArithmeticIntensity {
 
 /// Roofline bound: attainable op rate given compute peak and memory
 /// bandwidth — `min(peak_ops, intensity x bandwidth)`.
-pub fn roofline_ops_per_sec(intensity: f64, peak_ops_per_sec: f64, mem_bandwidth: Bandwidth) -> f64 {
+pub fn roofline_ops_per_sec(
+    intensity: f64,
+    peak_ops_per_sec: f64,
+    mem_bandwidth: Bandwidth,
+) -> f64 {
     peak_ops_per_sec.min(intensity * mem_bandwidth.bytes_per_sec())
 }
 
@@ -146,14 +150,22 @@ mod tests {
     fn nips10_per_core_needs_2_23_gib() {
         // §V-B's arithmetic.
         let bw = per_core_bandwidth(NipsBenchmark::Nips10, &accel());
-        assert!((bw.gib_per_sec() - 2.23).abs() < 0.05, "{}", bw.gib_per_sec());
+        assert!(
+            (bw.gib_per_sec() - 2.23).abs() < 0.05,
+            "{}",
+            bw.gib_per_sec()
+        );
     }
 
     #[test]
     fn nips10_128_cores_need_285_gib() {
         // §V-C: "32 * 4 * 2.23 GiB/s = 285 GiB/s".
         let bw = required_bandwidth(NipsBenchmark::Nips10, 128, &accel());
-        assert!((bw.gib_per_sec() - 285.0).abs() < 5.0, "{}", bw.gib_per_sec());
+        assert!(
+            (bw.gib_per_sec() - 285.0).abs() < 5.0,
+            "{}",
+            bw.gib_per_sec()
+        );
         // Still below both the practical and theoretical limits.
         let l = hbm_limits();
         assert!(bw.bytes_per_sec() < l.practical.bytes_per_sec());

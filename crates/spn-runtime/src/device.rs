@@ -371,7 +371,10 @@ mod tests {
         dev.copy_to_device(foreign_in, data.raw()).unwrap();
         assert!(matches!(
             dev.launch(0, foreign_in, own_out, 4),
-            Err(DeviceError::WrongChannel { pe: 0, buffer_channel: 1 })
+            Err(DeviceError::WrongChannel {
+                pe: 0,
+                buffer_channel: 1
+            })
         ));
     }
 
@@ -436,7 +439,8 @@ mod tests {
         assert!(successes > 0, "retries should eventually succeed");
         // A successful launch after failures still produces correct bytes.
         let raw = dev.copy_from_device(outb).unwrap();
-        let mut ev = Evaluator::new(&bench.build_spn());
+        let spn = bench.build_spn();
+        let mut ev = Evaluator::new(&spn);
         let got = f64::from_le_bytes(raw[0..8].try_into().unwrap());
         let reference = ev.log_likelihood_bytes(data.row(0)).exp();
         assert!(((got - reference) / reference).abs() < 1e-4);

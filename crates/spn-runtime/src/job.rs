@@ -171,7 +171,10 @@ mod tests {
 
     #[test]
     fn job_options_default_is_buildable() {
-        assert_eq!(JobOptions::builder().build().unwrap(), JobOptions::default());
+        assert_eq!(
+            JobOptions::builder().build().unwrap(),
+            JobOptions::default()
+        );
     }
 
     #[test]
@@ -221,11 +224,7 @@ mod tests {
         let sizes: Vec<usize> = per_pe.iter().map(|v| v.len()).collect();
         assert_eq!(sizes, vec![3, 3, 2, 2]);
         // Every block appears exactly once.
-        let mut seen: Vec<u64> = per_pe
-            .iter()
-            .flatten()
-            .map(|b| b.first_sample)
-            .collect();
+        let mut seen: Vec<u64> = per_pe.iter().flatten().map(|b| b.first_sample).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..10).map(|i| i * 10).collect::<Vec<_>>());
     }

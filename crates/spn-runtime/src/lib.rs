@@ -60,16 +60,21 @@ pub mod scheduler;
 pub mod streaming;
 pub mod trace;
 
-pub use analysis::{hbm_limits, max_cores_by_hbm, pcie_outlook, required_bandwidth, HbmLimits, OutlookRow};
+pub use analysis::{
+    hbm_limits, max_cores_by_hbm, pcie_outlook, required_bandwidth, HbmLimits, OutlookRow,
+};
 pub use device::{DeviceError, FaultInjection, VirtualDevice};
 pub use job::{assign_to_pes, split_into_blocks, Block, JobOptions, JobOptionsBuilder};
 pub use memmgr::{AllocError, DeviceBuffer, DeviceMemoryManager};
 pub use metrics::{JobOutcome, MetricsRegistry, MetricsSnapshot};
 pub use perf::{scaling_series, simulate, simulate_traced, PerfConfig, PerfResult};
-pub use trace::{Span, SpanKind, Trace};
 pub use runtime::{RuntimeConfig, RuntimeConfigBuilder, RuntimeError, SpnRuntime};
 pub use scheduler::{JobHandle, JobStatus, Scheduler};
-pub use streaming::{min_replication_for_line_rate, simulate_streaming, StreamingModel, StreamingSimConfig, StreamingSimResult};
+pub use streaming::{
+    min_replication_for_line_rate, simulate_streaming, StreamingModel, StreamingSimConfig,
+    StreamingSimResult,
+};
+pub use trace::{Span, SpanKind, Trace};
 
 /// One-stop import for the runtime API: scheduler, job handles,
 /// options, metrics, errors and the device types they operate on.

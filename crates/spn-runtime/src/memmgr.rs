@@ -103,11 +103,7 @@ impl ChannelAllocator {
     }
 
     fn free_block(&mut self, offset: u64, len: u64) -> bool {
-        let Some(pos) = self
-            .live
-            .iter()
-            .position(|&(o, l)| o == offset && l == len)
-        else {
+        let Some(pos) = self.live.iter().position(|&(o, l)| o == offset && l == len) else {
             return false;
         };
         self.live.swap_remove(pos);
@@ -256,7 +252,10 @@ mod tests {
             for b in &bufs[i + 1..] {
                 let a_end = a.offset + a.len;
                 let b_end = b.offset + b.len;
-                assert!(a_end <= b.offset || b_end <= a.offset, "{a:?} overlaps {b:?}");
+                assert!(
+                    a_end <= b.offset || b_end <= a.offset,
+                    "{a:?} overlaps {b:?}"
+                );
             }
         }
     }

@@ -32,6 +32,10 @@ pub struct MetricsRegistry {
     d2h_bytes: AtomicU64,
     /// Jobs currently accepted and not yet terminal (gauge).
     jobs_in_flight: AtomicU64,
+    /// Samples belonging to accepted, not-yet-terminal jobs (gauge).
+    /// The admission-control signal for serving layers: it tracks how
+    /// much *work* is queued, not just how many jobs.
+    samples_in_flight: AtomicU64,
     /// High-watermark of `jobs_in_flight` (gauge).
     queue_high_watermark: AtomicU64,
     /// Cumulative wall-clock time each PE spent executing launches, in
@@ -52,21 +56,25 @@ impl MetricsRegistry {
             h2d_bytes: AtomicU64::new(0),
             d2h_bytes: AtomicU64::new(0),
             jobs_in_flight: AtomicU64::new(0),
+            samples_in_flight: AtomicU64::new(0),
             queue_high_watermark: AtomicU64::new(0),
             pe_busy_ns: (0..num_pes).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
-    /// A job was accepted into the scheduler queue.
-    pub fn job_submitted(&self) {
+    /// A job of `samples` samples was accepted into the scheduler
+    /// queue.
+    pub fn job_submitted(&self, samples: u64) {
         self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.samples_in_flight.fetch_add(samples, Ordering::Relaxed);
         let now = self.jobs_in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         self.queue_high_watermark.fetch_max(now, Ordering::Relaxed);
     }
 
-    /// A job reached a terminal state; exactly one of the three
-    /// outcome counters is bumped and the in-flight gauge drops.
-    pub fn job_finished(&self, outcome: JobOutcome) {
+    /// A job of `samples` samples reached a terminal state; exactly
+    /// one of the three outcome counters is bumped and the in-flight
+    /// gauges drop.
+    pub fn job_finished(&self, outcome: JobOutcome, samples: u64) {
         match outcome {
             JobOutcome::Completed => &self.jobs_completed,
             JobOutcome::Failed => &self.jobs_failed,
@@ -74,6 +82,18 @@ impl MetricsRegistry {
         }
         .fetch_add(1, Ordering::Relaxed);
         self.jobs_in_flight.fetch_sub(1, Ordering::Relaxed);
+        self.samples_in_flight.fetch_sub(samples, Ordering::Relaxed);
+    }
+
+    /// Samples belonging to jobs that are accepted and not yet
+    /// terminal — the live admission-control gauge.
+    pub fn samples_in_flight(&self) -> u64 {
+        self.samples_in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Jobs accepted and not yet terminal — the live queue depth.
+    pub fn jobs_in_flight(&self) -> u64 {
+        self.jobs_in_flight.load(Ordering::Relaxed)
     }
 
     /// One block ran to completion on the device.
@@ -120,6 +140,7 @@ impl MetricsRegistry {
             h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
             d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
             jobs_in_flight: self.jobs_in_flight.load(Ordering::Relaxed),
+            samples_in_flight: self.samples_in_flight.load(Ordering::Relaxed),
             queue_high_watermark: self.queue_high_watermark.load(Ordering::Relaxed),
             pe_busy_secs: self
                 .pe_busy_ns
@@ -163,6 +184,9 @@ pub struct MetricsSnapshot {
     pub d2h_bytes: u64,
     /// Jobs accepted and not yet terminal at snapshot time (gauge).
     pub jobs_in_flight: u64,
+    /// Samples of accepted, not-yet-terminal jobs at snapshot time
+    /// (gauge).
+    pub samples_in_flight: u64,
     /// Highest concurrent job count observed (gauge).
     pub queue_high_watermark: u64,
     /// Cumulative execution seconds per PE.
@@ -186,6 +210,7 @@ impl MetricsSnapshot {
         let _ = writeln!(s, "  \"h2d_bytes\": {},", self.h2d_bytes);
         let _ = writeln!(s, "  \"d2h_bytes\": {},", self.d2h_bytes);
         let _ = writeln!(s, "  \"jobs_in_flight\": {},", self.jobs_in_flight);
+        let _ = writeln!(s, "  \"samples_in_flight\": {},", self.samples_in_flight);
         let _ = writeln!(
             s,
             "  \"queue_high_watermark\": {},",
@@ -205,16 +230,18 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let m = MetricsRegistry::new(2);
-        m.job_submitted();
-        m.job_submitted();
+        m.job_submitted(40);
+        m.job_submitted(60);
         m.block_executed();
         m.block_retried();
         m.add_h2d_bytes(100);
         m.add_h2d_bytes(28);
         m.add_d2h_bytes(64);
         m.add_pe_busy(1, Duration::from_millis(3));
-        m.job_finished(JobOutcome::Completed);
-        m.job_finished(JobOutcome::Failed);
+        assert_eq!(m.samples_in_flight(), 100);
+        assert_eq!(m.jobs_in_flight(), 2);
+        m.job_finished(JobOutcome::Completed, 40);
+        m.job_finished(JobOutcome::Failed, 60);
         let s = m.snapshot();
         assert_eq!(s.jobs_submitted, 2);
         assert_eq!(s.jobs_completed, 1);
@@ -225,6 +252,7 @@ mod tests {
         assert_eq!(s.h2d_bytes, 128);
         assert_eq!(s.d2h_bytes, 64);
         assert_eq!(s.jobs_in_flight, 0);
+        assert_eq!(s.samples_in_flight, 0);
         assert_eq!(s.queue_high_watermark, 2);
         assert!(s.pe_busy_secs[1] > 0.0 && s.pe_busy_secs[0] == 0.0);
     }
@@ -239,7 +267,7 @@ mod tests {
     #[test]
     fn json_round_trips_through_serde() {
         let m = MetricsRegistry::new(3);
-        m.job_submitted();
+        m.job_submitted(17);
         m.block_executed();
         m.add_pe_busy(0, Duration::from_micros(1500));
         let snap = m.snapshot();

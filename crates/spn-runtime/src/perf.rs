@@ -277,11 +277,8 @@ fn simulate_impl(cfg: &PerfConfig, mut trace: Option<&mut Trace>) -> PerfResult 
     }
 
     let secs = makespan.as_secs_f64();
-    let pe_util: f64 = pes
-        .iter()
-        .map(|p| p.utilization(makespan))
-        .sum::<f64>()
-        / cfg.num_pes as f64;
+    let pe_util: f64 =
+        pes.iter().map(|p| p.utilization(makespan)).sum::<f64>() / cfg.num_pes as f64;
     PerfResult {
         samples_per_sec: cfg.total_samples as f64 / secs,
         makespan: makespan.saturating_since(SimTime::ZERO),

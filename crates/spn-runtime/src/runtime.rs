@@ -177,6 +177,9 @@ pub enum RuntimeError {
     },
     /// The job was cancelled before completion.
     Cancelled,
+    /// The scheduler is draining or shutting down and no longer
+    /// accepts new jobs.
+    ShuttingDown,
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -207,6 +210,9 @@ impl std::fmt::Display for RuntimeError {
                 "scheduler queue full ({capacity} jobs in flight); retry or submit_blocking"
             ),
             RuntimeError::Cancelled => write!(f, "job cancelled"),
+            RuntimeError::ShuttingDown => {
+                write!(f, "scheduler is shutting down; no new jobs accepted")
+            }
         }
     }
 }

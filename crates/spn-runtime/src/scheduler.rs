@@ -28,7 +28,7 @@
 //! `submit_blocking` + `wait` wrapper, so the single-job path and the
 //! multi-job path are the same code.
 
-use crate::device::{DeviceError, VirtualDevice};
+use crate::device::VirtualDevice;
 use crate::job::{split_into_blocks, Block, JobOptions};
 use crate::memmgr::AllocError;
 use crate::metrics::{JobOutcome, MetricsRegistry, MetricsSnapshot};
@@ -96,6 +96,11 @@ struct JobState {
 }
 
 impl JobState {
+    /// Number of samples this job carries (for the in-flight gauge).
+    fn samples(&self) -> u64 {
+        self.data.num_samples() as u64
+    }
+
     fn finish(&self, phase: Phase) {
         let mut p = self.completion.lock();
         *p = phase;
@@ -107,6 +112,14 @@ impl JobState {
 pub struct JobHandle {
     job: Arc<JobState>,
     shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.job.id)
+            .finish_non_exhaustive()
+    }
 }
 
 impl JobHandle {
@@ -173,7 +186,9 @@ impl JobHandle {
             let job = Arc::clone(&self.job);
             st.jobs.retain(|j| !Arc::ptr_eq(j, &job));
             drop(st);
-            self.shared.metrics.job_finished(JobOutcome::Cancelled);
+            self.shared
+                .metrics
+                .job_finished(JobOutcome::Cancelled, self.job.samples());
             self.job.finish(Phase::Cancelled);
             self.shared.space_cv.notify_all();
         }
@@ -191,8 +206,12 @@ struct Shared {
     state: Mutex<State>,
     /// Workers sleep here when no block is claimable.
     work_cv: Condvar,
-    /// `submit_blocking` sleeps here when the queue is full.
+    /// `submit_blocking` sleeps here when the queue is full; also
+    /// notified whenever a job leaves the queue (drain waits on it).
     space_cv: Condvar,
+    /// Set by [`Scheduler::drain`] and `Drop`: refuse new submissions.
+    draining: AtomicBool,
+    /// Set by `Drop` after draining: workers exit.
     shutdown: AtomicBool,
 }
 
@@ -231,6 +250,7 @@ impl Scheduler {
             }),
             work_cv: Condvar::new(),
             space_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
         });
         let mut workers = Vec::new();
@@ -268,15 +288,38 @@ impl Scheduler {
         self.shared.metrics.snapshot()
     }
 
+    /// Number of jobs currently accepted and not yet terminal — the
+    /// live queue depth a serving layer polls for admission control.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().jobs.len()
+    }
+
+    /// Samples belonging to accepted, not-yet-terminal jobs (the
+    /// work-weighted companion of [`Scheduler::queue_depth`]).
+    pub fn samples_in_flight(&self) -> u64 {
+        self.shared.metrics.samples_in_flight()
+    }
+
+    /// Graceful drain: refuse all further submissions (they get
+    /// [`RuntimeError::ShuttingDown`]) and block until every accepted
+    /// job has reached a terminal state. Idempotent; the scheduler
+    /// stays drained afterwards (this is a shutdown primitive, not a
+    /// pause).
+    pub fn drain(&self) {
+        self.shared.draining.store(true, Ordering::Release);
+        // Wake blocked submitters so they observe the drain and bail.
+        self.shared.space_cv.notify_all();
+        let mut st = self.shared.state.lock();
+        while !st.jobs.is_empty() {
+            self.shared.space_cv.wait(&mut st);
+        }
+    }
+
     /// Submit a job. Returns immediately with a [`JobHandle`], or
     /// [`RuntimeError::QueueFull`] when `queue_capacity` jobs are
     /// already in flight (backpressure — retry later or use
     /// [`Scheduler::submit_blocking`]).
-    pub fn submit(
-        &self,
-        data: Arc<Dataset>,
-        opts: JobOptions,
-    ) -> Result<JobHandle, RuntimeError> {
+    pub fn submit(&self, data: Arc<Dataset>, opts: JobOptions) -> Result<JobHandle, RuntimeError> {
         self.submit_inner(data, opts, false)
     }
 
@@ -321,9 +364,17 @@ impl Scheduler {
         let blocks = split_into_blocks(total as u64, self.shared.config.block_samples);
 
         let mut st = self.shared.state.lock();
+        if self.shared.draining.load(Ordering::Acquire) {
+            return Err(RuntimeError::ShuttingDown);
+        }
         if blocking {
             while !blocks.is_empty() && st.jobs.len() >= self.shared.config.queue_capacity {
                 self.shared.space_cv.wait(&mut st);
+                // The wake may be the drain/drop path telling us to
+                // give up rather than space opening.
+                if self.shared.draining.load(Ordering::Acquire) {
+                    return Err(RuntimeError::ShuttingDown);
+                }
             }
         } else if !blocks.is_empty() && st.jobs.len() >= self.shared.config.queue_capacity {
             return Err(RuntimeError::QueueFull {
@@ -355,12 +406,12 @@ impl Scheduler {
         if empty {
             drop(st);
             // A zero-sample job is trivially complete.
-            self.shared.metrics.job_submitted();
-            self.shared.metrics.job_finished(JobOutcome::Completed);
+            self.shared.metrics.job_submitted(0);
+            self.shared.metrics.job_finished(JobOutcome::Completed, 0);
         } else {
             st.jobs.push(Arc::clone(&job));
             drop(st);
-            self.shared.metrics.job_submitted();
+            self.shared.metrics.job_submitted(job.samples());
             self.shared.work_cv.notify_all();
         }
         Ok(JobHandle {
@@ -371,7 +422,27 @@ impl Scheduler {
 }
 
 impl Drop for Scheduler {
+    /// Deterministic shutdown, in this order:
+    ///
+    /// 1. mark the scheduler draining so every submitter — including
+    ///    `submit_blocking` callers parked on the space condvar — gets
+    ///    [`RuntimeError::ShuttingDown`] instead of enqueueing into a
+    ///    pool that will never run their job (the old ordering could
+    ///    deadlock such callers forever);
+    /// 2. mark every queued job cancelled *before* stopping the pool,
+    ///    so no worker claims a fresh block during teardown;
+    /// 3. stop and join the workers (in-flight blocks finish, freeing
+    ///    their device buffers);
+    /// 4. finalise whatever jobs remain as `Cancelled`, unblocking
+    ///    their waiters.
     fn drop(&mut self) {
+        self.shared.draining.store(true, Ordering::Release);
+        {
+            let st = self.shared.state.lock();
+            for job in &st.jobs {
+                job.cancelled.store(true, Ordering::Relaxed);
+            }
+        }
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.work_cv.notify_all();
         self.shared.space_cv.notify_all();
@@ -382,10 +453,13 @@ impl Drop for Scheduler {
         let leftovers = std::mem::take(&mut self.shared.state.lock().jobs);
         for job in leftovers {
             if !job.terminal.swap(true, Ordering::Relaxed) {
-                self.shared.metrics.job_finished(JobOutcome::Cancelled);
+                self.shared
+                    .metrics
+                    .job_finished(JobOutcome::Cancelled, job.samples());
                 job.finish(Phase::Cancelled);
             }
         }
+        self.shared.space_cv.notify_all();
     }
 }
 
@@ -468,10 +542,9 @@ fn process_block(shared: &Shared, pe: u32, job: &Arc<JobState>, idx: usize) {
             Err(e) if is_transient(&e) && attempt < job.opts.max_retries => {
                 attempt += 1;
                 shared.metrics.block_retried();
-                let backoff = Duration::from_micros(
-                    job.opts.retry_backoff_us.saturating_mul(attempt as u64),
-                )
-                .min(MAX_BACKOFF);
+                let backoff =
+                    Duration::from_micros(job.opts.retry_backoff_us.saturating_mul(attempt as u64))
+                        .min(MAX_BACKOFF);
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);
                 }
@@ -495,7 +568,9 @@ fn process_block(shared: &Shared, pe: u32, job: &Arc<JobState>, idx: usize) {
             job.cancelled.store(true, Ordering::Relaxed);
             remove_job(&mut st, job);
             drop(st);
-            shared.metrics.job_finished(JobOutcome::Failed);
+            shared
+                .metrics
+                .job_finished(JobOutcome::Failed, job.samples());
             job.finish(Phase::Failed(e));
             shared.space_cv.notify_all();
         }
@@ -515,9 +590,7 @@ fn process_block(shared: &Shared, pe: u32, job: &Arc<JobState>, idx: usize) {
             }
         }
         BlockOutcome::Skipped => {
-            if job.cancelled.load(Ordering::Relaxed)
-                && job.in_flight.load(Ordering::Relaxed) == 0
-            {
+            if job.cancelled.load(Ordering::Relaxed) && job.in_flight.load(Ordering::Relaxed) == 0 {
                 finalize_cancelled(shared, st, job);
             }
         }
@@ -536,7 +609,9 @@ fn finalize_cancelled(
     job.terminal.store(true, Ordering::Relaxed);
     remove_job(&mut st, job);
     drop(st);
-    shared.metrics.job_finished(JobOutcome::Cancelled);
+    shared
+        .metrics
+        .job_finished(JobOutcome::Cancelled, job.samples());
     job.finish(Phase::Cancelled);
     shared.space_cv.notify_all();
 }
@@ -547,12 +622,16 @@ fn finalize_success(shared: &Shared, job: &Arc<JobState>) {
     let results = std::mem::take(&mut *job.results.lock());
     if shared.config.verify_fraction > 0.0 {
         if let Err(e) = verify_results(shared, job, &results) {
-            shared.metrics.job_finished(JobOutcome::Failed);
+            shared
+                .metrics
+                .job_finished(JobOutcome::Failed, job.samples());
             job.finish(Phase::Failed(e));
             return;
         }
     }
-    shared.metrics.job_finished(JobOutcome::Completed);
+    shared
+        .metrics
+        .job_finished(JobOutcome::Completed, job.samples());
     job.finish(Phase::Completed(results));
 }
 
@@ -584,12 +663,7 @@ fn verify_results(shared: &Shared, job: &JobState, results: &[f64]) -> Result<()
 /// back. Device buffers are freed on every path — success, failure or
 /// fault — so neither job failure nor cancellation can leak channel
 /// memory.
-fn run_block(
-    shared: &Shared,
-    pe: u32,
-    job: &JobState,
-    block: Block,
-) -> Result<(), RuntimeError> {
+fn run_block(shared: &Shared, pe: u32, job: &JobState, block: Block) -> Result<(), RuntimeError> {
     let pe_cfg = &shared.pe_cfg;
     let device = &shared.device;
     let in_bytes = block.samples * pe_cfg.input_bytes;
@@ -671,7 +745,9 @@ mod tests {
         let (dev, bench) = device(2);
         let sched = Scheduler::new(dev, config(64, 2)).unwrap();
         let data = Arc::new(bench.dataset(777, 5));
-        let handle = sched.submit(Arc::clone(&data), JobOptions::default()).unwrap();
+        let handle = sched
+            .submit(Arc::clone(&data), JobOptions::default())
+            .unwrap();
         assert!(handle.id() > 0);
         let got = handle.wait().unwrap();
         let want = reference(bench, &data);
@@ -709,26 +785,23 @@ mod tests {
             .unwrap();
         let sched = Scheduler::new(dev, cfg).unwrap();
         let big = Arc::new(bench.dataset(20_000, 1));
-        let h1 = sched.submit(Arc::clone(&big), JobOptions::default()).unwrap();
+        let h1 = sched
+            .submit(Arc::clone(&big), JobOptions::default())
+            .unwrap();
         // The single-capacity queue is occupied while job 1 runs, so at
         // least one immediate re-submit must bounce (the first job needs
         // 1250 blocks; it cannot finish faster than we can re-try).
-        let mut saw_queue_full = false;
-        for _ in 0..1000 {
-            match sched.submit(Arc::clone(&big), JobOptions::default()) {
-                Err(RuntimeError::QueueFull { capacity: 1 }) => {
-                    saw_queue_full = true;
-                    break;
-                }
-                Err(other) => panic!("unexpected error {other}"),
-                Ok(h) => {
-                    // Job 1 already drained — accept and move on.
-                    h.cancel();
-                    let _ = h.wait();
-                    break;
-                }
+        let saw_queue_full = match sched.submit(Arc::clone(&big), JobOptions::default()) {
+            Err(RuntimeError::QueueFull { capacity: 1 }) => true,
+            Err(other) => panic!("unexpected error {other}"),
+            Ok(h) => {
+                // Job 1 already drained — should be impossible at 1250
+                // blocks; clean up so the assert below reports it.
+                h.cancel();
+                let _ = h.wait();
+                false
             }
-        }
+        };
         assert!(saw_queue_full, "bounded queue should exert backpressure");
         // submit_blocking waits for space instead of bouncing.
         let h2 = sched
@@ -786,7 +859,11 @@ mod tests {
             .retry_backoff_us(0)
             .build()
             .unwrap();
-        let got = sched.submit(Arc::clone(&data), opts).unwrap().wait().unwrap();
+        let got = sched
+            .submit(Arc::clone(&data), opts)
+            .unwrap()
+            .wait()
+            .unwrap();
         let want = reference(bench, &data);
         for (g, w) in got.iter().zip(&want) {
             assert!(((g - w) / w).abs() < 1e-4);
@@ -795,6 +872,89 @@ mod tests {
         assert!(m.block_retries > 0, "p=0.4 must have caused retries");
         assert_eq!(m.jobs_completed, 1);
         assert_eq!(m.jobs_failed, 0);
+    }
+
+    #[test]
+    fn queue_depth_and_samples_gauge_track_jobs() {
+        let (dev, bench) = device(1);
+        let sched = Scheduler::new(dev, config(16, 1)).unwrap();
+        assert_eq!(sched.queue_depth(), 0);
+        assert_eq!(sched.samples_in_flight(), 0);
+        let data = Arc::new(bench.dataset(30_000, 3));
+        let h = sched
+            .submit(Arc::clone(&data), JobOptions::default())
+            .unwrap();
+        // While the job runs, both gauges are live and non-zero.
+        assert_eq!(sched.queue_depth(), 1);
+        assert_eq!(sched.samples_in_flight(), 30_000);
+        h.wait().unwrap();
+        assert_eq!(sched.queue_depth(), 0);
+        assert_eq!(sched.samples_in_flight(), 0);
+        assert_eq!(sched.metrics_snapshot().samples_in_flight, 0);
+    }
+
+    #[test]
+    fn drain_refuses_new_jobs_and_finishes_accepted_ones() {
+        let (dev, bench) = device(2);
+        let sched = Scheduler::new(dev, config(64, 2)).unwrap();
+        let data = Arc::new(bench.dataset(5_000, 4));
+        let h = sched
+            .submit(Arc::clone(&data), JobOptions::default())
+            .unwrap();
+        sched.drain();
+        // Accepted work ran to completion during the drain...
+        assert_eq!(sched.queue_depth(), 0);
+        let got = h.wait().unwrap();
+        assert_eq!(got.len(), 5_000);
+        // ...and both submit flavours are refused afterwards.
+        assert!(matches!(
+            sched.submit(Arc::clone(&data), JobOptions::default()),
+            Err(RuntimeError::ShuttingDown)
+        ));
+        assert!(matches!(
+            sched.submit_blocking(data, JobOptions::default()),
+            Err(RuntimeError::ShuttingDown)
+        ));
+        // Idempotent.
+        sched.drain();
+    }
+
+    /// Regression test for the shutdown ordering: a `submit_blocking`
+    /// caller parked on the full queue must be woken with
+    /// `ShuttingDown` when the scheduler shuts down — the old ordering
+    /// let it enqueue into the dead pool and wait forever. `drain()`
+    /// and `Drop` share this wake path (`draining` is set before the
+    /// space condvar is notified); `drain()` is the testable entry.
+    #[test]
+    fn shutdown_wakes_blocked_submitters_with_shutting_down() {
+        let (dev, bench) = device(1);
+        let cfg = RuntimeConfig::builder()
+            .block_samples(16)
+            .threads_per_pe(1)
+            .queue_capacity(1)
+            .build()
+            .unwrap();
+        let sched = Arc::new(Scheduler::new(dev, cfg).unwrap());
+        let big = Arc::new(bench.dataset(50_000, 1));
+        let h1 = sched
+            .submit(Arc::clone(&big), JobOptions::default())
+            .unwrap();
+        let s2 = Arc::clone(&sched);
+        let b2 = Arc::clone(&big);
+        let blocked = std::thread::spawn(move || {
+            // Queue capacity 1 is occupied by the long job; this parks
+            // (or observes the drain immediately if it loses the race).
+            match s2.submit_blocking(b2, JobOptions::default()) {
+                Err(RuntimeError::ShuttingDown) => {}
+                Ok(_) => panic!("submission accepted during shutdown"),
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        });
+        // Give the thread time to park on the space condvar.
+        std::thread::sleep(Duration::from_millis(30));
+        sched.drain();
+        blocked.join().expect("blocked submitter must not deadlock");
+        h1.wait().expect("accepted job completes during drain");
     }
 
     #[test]

@@ -95,7 +95,9 @@ pub fn simulate_streaming(
         * bench.input_bytes_per_sample().div_ceil(64).max(1);
     let frame_work = per_sample * cfg.samples_per_frame as u64;
 
-    let mut cores: Vec<Timeline> = (0..cfg.replication).map(|_| Timeline::new("stream")).collect();
+    let mut cores: Vec<Timeline> = (0..cfg.replication)
+        .map(|_| Timeline::new("stream"))
+        .collect();
     let mut arrival = SimTime::ZERO;
     let mut makespan = SimTime::ZERO;
     let mut sent = 0u64;
@@ -159,9 +161,7 @@ mod tests {
     #[test]
     fn smaller_samples_stream_faster() {
         let m = StreamingModel::paper_100g();
-        assert!(
-            m.peak_rate(NipsBenchmark::Nips10) > m.peak_rate(NipsBenchmark::Nips80) * 4.0
-        );
+        assert!(m.peak_rate(NipsBenchmark::Nips10) > m.peak_rate(NipsBenchmark::Nips80) * 4.0);
     }
 
     #[test]
@@ -172,11 +172,8 @@ mod tests {
         for bench in [NipsBenchmark::Nips10, NipsBenchmark::Nips80] {
             let r = min_replication_for_line_rate(bench, 0.99);
             assert!(r <= 8, "{}: needs replication {r}", bench.name());
-            let starved = simulate_streaming(
-                &StreamingSimConfig::paper_100g(bench, r),
-                bench,
-                1 << 20,
-            );
+            let starved =
+                simulate_streaming(&StreamingSimConfig::paper_100g(bench, r), bench, 1 << 20);
             assert!(starved.line_rate_fraction >= 0.99);
         }
     }
@@ -186,11 +183,7 @@ mod tests {
         // One NIPS10 core at 225 MHz cannot absorb 100G of 10-byte
         // samples (line rate would need ~688 M samples/s).
         let bench = NipsBenchmark::Nips10;
-        let res = simulate_streaming(
-            &StreamingSimConfig::paper_100g(bench, 1),
-            bench,
-            1 << 20,
-        );
+        let res = simulate_streaming(&StreamingSimConfig::paper_100g(bench, 1), bench, 1 << 20);
         assert!(res.line_rate_fraction < 0.5, "{}", res.line_rate_fraction);
         // Throughput is core-bound: ~225 M samples/s.
         assert!((res.samples_per_sec - 225e6).abs() / 225e6 < 0.05);
@@ -201,11 +194,7 @@ mod tests {
         let bench = NipsBenchmark::Nips20;
         let mut last = 0.0;
         for r in 1..=6 {
-            let res = simulate_streaming(
-                &StreamingSimConfig::paper_100g(bench, r),
-                bench,
-                1 << 20,
-            );
+            let res = simulate_streaming(&StreamingSimConfig::paper_100g(bench, r), bench, 1 << 20);
             assert!(res.samples_per_sec >= last * 0.999);
             last = res.samples_per_sec;
         }

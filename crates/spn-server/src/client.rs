@@ -1,0 +1,150 @@
+//! A blocking wire-protocol client.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a
+//! time (the protocol is strictly request/response per connection —
+//! concurrency comes from opening more connections, which is exactly
+//! what the server's per-connection threads expect).
+
+use crate::protocol::{
+    decode_results, read_frame, write_frame, Frame, InferRequest, Opcode, Status, WireError,
+};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failed.
+    Io(io::Error),
+    /// The server's bytes were not a valid frame.
+    Wire(String),
+    /// The server answered with a non-`Ok` status.
+    Rejected {
+        /// The wire status.
+        status: Status,
+        /// The server's diagnostic message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Wire(m) => write!(f, "protocol error: {m}"),
+            ClientError::Rejected { status, message } => {
+                write!(f, "server rejected request ({}): {message}", status.name())
+            }
+        }
+    }
+}
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(e) => ClientError::Io(e),
+            WireError::Malformed(m) => ClientError::Wire(m),
+        }
+    }
+}
+
+/// A blocking connection to an [`crate::SpnServer`].
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect (with `TCP_NODELAY`, since frames are small and
+    /// latency-sensitive).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn round_trip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        write_frame(&mut self.stream, request)?;
+        let response = read_frame(&mut self.stream)?;
+        if response.opcode != request.opcode {
+            return Err(ClientError::Wire(format!(
+                "response opcode {:?} does not match request {:?}",
+                response.opcode, request.opcode
+            )));
+        }
+        if response.status != Status::Ok {
+            return Err(ClientError::Rejected {
+                status: response.status,
+                message: String::from_utf8_lossy(&response.payload).into_owned(),
+            });
+        }
+        Ok(response)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.round_trip(&Frame::request(Opcode::Ping, vec![]))
+            .map(|_| ())
+    }
+
+    /// Run inference: `data` is a row-major
+    /// `num_samples × num_features` block of `u8` features. Returns
+    /// one log-likelihood per sample, in order.
+    pub fn infer(
+        &mut self,
+        model: &str,
+        data: &[u8],
+        num_samples: u32,
+        num_features: u32,
+    ) -> Result<Vec<f64>, ClientError> {
+        self.infer_with_deadline(model, data, num_samples, num_features, 0)
+    }
+
+    /// Like [`Client::infer`] with a per-request deadline in
+    /// milliseconds (`0` = none). A request still queued when its
+    /// deadline passes is answered with
+    /// [`Status::DeadlineExceeded`].
+    pub fn infer_with_deadline(
+        &mut self,
+        model: &str,
+        data: &[u8],
+        num_samples: u32,
+        num_features: u32,
+        deadline_ms: u32,
+    ) -> Result<Vec<f64>, ClientError> {
+        let req = InferRequest {
+            model: model.to_string(),
+            deadline_ms,
+            num_samples,
+            num_features,
+            data: data.to_vec(),
+        };
+        let response = self.round_trip(&Frame::request(Opcode::Infer, req.encode()))?;
+        decode_results(&response.payload).map_err(ClientError::Wire)
+    }
+
+    /// Fetch the server's metrics document (JSON).
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let response = self.round_trip(&Frame::request(Opcode::Stats, vec![]))?;
+        String::from_utf8(response.payload)
+            .map_err(|_| ClientError::Wire("stats payload is not UTF-8".into()))
+    }
+
+    /// Ask the server to drain and stop. The server acknowledges
+    /// before it begins draining.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.round_trip(&Frame::request(Opcode::Shutdown, vec![]))
+            .map(|_| ())
+    }
+
+    /// Direct access to the underlying stream (tests use this to
+    /// send deliberately broken bytes).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,57 @@
+//! # spn-server — the network inference-serving subsystem
+//!
+//! The paper's accelerator answers *"how fast can the card run
+//! inference"*; this crate answers the next question an operator
+//! asks: *"how do I put that behind a socket for many clients"*.
+//! It layers a small TCP serving stack on top of
+//! [`spn_runtime::Scheduler`]:
+//!
+//! * [`protocol`] — a length-prefixed binary wire protocol (magic,
+//!   version, opcodes `Infer`/`Ping`/`Stats`/`Shutdown`, typed error
+//!   statuses);
+//! * [`batcher`] — the adaptive micro-batcher: per-model queues
+//!   coalesce many small client requests into one scheduler job when
+//!   a sample threshold fills *or* a delay bound expires, then demux
+//!   the results back per request — bit-identical to unbatched
+//!   inference, but paying the scheduler's per-job cost once per
+//!   batch instead of once per request;
+//! * [`server`] — blocking TCP server with per-connection threads,
+//!   admission control (bounded in-flight samples →
+//!   [`Status::ServerBusy`]), per-request deadlines, per-connection
+//!   fault isolation and graceful drain-on-shutdown;
+//! * [`metrics`] — serving-layer counters and latency/batch-size
+//!   histograms, exposed as JSON through the `Stats` opcode;
+//! * [`client`] — a blocking wire client;
+//! * [`loadgen`] — closed-loop load generation shared by the CLI, the
+//!   benchmark and the tests.
+//!
+//! ## Minimal round trip
+//!
+//! ```no_run
+//! use spn_server::{Client, ModelSpec, ServerConfig, SpnServer};
+//! use std::sync::Arc;
+//! # fn scheduler() -> Arc<spn_runtime::Scheduler> { unimplemented!() }
+//!
+//! let server = SpnServer::serve(
+//!     ServerConfig::default(),
+//!     vec![ModelSpec::new("NIPS10", scheduler(), 10, 2)],
+//! )?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let lls = client.infer("NIPS10", &[0u8; 10], 1, 10)?;
+//! println!("log-likelihood: {}", lls[0]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod batcher;
+pub mod client;
+pub mod loadgen;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{BatchPolicy, Batcher, Reply};
+pub use client::{Client, ClientError};
+pub use loadgen::{run_load, synthetic_samples, LoadConfig, LoadReport};
+pub use metrics::{HistogramSummary, ServerMetrics, ServerMetricsSnapshot};
+pub use protocol::{Frame, InferRequest, Opcode, Status, WireError};
+pub use server::{ModelSpec, ServerConfig, ServerError, SpnServer};

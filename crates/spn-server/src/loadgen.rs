@@ -1,0 +1,224 @@
+//! Closed-loop load generation against a running server.
+//!
+//! Shared by the `spn load` CLI subcommand, the serving benchmark and
+//! the integration tests: `connections` threads each run a blocking
+//! [`Client`] issuing `requests_per_connection` `Infer` requests of
+//! `samples_per_request` synthetic samples back to back, recording
+//! per-request wall-clock latency. Exact percentiles are computed from
+//! the full latency vector (no histogram bucketing — load runs are
+//! small enough to keep every observation).
+
+use crate::client::{Client, ClientError};
+use std::net::SocketAddr;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// What load to offer.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Model name on the wire.
+    pub model: String,
+    /// Features per sample (must match the model).
+    pub num_features: u32,
+    /// Feature domain: synthetic values are drawn from `0..domain`.
+    pub domain: u8,
+    /// Concurrent connections (each its own thread + client).
+    pub connections: usize,
+    /// Requests each connection issues sequentially.
+    pub requests_per_connection: usize,
+    /// Samples per request (1 = pure per-request serving; larger
+    /// values emulate clients that batch on their side).
+    pub samples_per_request: u32,
+    /// Per-request deadline in ms (`0` = none).
+    pub deadline_ms: u32,
+    /// Seed for the synthetic feature data.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            model: String::new(),
+            num_features: 1,
+            domain: 2,
+            connections: 4,
+            requests_per_connection: 64,
+            samples_per_request: 1,
+            deadline_ms: 0,
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregated result of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests answered `Ok`.
+    pub ok_requests: u64,
+    /// Requests rejected by the server (busy / deadline / …).
+    pub rejected_requests: u64,
+    /// Samples across successful requests.
+    pub ok_samples: u64,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+    /// Successful samples per second of wall-clock.
+    pub samples_per_sec: f64,
+    /// Median request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst request latency, milliseconds.
+    pub max_ms: f64,
+}
+
+impl LoadReport {
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ok / {} rejected requests, {} samples in {:.3} s \
+             => {:.0} samples/s; latency p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+            self.ok_requests,
+            self.rejected_requests,
+            self.ok_samples,
+            self.elapsed.as_secs_f64(),
+            self.samples_per_sec,
+            self.p50_ms,
+            self.p99_ms,
+            self.max_ms
+        )
+    }
+}
+
+/// Exact quantile of a sorted latency vector (nearest-rank).
+fn quantile_ms(sorted: &[Duration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e3
+}
+
+/// Deterministic synthetic feature block (SplitMix64 over the seed).
+pub fn synthetic_samples(num_samples: u32, num_features: u32, domain: u8, seed: u64) -> Vec<u8> {
+    let n = num_samples as usize * num_features as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    for _ in 0..n {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        out.push((z % domain.max(1) as u64) as u8);
+    }
+    out
+}
+
+/// Run the load described by `cfg` and aggregate a report.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
+    assert!(cfg.connections > 0, "need at least one connection");
+    let t0 = Instant::now();
+    let mut workers = Vec::with_capacity(cfg.connections);
+    for conn in 0..cfg.connections {
+        let cfg = cfg.clone();
+        workers.push(thread::spawn(
+            move || -> Result<WorkerStats, ClientError> {
+                let mut client = Client::connect(cfg.addr)?;
+                let mut stats = WorkerStats::default();
+                for req in 0..cfg.requests_per_connection {
+                    let data = synthetic_samples(
+                        cfg.samples_per_request,
+                        cfg.num_features,
+                        cfg.domain,
+                        cfg.seed
+                            .wrapping_add(conn as u64)
+                            .wrapping_mul(0x100_0000_01B3)
+                            .wrapping_add(req as u64),
+                    );
+                    let r0 = Instant::now();
+                    match client.infer_with_deadline(
+                        &cfg.model,
+                        &data,
+                        cfg.samples_per_request,
+                        cfg.num_features,
+                        cfg.deadline_ms,
+                    ) {
+                        Ok(lls) => {
+                            stats.ok += 1;
+                            stats.ok_samples += lls.len() as u64;
+                            stats.latencies.push(r0.elapsed());
+                        }
+                        Err(ClientError::Rejected { .. }) => {
+                            stats.rejected += 1;
+                            stats.latencies.push(r0.elapsed());
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                Ok(stats)
+            },
+        ));
+    }
+
+    let mut ok = 0u64;
+    let mut rejected = 0u64;
+    let mut ok_samples = 0u64;
+    let mut latencies: Vec<Duration> = Vec::new();
+    for w in workers {
+        let stats = w.join().expect("load worker panicked")?;
+        ok += stats.ok;
+        rejected += stats.rejected;
+        ok_samples += stats.ok_samples;
+        latencies.extend(stats.latencies);
+    }
+    let elapsed = t0.elapsed();
+    latencies.sort_unstable();
+    Ok(LoadReport {
+        ok_requests: ok,
+        rejected_requests: rejected,
+        ok_samples,
+        elapsed,
+        samples_per_sec: ok_samples as f64 / elapsed.as_secs_f64().max(1e-12),
+        p50_ms: quantile_ms(&latencies, 0.50),
+        p99_ms: quantile_ms(&latencies, 0.99),
+        max_ms: latencies
+            .last()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or(0.0),
+    })
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    ok: u64,
+    rejected: u64,
+    ok_samples: u64,
+    latencies: Vec<Duration>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_data_is_deterministic_and_in_domain() {
+        let a = synthetic_samples(10, 5, 7, 42);
+        let b = synthetic_samples(10, 5, 7, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert!(a.iter().all(|&v| v < 7));
+        assert_ne!(a, synthetic_samples(10, 5, 7, 43));
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let v: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(quantile_ms(&v, 0.50), 50.0);
+        assert_eq!(quantile_ms(&v, 0.99), 99.0);
+        assert_eq!(quantile_ms(&v, 1.0), 100.0);
+        assert_eq!(quantile_ms(&[], 0.5), 0.0);
+    }
+}

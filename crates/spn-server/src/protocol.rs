@@ -1,0 +1,462 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic        b"SPN1"
+//! 4       1     version      PROTOCOL_VERSION (= 1)
+//! 5       1     opcode       Infer / Ping / Stats / Shutdown
+//! 6       1     status       0 on requests; response status code
+//! 7       1     reserved     must be 0
+//! 8       4     payload_len  u32 little-endian
+//! 12      …     payload      payload_len bytes
+//! ```
+//!
+//! The `Infer` request payload is
+//!
+//! ```text
+//! u16 LE  model name length    followed by that many UTF-8 bytes
+//! u32 LE  deadline_ms          0 = no deadline
+//! u32 LE  num_samples
+//! u32 LE  num_features
+//! u8 × (num_samples * num_features)   row-major feature block
+//! ```
+//!
+//! and the successful `Infer` response payload is `u32 LE num_samples`
+//! followed by that many little-endian `f64` log-likelihoods (one per
+//! sample, in request order). Error responses carry a non-zero
+//! [`Status`] in the header and a UTF-8 diagnostic string as payload.
+//! `Ping`/`Stats`/`Shutdown` requests have empty payloads; the `Stats`
+//! response payload is a UTF-8 JSON document.
+//!
+//! All multi-byte integers are little-endian. Frames are hard-capped
+//! at [`MAX_PAYLOAD`] so a corrupt length prefix cannot make the
+//! server allocate unbounded memory.
+
+use std::io::{self, Read, Write};
+
+/// The four magic bytes opening every frame.
+pub const MAGIC: [u8; 4] = *b"SPN1";
+/// Wire-protocol version carried in every frame header.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Frame header size in bytes.
+pub const HEADER_LEN: usize = 12;
+/// Upper bound on a frame payload (64 MiB): parsing rejects anything
+/// larger *before* allocating.
+pub const MAX_PAYLOAD: u32 = 64 << 20;
+
+/// Frame operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Run inference on a feature block.
+    Infer = 1,
+    /// Liveness probe; empty round-trip.
+    Ping = 2,
+    /// Fetch the server + per-model metrics as JSON.
+    Stats = 3,
+    /// Ask the server to drain and stop.
+    Shutdown = 4,
+}
+
+impl Opcode {
+    /// Decode an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Opcode> {
+        match b {
+            1 => Some(Opcode::Infer),
+            2 => Some(Opcode::Ping),
+            3 => Some(Opcode::Stats),
+            4 => Some(Opcode::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// Response status codes (`0` = success).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Request served.
+    Ok = 0,
+    /// The frame or payload could not be parsed.
+    Malformed = 1,
+    /// The requested model is not registered.
+    UnknownModel = 2,
+    /// `num_features` does not match the model.
+    ShapeMismatch = 3,
+    /// Admission control rejected the request (in-flight limit or
+    /// scheduler backpressure). Retry later.
+    ServerBusy = 4,
+    /// The request's deadline expired before results were ready.
+    DeadlineExceeded = 5,
+    /// The server is draining; no new inference accepted.
+    ShuttingDown = 6,
+    /// Unexpected internal failure.
+    Internal = 7,
+}
+
+impl Status {
+    /// Decode a status byte.
+    pub fn from_u8(b: u8) -> Option<Status> {
+        match b {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Malformed),
+            2 => Some(Status::UnknownModel),
+            3 => Some(Status::ShapeMismatch),
+            4 => Some(Status::ServerBusy),
+            5 => Some(Status::DeadlineExceeded),
+            6 => Some(Status::ShuttingDown),
+            7 => Some(Status::Internal),
+            _ => None,
+        }
+    }
+
+    /// Short human-readable name (used in error messages and stats).
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Malformed => "malformed",
+            Status::UnknownModel => "unknown_model",
+            Status::ShapeMismatch => "shape_mismatch",
+            Status::ServerBusy => "server_busy",
+            Status::DeadlineExceeded => "deadline_exceeded",
+            Status::ShuttingDown => "shutting_down",
+            Status::Internal => "internal",
+        }
+    }
+}
+
+/// One parsed frame: header fields plus owned payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Operation code.
+    pub opcode: Opcode,
+    /// Response status (requests carry [`Status::Ok`]).
+    pub status: Status,
+    /// Raw payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A request frame (status `Ok`).
+    pub fn request(opcode: Opcode, payload: Vec<u8>) -> Frame {
+        Frame {
+            opcode,
+            status: Status::Ok,
+            payload,
+        }
+    }
+
+    /// A response frame.
+    pub fn response(opcode: Opcode, status: Status, payload: Vec<u8>) -> Frame {
+        Frame {
+            opcode,
+            status,
+            payload,
+        }
+    }
+
+    /// An error response carrying a UTF-8 diagnostic.
+    pub fn error(opcode: Opcode, status: Status, message: &str) -> Frame {
+        Frame::response(opcode, status, message.as_bytes().to_vec())
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The bytes on the wire are not a valid frame; the stream can no
+    /// longer be trusted to be frame-aligned.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o error: {e}"),
+            WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Serialise `frame` into `w` (single `write_all` of a contiguous
+/// buffer, so a frame is one TCP segment for small payloads).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + frame.payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.push(PROTOCOL_VERSION);
+    buf.push(frame.opcode as u8);
+    buf.push(frame.status as u8);
+    buf.push(0); // reserved
+    buf.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&frame.payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Parse a 12-byte header; returns `(opcode, status, payload_len)`.
+pub fn parse_header(h: &[u8; HEADER_LEN]) -> Result<(Opcode, Status, u32), WireError> {
+    if h[0..4] != MAGIC {
+        return Err(WireError::Malformed(format!(
+            "bad magic {:02x?} (expected {:02x?})",
+            &h[0..4],
+            MAGIC
+        )));
+    }
+    if h[4] != PROTOCOL_VERSION {
+        return Err(WireError::Malformed(format!(
+            "unsupported protocol version {} (expected {PROTOCOL_VERSION})",
+            h[4]
+        )));
+    }
+    let opcode = Opcode::from_u8(h[5])
+        .ok_or_else(|| WireError::Malformed(format!("unknown opcode {}", h[5])))?;
+    let status = Status::from_u8(h[6])
+        .ok_or_else(|| WireError::Malformed(format!("unknown status {}", h[6])))?;
+    let len = u32::from_le_bytes([h[8], h[9], h[10], h[11]]);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Malformed(format!(
+            "payload length {len} exceeds cap {MAX_PAYLOAD}"
+        )));
+    }
+    Ok((opcode, status, len))
+}
+
+/// Read one full frame from `r` (blocking).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (opcode, status, len) = parse_header(&header)?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Frame {
+        opcode,
+        status,
+        payload,
+    })
+}
+
+/// An `Infer` request, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferRequest {
+    /// Registered model name.
+    pub model: String,
+    /// Per-request deadline in milliseconds (`0` = none).
+    pub deadline_ms: u32,
+    /// Number of samples in the feature block.
+    pub num_samples: u32,
+    /// Features per sample.
+    pub num_features: u32,
+    /// Row-major `num_samples × num_features` block.
+    pub data: Vec<u8>,
+}
+
+impl InferRequest {
+    /// Serialise into an `Infer` request payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let name = self.model.as_bytes();
+        let mut p = Vec::with_capacity(14 + name.len() + self.data.len());
+        p.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        p.extend_from_slice(name);
+        p.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        p.extend_from_slice(&self.num_samples.to_le_bytes());
+        p.extend_from_slice(&self.num_features.to_le_bytes());
+        p.extend_from_slice(&self.data);
+        p
+    }
+
+    /// Decode an `Infer` request payload.
+    pub fn decode(p: &[u8]) -> Result<InferRequest, String> {
+        let take = |p: &[u8], at: usize, n: usize| -> Result<(), String> {
+            if p.len() < at + n {
+                Err(format!(
+                    "payload truncated: need {} bytes, have {}",
+                    at + n,
+                    p.len()
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        take(p, 0, 2)?;
+        let name_len = u16::from_le_bytes([p[0], p[1]]) as usize;
+        take(p, 2, name_len)?;
+        let model = std::str::from_utf8(&p[2..2 + name_len])
+            .map_err(|_| "model name is not UTF-8".to_string())?
+            .to_string();
+        let mut at = 2 + name_len;
+        take(p, at, 12)?;
+        let rd = |p: &[u8], at: usize| u32::from_le_bytes([p[at], p[at + 1], p[at + 2], p[at + 3]]);
+        let deadline_ms = rd(p, at);
+        let num_samples = rd(p, at + 4);
+        let num_features = rd(p, at + 8);
+        at += 12;
+        if num_samples == 0 {
+            return Err("num_samples must be > 0".into());
+        }
+        if num_features == 0 {
+            return Err("num_features must be > 0".into());
+        }
+        let expect = (num_samples as u64) * (num_features as u64);
+        if expect > MAX_PAYLOAD as u64 {
+            return Err(format!("feature block of {expect} bytes exceeds cap"));
+        }
+        let got = (p.len() - at) as u64;
+        if got != expect {
+            return Err(format!(
+                "feature block is {got} bytes, header promises {num_samples}×{num_features} = {expect}"
+            ));
+        }
+        Ok(InferRequest {
+            model,
+            deadline_ms,
+            num_samples,
+            num_features,
+            data: p[at..].to_vec(),
+        })
+    }
+}
+
+/// Encode a successful `Infer` response payload.
+pub fn encode_results(results: &[f64]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(4 + results.len() * 8);
+    p.extend_from_slice(&(results.len() as u32).to_le_bytes());
+    for r in results {
+        p.extend_from_slice(&r.to_le_bytes());
+    }
+    p
+}
+
+/// Decode a successful `Infer` response payload.
+pub fn decode_results(p: &[u8]) -> Result<Vec<f64>, String> {
+    if p.len() < 4 {
+        return Err("result payload shorter than its count field".into());
+    }
+    let n = u32::from_le_bytes([p[0], p[1], p[2], p[3]]) as usize;
+    if p.len() != 4 + n * 8 {
+        return Err(format!(
+            "result payload is {} bytes, count field promises {}",
+            p.len(),
+            4 + n * 8
+        ));
+    }
+    Ok((0..n)
+        .map(|i| {
+            let at = 4 + i * 8;
+            f64::from_le_bytes(p[at..at + 8].try_into().expect("8-byte slice"))
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips_through_a_buffer() {
+        let frame = Frame::request(Opcode::Infer, vec![1, 2, 3, 4, 5]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &frame).unwrap();
+        assert_eq!(buf.len(), HEADER_LEN + 5);
+        let got = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn bad_magic_and_bad_version_are_malformed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::request(Opcode::Ping, vec![])).unwrap();
+        let mut wrong_magic = buf.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut wrong_magic.as_slice()),
+            Err(WireError::Malformed(_))
+        ));
+        let mut wrong_version = buf;
+        wrong_version[4] = 9;
+        assert!(matches!(
+            read_frame(&mut wrong_version.as_slice()),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_length_is_rejected_before_allocation() {
+        let mut header = [0u8; HEADER_LEN];
+        header[0..4].copy_from_slice(&MAGIC);
+        header[4] = PROTOCOL_VERSION;
+        header[5] = Opcode::Ping as u8;
+        header[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            parse_header(&header),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn infer_request_round_trips() {
+        let req = InferRequest {
+            model: "NIPS10".into(),
+            deadline_ms: 250,
+            num_samples: 3,
+            num_features: 2,
+            data: vec![0, 1, 2, 3, 4, 5],
+        };
+        assert_eq!(InferRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn infer_request_shape_lies_are_caught() {
+        let mut req = InferRequest {
+            model: "m".into(),
+            deadline_ms: 0,
+            num_samples: 2,
+            num_features: 3,
+            data: vec![0; 6],
+        };
+        req.data.pop(); // now 5 bytes for a promised 6
+        assert!(InferRequest::decode(&req.encode()).is_err());
+        assert!(InferRequest::decode(&[]).is_err());
+        assert!(InferRequest::decode(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn results_round_trip_bit_exactly() {
+        let vals = vec![-1.5, f64::MIN_POSITIVE.ln(), 0.0, -742.123456789];
+        let got = decode_results(&encode_results(&vals)).unwrap();
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(decode_results(&[1, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn opcode_and_status_codes_are_stable() {
+        for (op, b) in [
+            (Opcode::Infer, 1u8),
+            (Opcode::Ping, 2),
+            (Opcode::Stats, 3),
+            (Opcode::Shutdown, 4),
+        ] {
+            assert_eq!(op as u8, b);
+            assert_eq!(Opcode::from_u8(b), Some(op));
+        }
+        for b in 0..=8u8 {
+            match Status::from_u8(b) {
+                Some(s) => assert_eq!(s as u8, b),
+                None => assert!(b > 7),
+            }
+        }
+    }
+}

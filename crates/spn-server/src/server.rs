@@ -1,0 +1,516 @@
+//! The TCP server: accept loop, per-connection threads, admission
+//! control and graceful drain.
+//!
+//! Threading model — everything is plain blocking I/O:
+//!
+//! * one **accept thread** parks in `TcpListener::accept`;
+//! * one **connection thread** per client socket reads frames with a
+//!   short read-timeout so it can observe the shutdown flag between
+//!   (and during) frames;
+//! * one **batcher worker** per registered model (see
+//!   [`crate::batcher`]).
+//!
+//! A connection thread handles one request at a time: decode →
+//! validate → admission control → enqueue with the model's batcher →
+//! block on the reply channel → write the response. Faults are
+//! *contained per connection*: a malformed payload earns an error
+//! frame on that socket only; a torn frame or mid-request disconnect
+//! kills that connection thread only.
+//!
+//! Shutdown ([`SpnServer::shutdown`], the `Shutdown` opcode, or drop)
+//! is a drain, not an abort: the accept loop stops, new `Infer`
+//! requests are refused with [`Status::ShuttingDown`], every
+//! already-admitted request still gets its reply (the batchers flush
+//! their queues through the scheduler), and only then are the threads
+//! joined.
+
+use crate::batcher::{BatchPolicy, Batcher, Reply};
+use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
+use crate::protocol::{
+    parse_header, write_frame, Frame, InferRequest, Opcode, Status, WireError, HEADER_LEN,
+};
+use parking_lot::{Condvar, Mutex};
+use spn_runtime::{JobOptions, Scheduler};
+use std::collections::BTreeMap;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks a free port (see
+    /// [`SpnServer::local_addr`]).
+    pub addr: String,
+    /// Batching policy applied to every registered model.
+    pub batch: BatchPolicy,
+    /// Admission control: refuse `Infer` requests that would push the
+    /// number of admitted-but-unanswered samples past this bound.
+    pub max_inflight_samples: u64,
+    /// How often blocked reads wake up to check the shutdown flag.
+    pub read_poll: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            batch: BatchPolicy::default(),
+            max_inflight_samples: 1 << 20,
+            read_poll: Duration::from_millis(25),
+        }
+    }
+}
+
+/// One model made servable: a name on the wire, the scheduler that
+/// runs it, and the input shape requests must match.
+pub struct ModelSpec {
+    /// Wire name clients address the model by.
+    pub name: String,
+    /// Scheduler driving the (virtual) accelerator for this model.
+    pub scheduler: Arc<Scheduler>,
+    /// Features per sample the model expects.
+    pub num_features: u32,
+    /// Feature domain (values `0..domain`); metadata for the dataset.
+    pub domain: usize,
+    /// Job options for batches of this model (retry budget etc.).
+    pub opts: JobOptions,
+}
+
+impl ModelSpec {
+    /// Spec with default job options.
+    pub fn new(
+        name: impl Into<String>,
+        scheduler: Arc<Scheduler>,
+        num_features: u32,
+        domain: usize,
+    ) -> ModelSpec {
+        ModelSpec {
+            name: name.into(),
+            scheduler,
+            num_features,
+            domain,
+            opts: JobOptions::default(),
+        }
+    }
+}
+
+struct ModelHandle {
+    batcher: Batcher,
+    scheduler: Arc<Scheduler>,
+    num_features: u32,
+}
+
+struct SharedState {
+    models: BTreeMap<String, ModelHandle>,
+    metrics: Arc<ServerMetrics>,
+    shutting_down: AtomicBool,
+    /// Signalled when shutdown is requested (by the `Shutdown` opcode
+    /// or [`SpnServer::shutdown`]); `wait_for_shutdown` blocks on it.
+    shutdown_flag: Mutex<bool>,
+    shutdown_cv: Condvar,
+    max_inflight_samples: u64,
+    read_poll: Duration,
+    local_addr: SocketAddr,
+}
+
+impl SharedState {
+    fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Flip the flag and wake everyone who waits on it. Safe to call
+    /// from connection threads (it does no joining).
+    fn request_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::Release);
+        let mut f = self.shutdown_flag.lock();
+        *f = true;
+        self.shutdown_cv.notify_all();
+        // Nudge the accept thread out of `accept()`.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A running inference server. Dropping it drains and stops it.
+pub struct SpnServer {
+    shared: Arc<SharedState>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+/// Server construction failure.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding or configuring the listener failed.
+    Io(io::Error),
+    /// The model list is unusable (empty, duplicate names, …).
+    Config(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "i/o error: {e}"),
+            ServerError::Config(m) => write!(f, "config error: {m}"),
+        }
+    }
+}
+impl std::error::Error for ServerError {}
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl SpnServer {
+    /// Bind, register `models` and start serving.
+    pub fn serve(config: ServerConfig, models: Vec<ModelSpec>) -> Result<SpnServer, ServerError> {
+        if models.is_empty() {
+            return Err(ServerError::Config("no models registered".into()));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(ServerMetrics::new());
+
+        let mut registry = BTreeMap::new();
+        for spec in models {
+            if spec.num_features == 0 {
+                return Err(ServerError::Config(format!(
+                    "model '{}' declares zero features",
+                    spec.name
+                )));
+            }
+            let batcher = Batcher::new(
+                &spec.name,
+                Arc::clone(&spec.scheduler),
+                spec.num_features as usize,
+                spec.domain,
+                config.batch,
+                spec.opts,
+                Arc::clone(&metrics),
+            );
+            let prev = registry.insert(
+                spec.name.clone(),
+                ModelHandle {
+                    batcher,
+                    scheduler: spec.scheduler,
+                    num_features: spec.num_features,
+                },
+            );
+            if prev.is_some() {
+                return Err(ServerError::Config(format!(
+                    "model '{}' registered twice",
+                    spec.name
+                )));
+            }
+        }
+
+        let shared = Arc::new(SharedState {
+            models: registry,
+            metrics,
+            shutting_down: AtomicBool::new(false),
+            shutdown_flag: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            max_inflight_samples: config.max_inflight_samples,
+            read_poll: config.read_poll,
+            local_addr,
+        });
+
+        let conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let accept_shared = Arc::clone(&shared);
+        let accept_conns = Arc::clone(&conn_threads);
+        let accept_thread = thread::Builder::new()
+            .name("spn-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared, accept_conns))
+            .expect("spawn accept thread");
+
+        Ok(SpnServer {
+            shared,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+        })
+    }
+
+    /// The address the server actually bound (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Point-in-time serving metrics.
+    pub fn metrics_snapshot(&self) -> ServerMetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Block until shutdown is requested — by a client's `Shutdown`
+    /// frame or a concurrent [`SpnServer::shutdown`] call. The caller
+    /// then drops the server (or calls `shutdown`) to perform the
+    /// actual drain and join.
+    pub fn wait_for_shutdown(&self) {
+        let mut f = self.shared.shutdown_flag.lock();
+        while !*f {
+            self.shared.shutdown_cv.wait(&mut f);
+        }
+    }
+
+    /// Drain and stop: refuse new work, answer everything already
+    /// admitted, then join every thread. Idempotent; also runs on
+    /// drop.
+    pub fn shutdown(&mut self) {
+        self.shared.request_shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Drain order is load-bearing: connection threads may be
+        // blocked on reply channels, and flushing the batch queues is
+        // what unblocks them — so batchers first, connections second.
+        for handle in self.shared.models.values() {
+            handle.batcher.request_drain();
+        }
+        for handle in self.shared.models.values() {
+            handle.batcher.join_worker();
+        }
+        let mut conns = self.conn_threads.lock();
+        for t in conns.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for SpnServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<SharedState>,
+    conns: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if shared.is_shutting_down() {
+                    // The wake-up connection (or a late client); stop.
+                    drop(stream);
+                    return;
+                }
+                let conn_shared = Arc::clone(&shared);
+                let t = thread::Builder::new()
+                    .name(format!("spn-conn-{peer}"))
+                    .spawn(move || {
+                        // Any I/O failure just ends this connection.
+                        let _ = serve_connection(stream, &conn_shared);
+                    })
+                    .expect("spawn connection thread");
+                conns.lock().push(t);
+            }
+            Err(_) => {
+                if shared.is_shutting_down() {
+                    return;
+                }
+                // Transient accept error; keep serving.
+            }
+        }
+    }
+}
+
+/// Outcome of a polled blocking read.
+enum ReadOutcome {
+    /// Buffer filled.
+    Full,
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// Shutdown observed while waiting.
+    Shutdown,
+}
+
+/// `read_exact` with a read-timeout poll so the thread can observe
+/// shutdown between retries. A clean EOF is only "clean" before the
+/// first byte of the buffer; a torn read mid-buffer is an error.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shared: &SharedState,
+) -> io::Result<ReadOutcome> {
+    let mut at = 0usize;
+    while at < buf.len() {
+        if shared.is_shutting_down() {
+            return Ok(ReadOutcome::Shutdown);
+        }
+        match stream.read(&mut buf[at..]) {
+            Ok(0) => {
+                return if at == 0 {
+                    Ok(ReadOutcome::Eof)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => at += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &SharedState) -> io::Result<()> {
+    stream.set_read_timeout(Some(shared.read_poll))?;
+    stream.set_nodelay(true)?;
+    loop {
+        let mut header = [0u8; HEADER_LEN];
+        match read_full(&mut stream, &mut header, shared)? {
+            ReadOutcome::Eof | ReadOutcome::Shutdown => return Ok(()),
+            ReadOutcome::Full => {}
+        }
+        let (opcode, _status, len) = match parse_header(&header) {
+            Ok(h) => h,
+            Err(WireError::Malformed(m)) => {
+                // The stream can no longer be trusted to be
+                // frame-aligned: answer once, then close — other
+                // connections are unaffected.
+                shared.metrics.rejected(Status::Malformed);
+                let _ = write_frame(
+                    &mut stream,
+                    &Frame::error(Opcode::Ping, Status::Malformed, &m),
+                );
+                return Ok(());
+            }
+            Err(WireError::Io(e)) => return Err(e),
+        };
+        let mut payload = vec![0u8; len as usize];
+        match read_full(&mut stream, &mut payload, shared)? {
+            ReadOutcome::Full => {}
+            // Mid-frame EOF or shutdown: abandon the connection.
+            ReadOutcome::Eof | ReadOutcome::Shutdown => return Ok(()),
+        }
+
+        match opcode {
+            Opcode::Ping => {
+                write_frame(
+                    &mut stream,
+                    &Frame::response(Opcode::Ping, Status::Ok, vec![]),
+                )?;
+            }
+            Opcode::Stats => {
+                let json = stats_json(shared);
+                write_frame(
+                    &mut stream,
+                    &Frame::response(Opcode::Stats, Status::Ok, json.into_bytes()),
+                )?;
+            }
+            Opcode::Shutdown => {
+                // Acknowledge first, then start the drain: the client
+                // gets its reply even though the server is now
+                // refusing new inference work.
+                write_frame(
+                    &mut stream,
+                    &Frame::response(Opcode::Shutdown, Status::Ok, vec![]),
+                )?;
+                shared.request_shutdown();
+            }
+            Opcode::Infer => {
+                let frame = handle_infer(shared, &payload);
+                write_frame(&mut stream, &frame)?;
+            }
+        }
+    }
+}
+
+/// Decode, validate, admit, batch and await one `Infer` request.
+fn handle_infer(shared: &SharedState, payload: &[u8]) -> Frame {
+    let t0 = Instant::now();
+    let reject = |status: Status, msg: &str| {
+        shared.metrics.rejected(status);
+        Frame::error(Opcode::Infer, status, msg)
+    };
+
+    if shared.is_shutting_down() {
+        return reject(Status::ShuttingDown, "server is draining");
+    }
+    let req = match InferRequest::decode(payload) {
+        Ok(r) => r,
+        Err(m) => return reject(Status::Malformed, &m),
+    };
+    let Some(model) = shared.models.get(&req.model) else {
+        return reject(
+            Status::UnknownModel,
+            &format!("model '{}' is not registered", req.model),
+        );
+    };
+    if req.num_features != model.num_features {
+        return reject(
+            Status::ShapeMismatch,
+            &format!(
+                "model '{}' expects {} features per sample, request carries {}",
+                req.model, model.num_features, req.num_features
+            ),
+        );
+    }
+    let samples = u64::from(req.num_samples);
+    // Admission control: bound the admitted-but-unanswered samples.
+    // (Racy increment-after-check is fine — the bound is a soft
+    // protective limit, not an accounting invariant.)
+    if shared.metrics.inflight_samples() + samples > shared.max_inflight_samples {
+        return reject(
+            Status::ServerBusy,
+            &format!(
+                "in-flight sample limit {} reached; retry later",
+                shared.max_inflight_samples
+            ),
+        );
+    }
+    shared.metrics.request_admitted(samples);
+
+    let deadline =
+        (req.deadline_ms > 0).then(|| t0 + Duration::from_millis(req.deadline_ms as u64));
+    let rx = model.batcher.enqueue(req.data, req.num_samples, deadline);
+    let reply = rx
+        .recv()
+        .unwrap_or_else(|_| Reply::Err(Status::Internal, "batcher dropped the request".into()));
+    shared.metrics.request_done(samples, t0.elapsed());
+
+    match reply {
+        Reply::Ok(lls) => Frame::response(
+            Opcode::Infer,
+            Status::Ok,
+            crate::protocol::encode_results(&lls),
+        ),
+        Reply::Err(status, msg) => Frame::error(Opcode::Infer, status, &msg),
+    }
+}
+
+/// The `Stats` response: serving metrics plus one scheduler snapshot
+/// per model, spliced into a single JSON document with stable key
+/// order (models are in `BTreeMap` name order).
+fn stats_json(shared: &SharedState) -> String {
+    let mut s = String::from("{\n\"server\":\n");
+    s.push_str(shared.metrics.snapshot().to_json().trim_end());
+    s.push_str(",\n\"models\": {\n");
+    let mut first = true;
+    for (name, handle) in &shared.models {
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        s.push('"');
+        s.push_str(name);
+        s.push_str("\":\n");
+        s.push_str(handle.scheduler.metrics_snapshot().to_json().trim_end());
+    }
+    s.push_str("\n}\n}\n");
+    s
+}

@@ -38,10 +38,7 @@ fn main() {
         c1.threads_per_pe = 1;
         let mut c2 = c1;
         c2.threads_per_pe = 2;
-        let (a, b) = (
-            simulate(&c1).samples_per_sec,
-            simulate(&c2).samples_per_sec,
-        );
+        let (a, b) = (simulate(&c1).samples_per_sec, simulate(&c2).samples_per_sec);
         println!(
             "{pes:>5}  {:>13.1}  {:>13.1}  {:.2}x",
             a / 1e6,

@@ -8,7 +8,9 @@
 //! ```
 
 use spn_arith::{CfpFormat, ErrorStats, F64Format, LnsFormat, PositFormat, SpnNumber};
-use spn_core::{generate_bag_of_words, learn_spn, to_text, BagOfWordsConfig, Evaluator, LearnParams};
+use spn_core::{
+    generate_bag_of_words, learn_spn, to_text, BagOfWordsConfig, Evaluator, LearnParams,
+};
 use spn_hw::{
     datapath_cost, design_cost, ArithCosts, DatapathProgram, OpLatencies, PipelineSchedule,
     PlatformCosts,
@@ -39,9 +41,11 @@ fn main() {
 
     // Export: this is the artifact the hardware generator consumes.
     let text = to_text(&spn);
-    println!("\ntextual export: {} bytes (first line: {})",
+    println!(
+        "\ntextual export: {} bytes (first line: {})",
         text.len(),
-        text.lines().next().unwrap_or(""));
+        text.lines().next().unwrap_or("")
+    );
 
     // "Synthesis": compile to a datapath and schedule the pipeline.
     let prog = DatapathProgram::compile(&spn);
@@ -59,13 +63,20 @@ fn main() {
     );
 
     // Number-format study (the [4] methodology): accuracy vs f64.
-    println!("\nformat accuracy on {} held-out samples:", test.num_samples());
+    println!(
+        "\nformat accuracy on {} held-out samples:",
+        test.num_samples()
+    );
     report_format(&prog, &test, "CFP(8,22)", &CfpFormat::paper_default());
     report_format(&prog, &test, "LNS(12.20)", &LnsFormat::paper_default());
     report_format(&prog, &test, "posit(32,2)", &PositFormat::paper_default());
 
     // Resource estimate for a 4-core design of this learned SPN.
-    let dp = datapath_cost(&counts, &ArithCosts::cfp_this_work(), sched.balance_registers);
+    let dp = datapath_cost(
+        &counts,
+        &ArithCosts::cfp_this_work(),
+        sched.balance_registers,
+    );
     let total = design_cost(dp, &PlatformCosts::hbm_this_work(), 4, 4);
     println!(
         "\nestimated 4-core HBM design: {:.1} kLUT logic, {:.1} kLUT mem, \

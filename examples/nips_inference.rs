@@ -24,7 +24,11 @@ fn main() {
         .unwrap_or(NipsBenchmark::Nips10);
     let num_pes: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
 
-    println!("benchmark: {} ({} input bytes/sample)", bench.name(), bench.num_vars());
+    println!(
+        "benchmark: {} ({} input bytes/sample)",
+        bench.name(),
+        bench.num_vars()
+    );
     let spn = bench.build_spn();
     println!("SPN: {:?}", spn.stats());
 

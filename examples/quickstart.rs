@@ -22,7 +22,12 @@ fn main() {
     // `finish` validates completeness, decomposability and weights.
     let spn = b.finish(root, "weather").expect("structurally valid");
 
-    println!("built '{}' with {} nodes: {:?}\n", spn.name, spn.len(), spn.stats());
+    println!(
+        "built '{}' with {} nodes: {:?}\n",
+        spn.name,
+        spn.len(),
+        spn.stats()
+    );
 
     let mut ev = Evaluator::new(&spn);
 

@@ -11,7 +11,12 @@ use spn_hw::{AcceleratorConfig, DatapathProgram};
 use spn_runtime::{RuntimeConfig, SpnRuntime, VirtualDevice};
 use std::sync::Arc;
 
-fn run_pipeline(bench: NipsBenchmark, format: AnyFormat, pes: u32, samples: usize) -> (Vec<f64>, Vec<f64>) {
+fn run_pipeline(
+    bench: NipsBenchmark,
+    format: AnyFormat,
+    pes: u32,
+    samples: usize,
+) -> (Vec<f64>, Vec<f64>) {
     let spn = bench.build_spn();
     let prog = DatapathProgram::compile(&spn);
     let device = Arc::new(VirtualDevice::new(
@@ -32,7 +37,10 @@ fn run_pipeline(bench: NipsBenchmark, format: AnyFormat, pes: u32, samples: usiz
     let data = bench.dataset(samples, 0xFEED);
     let got = rt.infer(&data).expect("pipeline runs");
     let mut ev = Evaluator::new(&spn);
-    let want: Vec<f64> = data.rows().map(|r| ev.log_likelihood_bytes(r).exp()).collect();
+    let want: Vec<f64> = data
+        .rows()
+        .map(|r| ev.log_likelihood_bytes(r).exp())
+        .collect();
     (got, want)
 }
 
@@ -107,7 +115,9 @@ fn device_memory_restored_after_big_run() {
         4,
         8 << 20,
     ));
-    let before: Vec<u64> = (0..4).map(|c| device.memory().free_bytes(c).unwrap()).collect();
+    let before: Vec<u64> = (0..4)
+        .map(|c| device.memory().free_bytes(c).unwrap())
+        .collect();
     let rt = SpnRuntime::new(
         Arc::clone(&device),
         RuntimeConfig::builder()
@@ -151,7 +161,11 @@ fn fault_injection_is_caught_by_verification() {
     );
     let data = bench.dataset(2_000, 4);
     match rt.infer(&data) {
-        Err(RuntimeError::VerificationFailed { index, got, expected }) => {
+        Err(RuntimeError::VerificationFailed {
+            index,
+            got,
+            expected,
+        }) => {
             assert!(got != expected, "sample {index} flagged");
         }
         other => panic!("faults should be detected, got {other:?}"),

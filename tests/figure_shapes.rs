@@ -99,7 +99,13 @@ fn fig6_shape() {
     assert!((g(&s_cpu) - 1.6).abs() < 0.35, "CPU geo {}", g(&s_cpu));
     assert!((g(&s_gpu) - 6.9).abs() < 1.2, "V100 geo {}", g(&s_gpu));
     // Speedups vs F1 grow with benchmark size, peaking at NIPS80.
-    assert!(s_f1[4] >= *s_f1[..4].iter().max_by(|a, b| a.partial_cmp(b).unwrap()).unwrap());
+    assert!(
+        s_f1[4]
+            >= *s_f1[..4]
+                .iter()
+                .max_by(|a, b| a.partial_cmp(b).unwrap())
+                .unwrap()
+    );
 }
 
 /// §V-C outlook: each PCIe generation roughly doubles the link bound.

@@ -89,7 +89,7 @@ proptest! {
         // pattern.
         for delta in [-1i64, 1] {
             let nb = enc.bits as i64 + delta;
-            if nb >= 1 && nb < (1i64 << 31) {
+            if (1..(1i64 << 31)).contains(&nb) {
                 let nv = f.to_f64(spn_arith::Posit { bits: nb as u32 });
                 if nv.is_finite() && nv > 0.0 {
                     prop_assert!(

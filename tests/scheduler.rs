@@ -15,7 +15,11 @@ use spn_hw::{AcceleratorConfig, DatapathProgram};
 use spn_runtime::prelude::*;
 use std::sync::Arc;
 
-fn make_device(bench: NipsBenchmark, pes: u32, faults: Option<FaultInjection>) -> Arc<VirtualDevice> {
+fn make_device(
+    bench: NipsBenchmark,
+    pes: u32,
+    faults: Option<FaultInjection>,
+) -> Arc<VirtualDevice> {
     let prog = DatapathProgram::compile(&bench.build_spn());
     let mut dev = VirtualDevice::new(
         prog,
@@ -143,14 +147,25 @@ fn fault_injected_job_succeeds_via_retries_without_leaking() {
         .retry_backoff_us(0)
         .build()
         .unwrap();
-    let got = sched.submit(Arc::clone(&data), opts).unwrap().wait().unwrap();
+    let got = sched
+        .submit(Arc::clone(&data), opts)
+        .unwrap()
+        .wait()
+        .unwrap();
     assert_eq!(got.len(), 4_000);
 
     let m = sched.metrics_snapshot();
-    assert!(m.block_retries > 0, "p=0.3 launch faults must cause retries");
+    assert!(
+        m.block_retries > 0,
+        "p=0.3 launch faults must cause retries"
+    );
     assert_eq!(m.jobs_completed, 1);
     assert_eq!(m.jobs_failed, 0);
-    assert_eq!(free_bytes_per_channel(&device), before, "retry paths leaked");
+    assert_eq!(
+        free_bytes_per_channel(&device),
+        before,
+        "retry paths leaked"
+    );
 }
 
 /// One job exhausting its retries fails alone; a concurrent job with a
@@ -197,7 +212,9 @@ fn failed_job_does_not_poison_concurrent_jobs() {
         Err(RuntimeError::Device(e)) => assert!(e.is_transient()),
         other => panic!("doomed job should fail with a device fault, got {other:?}"),
     }
-    let got = hardy.wait().expect("healthy job must survive its neighbour");
+    let got = hardy
+        .wait()
+        .expect("healthy job must survive its neighbour");
     assert_eq!(got, want);
 
     let m = sched.metrics_snapshot();
@@ -234,7 +251,11 @@ fn cancel_unblocks_wait_and_frees_device_memory() {
     assert_eq!(m.jobs_cancelled, 1);
     assert_eq!(m.jobs_in_flight, 0);
     // All in-flight blocks drained and freed by the time wait() returns.
-    assert_eq!(free_bytes_per_channel(&device), before, "cancel path leaked");
+    assert_eq!(
+        free_bytes_per_channel(&device),
+        before,
+        "cancel path leaked"
+    );
 }
 
 /// Config and option validation happens at the API boundary — errors,
@@ -244,7 +265,10 @@ fn invalid_configs_are_errors_not_panics() {
     // Builder-level validation.
     assert!(RuntimeConfig::builder().block_samples(0).build().is_err());
     assert!(RuntimeConfig::builder().threads_per_pe(0).build().is_err());
-    assert!(RuntimeConfig::builder().verify_fraction(1.5).build().is_err());
+    assert!(RuntimeConfig::builder()
+        .verify_fraction(1.5)
+        .build()
+        .is_err());
     assert!(RuntimeConfig::builder().queue_capacity(0).build().is_err());
     assert!(JobOptions::builder().num_pes(0).build().is_err());
 

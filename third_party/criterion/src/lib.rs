@@ -1,0 +1,219 @@
+//! Offline shim with the `criterion` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *interfaces* it relies on (see `third_party/README.md`).
+//! This is a plain wall-clock runner: it honours `sample_size`,
+//! `warm_up_time` and `measurement_time` as budgets, reports the mean,
+//! min and max per-iteration time plus throughput — but does none of
+//! upstream's statistics (no outlier analysis, no HTML reports, no
+//! saved baselines). Good enough for the A/B comparisons the benches
+//! make; not a drop-in replacement for rigorous measurement.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: how much work one measured iteration does.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Entry point handed to bench functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark with default settings.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("default");
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling settings and throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before measurement.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure `f` and print a one-line report.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        // Warm-up: run whole samples until the warm-up budget is spent.
+        let warm_until = Instant::now() + self.warm_up_time;
+        let mut per_iter = loop {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let t = b.elapsed.max(Duration::from_nanos(1));
+            if Instant::now() >= warm_until {
+                break t;
+            }
+        };
+
+        // Choose an iteration count so one sample is big enough to
+        // time, while `sample_size` samples fit in the budget.
+        let budget = self.measurement_time;
+        let per_sample = budget / self.sample_size as u32;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let iters =
+                (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed / iters as u32);
+            per_iter = b.elapsed / iters as u32;
+            // Never exceed ~2x the budget even if one sample is huge.
+            if started.elapsed() > budget * 2 {
+                break;
+            }
+        }
+
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+            }
+            None => String::new(),
+        };
+        eprintln!(
+            "  {}/{name:<40} {:>12?} (min {min:?}, max {max:?}){rate}",
+            self.name, mean
+        );
+        self
+    }
+
+    /// End the group (upstream finalises reports here; the shim has
+    /// already printed everything).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the sample's iteration count, timing the whole run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collect bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        g.throughput(Throughput::Elements(100));
+        let mut calls = 0u64;
+        g.bench_function("spin", |b| {
+            b.iter(|| {
+                calls += 1;
+                std::hint::black_box(calls)
+            })
+        });
+        g.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,368 @@
+//! Offline shim with the `serde` API surface this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the *interfaces* it relies on (see `third_party/README.md`).
+//! Instead of upstream serde's visitor-based zero-copy data model,
+//! this shim serializes through one concrete tree type, [`Value`]
+//! (JSON-shaped: null/bool/number/string/array/object). `serde_json`
+//! in the sibling directory renders and parses the textual form.
+//!
+//! The derive macros (`#[derive(Serialize, Deserialize)]`) come from
+//! the companion `serde_derive` proc-macro crate and implement the
+//! same externally-tagged representation conventions as upstream:
+//! structs become objects, newtype structs are transparent, unit enum
+//! variants become strings, data-carrying variants become
+//! single-entry objects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+pub use value::{Number, Value};
+
+/// Serialize `self` into the shim's [`Value`] data model.
+pub trait Serialize {
+    /// Build the value tree for `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `Self` out of `v`.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+
+    /// Called for struct fields absent from the input; only `Option`
+    /// (which defaults to `None`, like upstream) overrides this.
+    fn deserialize_missing(field: &str, ty: &str) -> Result<Self, DeError> {
+        Err(DeError(format!("missing field `{field}` in {ty}")))
+    }
+}
+
+/// Deserialization failure: a human-readable description of the
+/// mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X, found Y while reading T" constructor.
+    pub fn expected(what: &str, v: &Value, ty: &str) -> DeError {
+        DeError(format!(
+            "expected {what}, found {} while reading {ty}",
+            v.kind()
+        ))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+impl std::error::Error for DeError {}
+
+/// Derive-internal helper: read one struct field from an object's
+/// entries, delegating absence to [`Deserialize::deserialize_missing`].
+#[doc(hidden)]
+pub fn __de_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    field: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == field) {
+        Some((_, v)) => T::deserialize(v).map_err(|e| DeError(format!("{ty}.{field}: {}", e.0))),
+        None => T::deserialize_missing(field, ty),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------
+
+macro_rules! ser_via_u64 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_via_u64!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_via_i64 {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::U64(v as u64))
+                } else {
+                    Value::Number(Number::I64(v))
+                }
+            }
+        }
+    )*};
+}
+ser_via_i64!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls.
+// ---------------------------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                let out = match v {
+                    Value::Number(Number::U64(n)) => <$t>::try_from(*n).ok(),
+                    Value::Number(Number::I64(n)) => <$t>::try_from(*n).ok(),
+                    Value::Number(Number::F64(f))
+                        if f.fract() == 0.0
+                            && *f >= <$t>::MIN as f64
+                            && *f <= <$t>::MAX as f64 =>
+                    {
+                        Some(*f as $t)
+                    }
+                    _ => None,
+                };
+                out.ok_or_else(|| DeError::expected(
+                    concat!("a ", stringify!($t)), v, "integer"))
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            _ => Err(DeError::expected("a number", v, "f64")),
+        }
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("a bool", v, "bool")),
+        }
+    }
+}
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("a string", v, "String")),
+        }
+    }
+}
+/// Upstream deserializes `&str` zero-copy from the input buffer; the
+/// shim's data model owns its strings, so `&'static str` is produced
+/// by leaking a copy. Fine for the workspace's use (small calibration
+/// tables in tests); do not deserialize unbounded `&str` data.
+impl Deserialize for &'static str {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(DeError::expected("a string", v, "&str")),
+        }
+    }
+}
+impl Deserialize for char {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            _ => Err(DeError::expected("a single-char string", v, "char")),
+        }
+    }
+}
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(DeError::expected("an array", v, "Vec")),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn deserialize_missing(_field: &str, _ty: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::deserialize(&items[$n])?,)+))
+                    }
+                    _ => Err(DeError::expected(
+                        concat!("an array of length ", stringify!($len)),
+                        v,
+                        "tuple",
+                    )),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-3i64).serialize()).unwrap(), -3);
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);
+        let o: Option<f64> = None;
+        assert_eq!(Option::<f64>::deserialize(&o.serialize()).unwrap(), None);
+        let t = (1u8, -2i32, 3.5f64);
+        assert_eq!(<(u8, i32, f64)>::deserialize(&t.serialize()).unwrap(), t);
+    }
+
+    #[test]
+    fn integer_from_float_requires_integral() {
+        let ok = Value::Number(Number::F64(7.0));
+        assert_eq!(u32::deserialize(&ok).unwrap(), 7);
+        let bad = Value::Number(Number::F64(7.5));
+        assert!(u32::deserialize(&bad).is_err());
+    }
+
+    #[test]
+    fn missing_option_field_defaults_to_none() {
+        let entries: Vec<(String, Value)> = vec![];
+        let got: Option<u32> = __de_field(&entries, "x", "T").unwrap();
+        assert_eq!(got, None);
+        let err: Result<u32, _> = __de_field(&entries, "x", "T");
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,504 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented without `syn`/`quote` (neither
+//! is available offline) by walking the raw [`TokenStream`].
+//!
+//! Supported input shapes — exactly what this workspace uses:
+//!
+//! * named-field structs, tuple structs (single-field ones are
+//!   transparent newtypes, like upstream), unit structs;
+//! * enums with unit variants (discriminants allowed), newtype
+//!   variants, tuple variants and struct variants, encoded with the
+//!   externally-tagged representation (`"Variant"` /
+//!   `{"Variant": content}`).
+//!
+//! Not supported (the workspace doesn't use them): generics, lifetimes
+//! and `#[serde(...)]` attributes — hitting one is a compile error
+//! rather than silent misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// A minimal AST.
+// ---------------------------------------------------------------------
+
+/// Fields of one struct or enum variant.
+enum Fields {
+    /// `{ a: T, b: U }` — the field names, in order.
+    Named(Vec<String>),
+    /// `(T, U)` — only the arity matters.
+    Tuple(usize),
+    /// No payload.
+    Unit,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// The parsed derive input.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+/// Cursor over a flattened token list.
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip any number of outer attributes (`#[...]`, including the
+    /// `#[doc = "..."]` that doc comments lower to).
+    fn skip_attrs(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1; // '#'
+                    match self.peek() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            self.pos += 1;
+                        }
+                        other => panic!("expected [...] after '#', got {other:?}"),
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Advance past tokens until a top-level `,` (consumed) or the end.
+    fn skip_past_comma(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name_kw = kw.as_str();
+    match name_kw {
+        "struct" => {
+            let name = c.expect_ident("struct name");
+            forbid_generics(&c, &name);
+            match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                    name,
+                    fields: parse_named_fields(g.stream()),
+                },
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Item::Struct {
+                        name,
+                        fields: parse_tuple_fields(g.stream()),
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::Struct {
+                    name,
+                    fields: Fields::Unit,
+                },
+                other => panic!("unexpected token after struct name: {other:?}"),
+            }
+        }
+        "enum" => {
+            let name = c.expect_ident("enum name");
+            forbid_generics(&c, &name);
+            match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream()),
+                },
+                other => panic!("expected enum body, got {other:?}"),
+            }
+        }
+        other => panic!("derive only supports structs and enums, got `{other}`"),
+    }
+}
+
+fn forbid_generics(c: &Cursor, name: &str) {
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("the offline serde shim cannot derive for generic type `{name}`");
+        }
+    }
+}
+
+/// `a: T, b: U, ...` — collect the names, skip the types.
+fn parse_named_fields(ts: TokenStream) -> Fields {
+    let mut c = Cursor::new(ts);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        names.push(c.expect_ident("field name"));
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field name, got {other:?}"),
+        }
+        c.skip_past_comma();
+    }
+    Fields::Named(names)
+}
+
+/// `(T, U, ...)` — count top-level comma-separated entries.
+fn parse_tuple_fields(ts: TokenStream) -> Fields {
+    let mut c = Cursor::new(ts);
+    let mut arity = 0usize;
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        arity += 1;
+        c.skip_past_comma();
+    }
+    Fields::Tuple(arity)
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = parse_tuple_fields(g.stream());
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Discriminant (`= 3`) and/or the trailing comma.
+        c.skip_past_comma();
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Serialize.
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "({f:?}.to_string(), \
+                                 serde::Serialize::serialize(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("serde::Value::Object(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => {
+                    // Newtype structs are transparent, like upstream.
+                    "serde::Serialize::serialize(&self.0)".to_string()
+                }
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::serialize(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => \
+                             serde::Value::String({vn:?}.to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => serde::Value::Object(vec![\
+                             ({vn:?}.to_string(), \
+                             serde::Serialize::serialize(x0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::serialize(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => \
+                                 serde::Value::Object(vec![({vn:?}.to_string(), \
+                                 serde::Value::Array(vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), \
+                                         serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 serde::Value::Object(vec![({vn:?}.to_string(), \
+                                 serde::Value::Object(vec![{entries}]))]),",
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> serde::Value {{\n\
+                 match self {{\n{}\n}}\n}}\n}}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen: Deserialize.
+// ---------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: serde::__de_field(__entries, {f:?}, \
+                                 {name:?})?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __entries = v.as_object_slice().ok_or_else(|| \
+                         serde::DeError::expected(\"an object\", v, {name:?}))?;\n\
+                         Ok({name} {{ {} }})",
+                        inits.join(" ")
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::deserialize(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::deserialize(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __items = match v {{\n\
+                         serde::Value::Array(items) if items.len() == {n} => items,\n\
+                         _ => return Err(serde::DeError::expected(\
+                         \"an array of length {n}\", v, {name:?})),\n\
+                         }};\n\
+                         Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!("match v {{ _ => Ok({name}) }}"),
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &serde::Value) -> \
+                 Result<Self, serde::DeError> {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push(format!("{vn:?} => Ok({name}::{vn}),")),
+                    Fields::Tuple(1) => data_arms.push(format!(
+                        "{vn:?} => Ok({name}::{vn}(\
+                         serde::Deserialize::deserialize(__content).map_err(\
+                         |e| serde::DeError(format!(\"{name}::{vn}: {{}}\", \
+                         e.0)))?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "serde::Deserialize::deserialize(\
+                                     &__items[{i}])?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "{vn:?} => {{\n\
+                             let __items = match __content {{\n\
+                             serde::Value::Array(items) if items.len() == {n} \
+                             => items,\n\
+                             _ => return Err(serde::DeError::expected(\
+                             \"an array of length {n}\", __content, \
+                             \"{name}::{vn}\")),\n\
+                             }};\n\
+                             Ok({name}::{vn}({}))\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: serde::__de_field(__inner, {f:?}, \
+                                     \"{name}::{vn}\")?,"
+                                )
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "{vn:?} => {{\n\
+                             let __inner = __content.as_object_slice()\
+                             .ok_or_else(|| serde::DeError::expected(\
+                             \"an object\", __content, \"{name}::{vn}\"))?;\n\
+                             Ok({name}::{vn} {{ {} }})\n\
+                             }}",
+                            inits.join(" ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &serde::Value) -> \
+                 Result<Self, serde::DeError> {{\n\
+                 match v {{\n\
+                 serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit}\n\
+                 __other => Err(serde::DeError(format!(\
+                 \"unknown unit variant `{{__other}}` of {name}\"))),\n\
+                 }},\n\
+                 serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __content) = &__entries[0];\n\
+                 let _ = __content;\n\
+                 match __tag.as_str() {{\n\
+                 {data}\n\
+                 __other => Err(serde::DeError(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => Err(serde::DeError::expected(\
+                 \"a variant string or single-entry object\", v, {name:?})),\n\
+                 }}\n}}\n}}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    }
+}
