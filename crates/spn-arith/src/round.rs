@@ -97,8 +97,7 @@ mod tests {
                     // f64 round-half-to-even of `exact`.
                     let floor = exact.floor();
                     let frac = exact - floor;
-                    let round_up =
-                        frac > 0.5 || (frac == 0.5 && !(floor as u64).is_multiple_of(2));
+                    let round_up = frac > 0.5 || (frac == 0.5 && !(floor as u64).is_multiple_of(2));
                     if round_up {
                         floor + 1.0
                     } else {

@@ -39,7 +39,6 @@ use parking_lot::{Condvar, Mutex};
 use spn_core::Dataset;
 use spn_runtime::{JobHandle, JobOptions, RuntimeError, Scheduler};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread;
@@ -87,10 +86,23 @@ impl Default for BatchPolicy {
     }
 }
 
+/// The batch queue plus the drain flag, under **one** mutex.
+///
+/// Keeping `stopped` inside the queue lock (rather than a separate
+/// atomic) closes the enqueue-after-drain race: the worker only exits
+/// while holding the lock with `stopped && items.is_empty()`, and
+/// [`Batcher::enqueue`] checks `stopped` under the same lock — so a
+/// request can never slip into a queue no worker will ever flush.
+/// Any such late request is answered immediately with
+/// [`Status::ShuttingDown`] instead of parking forever.
+struct BatchQueue {
+    items: VecDeque<Pending>,
+    stopped: bool,
+}
+
 struct Shared {
-    queue: Mutex<VecDeque<Pending>>,
+    queue: Mutex<BatchQueue>,
     cv: Condvar,
-    stop: AtomicBool,
     scheduler: Arc<Scheduler>,
     num_features: usize,
     domain: usize,
@@ -137,9 +149,11 @@ impl Batcher {
             "max_batch_samples must be > 0"
         );
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(BatchQueue {
+                items: VecDeque::new(),
+                stopped: false,
+            }),
             cv: Condvar::new(),
-            stop: AtomicBool::new(false),
             scheduler,
             num_features,
             domain,
@@ -170,6 +184,15 @@ impl Batcher {
     /// Deposit a request; returns the channel the reply will arrive
     /// on. The caller has already validated shape and passed admission
     /// control.
+    ///
+    /// A reply is *always* delivered on the returned channel: if the
+    /// batcher has already been asked to drain (so the worker may be
+    /// gone and nothing would ever flush the queue), the request is
+    /// refused immediately with [`Status::ShuttingDown`] instead of
+    /// being parked forever. The stop check happens under the queue
+    /// lock — the same lock the worker holds when it decides to exit —
+    /// so the admit-or-refuse decision cannot race the worker's
+    /// shutdown.
     pub fn enqueue(
         &self,
         data: Vec<u8>,
@@ -185,7 +208,19 @@ impl Batcher {
             deadline,
             reply: tx,
         };
-        self.shared.queue.lock().push_back(pending);
+        {
+            let mut q = self.shared.queue.lock();
+            if q.stopped {
+                drop(q);
+                self.shared.metrics.rejected(Status::ShuttingDown);
+                let _ = pending.reply.send(Reply::Err(
+                    Status::ShuttingDown,
+                    "server is draining; request refused".into(),
+                ));
+                return rx;
+            }
+            q.items.push_back(pending);
+        }
         self.shared.cv.notify_all();
         rx
     }
@@ -193,7 +228,7 @@ impl Batcher {
     /// Ask the worker to stop once the queue is empty (the server
     /// already gates new requests). Does not block.
     pub fn request_drain(&self) {
-        self.shared.stop.store(true, Ordering::Release);
+        self.shared.queue.lock().stopped = true;
         self.shared.cv.notify_all();
     }
 
@@ -224,6 +259,7 @@ impl Batcher {
         self.shared
             .queue
             .lock()
+            .items
             .iter()
             .map(|p| u64::from(p.num_samples))
             .sum()
@@ -251,9 +287,12 @@ fn worker_loop(shared: &Shared, inflight_tx: &std::sync::mpsc::Sender<InflightBa
         let batch = {
             let mut q = shared.queue.lock();
             // Sleep until there is work (or we are told to stop and
-            // the queue is already empty — the drain condition).
-            while q.is_empty() {
-                if shared.stop.load(Ordering::Acquire) {
+            // the queue is already empty — the drain condition). The
+            // exit decision is made while *holding* the queue lock, so
+            // `enqueue` (which checks `stopped` under the same lock)
+            // can never add work the worker will not see.
+            while q.items.is_empty() {
+                if q.stopped {
                     return;
                 }
                 shared.cv.wait_for(&mut q, Duration::from_millis(50));
@@ -270,9 +309,8 @@ fn worker_loop(shared: &Shared, inflight_tx: &std::sync::mpsc::Sender<InflightBa
             let linger = shared.policy.max_batch_delay / 8;
             let mut last_queued = 0u64;
             loop {
-                let queued: u64 = q.iter().map(|p| u64::from(p.num_samples)).sum();
-                if queued >= shared.policy.max_batch_samples || shared.stop.load(Ordering::Acquire)
-                {
+                let queued: u64 = q.items.iter().map(|p| u64::from(p.num_samples)).sum();
+                if queued >= shared.policy.max_batch_samples || q.stopped {
                     break;
                 }
                 let now = Instant::now();
@@ -290,13 +328,13 @@ fn worker_loop(shared: &Shared, inflight_tx: &std::sync::mpsc::Sender<InflightBa
             // least one, so a single oversized request still flows.
             let mut batch = Vec::new();
             let mut samples = 0u64;
-            while let Some(p) = q.front() {
+            while let Some(p) = q.items.front() {
                 let n = u64::from(p.num_samples);
                 if !batch.is_empty() && samples + n > shared.policy.max_batch_samples {
                     break;
                 }
                 samples += n;
-                batch.push(q.pop_front().expect("front exists"));
+                batch.push(q.items.pop_front().expect("front exists"));
             }
             batch
         };

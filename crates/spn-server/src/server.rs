@@ -102,6 +102,12 @@ struct ModelHandle {
     batcher: Batcher,
     scheduler: Arc<Scheduler>,
     num_features: u32,
+    /// Feature domain; request bytes must all be `< domain`. Checked
+    /// *before* enqueueing — `Dataset::from_raw` asserts this, and a
+    /// panic in the batcher worker would wedge the whole model queue,
+    /// turning one bad client byte into a server-wide denial of
+    /// service.
+    domain: usize,
 }
 
 struct SharedState {
@@ -183,6 +189,12 @@ impl SpnServer {
                     spec.name
                 )));
             }
+            if spec.domain == 0 || spec.domain > 256 {
+                return Err(ServerError::Config(format!(
+                    "model '{}' declares domain {} (must be in 1..=256)",
+                    spec.name, spec.domain
+                )));
+            }
             let batcher = Batcher::new(
                 &spec.name,
                 Arc::clone(&spec.scheduler),
@@ -198,6 +210,7 @@ impl SpnServer {
                     batcher,
                     scheduler: spec.scheduler,
                     num_features: spec.num_features,
+                    domain: spec.domain,
                 },
             );
             if prev.is_some() {
@@ -307,7 +320,20 @@ fn accept_loop(
                         let _ = serve_connection(stream, &conn_shared);
                     })
                     .expect("spawn connection thread");
-                conns.lock().push(t);
+                let mut guard = conns.lock();
+                // Reap threads whose connections already closed so a
+                // long-running server with connection churn does not
+                // accumulate JoinHandles without bound. `is_finished`
+                // handles are join()ed instantly (the thread is done).
+                let mut i = 0;
+                while i < guard.len() {
+                    if guard[i].is_finished() {
+                        let _ = guard.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
+                guard.push(t);
             }
             Err(_) => {
                 if shared.is_shutting_down() {
@@ -460,6 +486,21 @@ fn handle_infer(shared: &SharedState, payload: &[u8]) -> Frame {
             ),
         );
     }
+    // Domain check: every feature byte must be `< domain`, or the
+    // batcher's `Dataset::from_raw` would panic — killing the model's
+    // worker thread and wedging every later request for that model.
+    // One out-of-domain byte must cost *this* request only.
+    if model.domain < 256 {
+        if let Some(bad) = req.data.iter().find(|&&v| usize::from(v) >= model.domain) {
+            return reject(
+                Status::Malformed,
+                &format!(
+                    "feature value {bad} outside model '{}' domain 0..{}",
+                    req.model, model.domain
+                ),
+            );
+        }
+    }
     let samples = u64::from(req.num_samples);
     // Admission control: bound the admitted-but-unanswered samples.
     // (Racy increment-after-check is fine — the bound is a soft
@@ -507,10 +548,46 @@ fn stats_json(shared: &SharedState) -> String {
         }
         first = false;
         s.push('"');
-        s.push_str(name);
+        json_escape_into(&mut s, name);
         s.push_str("\":\n");
         s.push_str(handle.scheduler.metrics_snapshot().to_json().trim_end());
     }
     s.push_str("\n}\n}\n");
     s
+}
+
+/// Append `raw` to `out` as the body of a JSON string: escapes
+/// quotes, backslashes and control characters so an arbitrary model
+/// name cannot break the `Stats` document.
+fn json_escape_into(out: &mut String, raw: &str) {
+    use std::fmt::Write as _;
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json_escape_into;
+
+    #[test]
+    fn json_escape_handles_quotes_backslashes_and_controls() {
+        let mut s = String::new();
+        json_escape_into(&mut s, "plain-NIPS10");
+        assert_eq!(s, "plain-NIPS10");
+
+        let mut s = String::new();
+        json_escape_into(&mut s, "a\"b\\c\nd\te\u{1}f");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\u0001f");
+    }
 }

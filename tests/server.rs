@@ -306,6 +306,95 @@ fn unknown_model_and_shape_mismatch_statuses() {
     client.ping().unwrap();
 }
 
+/// An `Infer` payload whose feature bytes fall outside the model's
+/// declared domain must be refused with a typed error — never handed
+/// to `Dataset::from_raw` (which would panic, kill the batcher worker
+/// and wedge the model's queue for every later client: a one-byte
+/// remote DoS).
+#[test]
+fn out_of_domain_feature_bytes_are_rejected_not_fatal() {
+    let bench = NipsBenchmark::Nips10;
+    let nf = bench.num_vars() as u32;
+    // Register the model with a narrow domain so 0/1 are valid and
+    // anything larger is out of range.
+    let spec = ModelSpec::new(bench.name(), make_scheduler_with(bench, 2, 0.0, 512), nf, 2);
+    let server = SpnServer::serve(ServerConfig::default(), vec![spec]).unwrap();
+
+    let mut vandal = Client::connect(server.local_addr()).unwrap();
+    let mut bad = vec![0u8; bench.num_vars()];
+    bad[3] = 5; // outside domain 0..2
+    match vandal.infer(bench.name(), &bad, 1, nf).unwrap_err() {
+        ClientError::Rejected { status, .. } => assert_eq!(status, Status::Malformed),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+
+    // The vandal's own connection survives (typed error, not a close)…
+    let lls = vandal
+        .infer(bench.name(), &vec![1u8; bench.num_vars()], 1, nf)
+        .unwrap();
+    assert_eq!(lls.len(), 1);
+    // …and so does everyone else: the batcher worker never saw the
+    // bad bytes, so the model queue still drains.
+    let mut civilian = Client::connect(server.local_addr()).unwrap();
+    let lls = civilian
+        .infer(bench.name(), &vec![0u8; 4 * bench.num_vars()], 4, nf)
+        .unwrap();
+    assert_eq!(lls.len(), 4);
+    assert!(server.metrics_snapshot().rejected_malformed >= 1);
+}
+
+/// Enqueueing into a batcher that has already been asked to drain is
+/// answered immediately with `ShuttingDown` — the request must never
+/// park in a queue no worker will flush (the connection thread would
+/// block on the reply channel forever and deadlock shutdown).
+#[test]
+fn enqueue_after_drain_is_refused_not_stranded() {
+    let bench = NipsBenchmark::Nips10;
+    let batcher = spn_server::Batcher::new(
+        bench.name(),
+        make_scheduler_with(bench, 2, 0.0, 512),
+        bench.num_vars(),
+        256,
+        BatchPolicy::default(),
+        spn_runtime::JobOptions::default(),
+        Arc::new(spn_server::ServerMetrics::new()),
+    );
+    // Worker is gone after this: the exact window the TOCTOU race in
+    // `handle_infer` (is_shutting_down check → enqueue) can hit.
+    batcher.drain();
+
+    let rx = batcher.enqueue(vec![0u8; bench.num_vars()], 1, None);
+    let reply = rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("post-drain enqueue must still be answered");
+    match reply {
+        spn_server::Reply::Err(status, _) => assert_eq!(status, Status::ShuttingDown),
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+}
+
+/// Model names with JSON-special characters must not corrupt the
+/// `Stats` document.
+#[test]
+fn stats_json_escapes_model_names() {
+    let bench = NipsBenchmark::Nips10;
+    let name = "nips\"10\\weird";
+    let spec = ModelSpec::new(
+        name,
+        make_scheduler_with(bench, 2, 0.0, 512),
+        bench.num_vars() as u32,
+        256,
+    );
+    let server = SpnServer::serve(ServerConfig::default(), vec![spec]).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let json = client.stats().unwrap();
+    let v: serde_json::Value = serde_json::from_str(&json).expect("stats JSON parses");
+    assert!(
+        v["models"][name].as_object_slice().is_some(),
+        "escaped name round-trips"
+    );
+}
+
 /// Garbage bytes on one connection are answered (once) and isolated:
 /// that connection dies, every other connection is untouched.
 #[test]
