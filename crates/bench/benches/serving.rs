@@ -86,7 +86,7 @@ fn drive_batcher(batcher: &Arc<Batcher>) {
     let rxs: Vec<_> = (0..total)
         .map(|r| {
             let data = synthetic_samples(1, nf, 255, r as u64);
-            batcher.enqueue(data, 1, None)
+            batcher.enqueue(spn_server::SpanCtx::NONE, data, 1, None)
         })
         .collect();
     for rx in rxs {

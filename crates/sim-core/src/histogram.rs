@@ -7,6 +7,27 @@
 //! 9 % per bucket) at O(1) memory.
 
 use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Compact six-number summary of a distribution: the shape every
+/// telemetry snapshot embeds for a histogram. All-zero when the
+/// histogram was empty (`count == 0`), so snapshots of idle systems
+/// stay deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Arithmetic mean (exact — tracked outside the buckets).
+    pub mean: f64,
+    /// Median, to bucket resolution.
+    pub p50: f64,
+    /// 95th percentile, to bucket resolution.
+    pub p95: f64,
+    /// 99th percentile, to bucket resolution.
+    pub p99: f64,
+    /// Largest recorded value (exact).
+    pub max: f64,
+}
 
 /// Geometric-bucket histogram over positive values.
 #[derive(Debug, Clone)]
@@ -111,6 +132,19 @@ impl LogHistogram {
             self.quantile(0.99)?,
         ))
     }
+
+    /// Six-number summary (all-zero when empty).
+    pub fn summary(&self) -> HistogramSummary {
+        let (p50, p95, p99) = self.percentiles().unwrap_or((0.0, 0.0, 0.0));
+        HistogramSummary {
+            count: self.count(),
+            mean: self.mean().unwrap_or(0.0),
+            p50,
+            p95,
+            p99,
+            max: self.max(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +203,21 @@ mod tests {
         h.record_duration(SimDuration::from_us(100));
         let p50 = h.quantile(0.5).unwrap();
         assert!((5e-5..2e-4).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn summary_matches_queries_and_is_zero_when_empty() {
+        let empty = LogHistogram::latency().summary();
+        assert_eq!(empty, HistogramSummary::default());
+        let mut h = LogHistogram::new(1.0, 1e6, 2f64.powf(0.125));
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.p50, h.quantile(0.5).unwrap());
+        assert_eq!(s.p99, h.quantile(0.99).unwrap());
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod time;
 pub mod units;
 
 pub use engine::{Engine, Model, Scheduler};
-pub use histogram::LogHistogram;
+pub use histogram::{HistogramSummary, LogHistogram};
 pub use queue::EventQueue;
 pub use resource::{Grant, MultiServer, Timeline};
 pub use rng::SplitMix64;

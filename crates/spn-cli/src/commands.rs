@@ -16,6 +16,7 @@ use spn_hw::{
 use spn_runtime::perf::{simulate, PerfConfig};
 use spn_runtime::prelude::*;
 use spn_server::{run_load, BatchPolicy, LoadConfig, ModelSpec, ServerConfig, SpnServer};
+use spn_telemetry::{ModelTelemetry, TelemetrySnapshot, TraceCollector};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -84,14 +85,16 @@ COMMANDS:
              Emit the structural Verilog netlist and ROM images.
   serve      [--benchmarks NIPS10,NIPS20] [--pes N] [--threads T] [--block B] [--port P]
              [--batch-samples N] [--batch-delay-us U] [--max-inflight N]
-             [--retries R] [--port-file FILE]
+             [--retries R] [--port-file FILE] [--trace FILE.json]
              Serve inference over TCP with adaptive micro-batching;
-             runs until a client sends the Shutdown opcode.
+             runs until a client sends the Shutdown opcode. With
+             --trace, writes a Chrome-trace JSON correlating server
+             and device spans per request on shutdown.
   load       --addr HOST:PORT | --port-file FILE [--benchmark NIPS10]
              [--connections C] [--requests N] [--batch K] [--deadline-ms D]
              [--seed S] [--stats true] [--shutdown true]
              Closed-loop load generation against a running server;
-             reports samples/s and p50/p99 latency.
+             reports samples/s and p50/p95/p99 latency.
 ";
 
 /// Dispatch a command line (without the program name).
@@ -420,7 +423,17 @@ fn cmd_accelerate(args: &Args) -> Result<CmdResult, CmdError> {
         snap.blocks_executed,
         snap.block_retries,
     );
-    let json = snap.to_json();
+    // Emit the unified telemetry document: no serving layer here, one
+    // model driven straight through the scheduler.
+    let mut telemetry = TelemetrySnapshot::empty();
+    telemetry.models.insert(
+        bench.name().to_string(),
+        ModelTelemetry {
+            scheduler: snap,
+            batcher: None,
+        },
+    );
+    let json = telemetry.to_json();
     let files = match args.get("metrics") {
         Some(path) => {
             let _ = writeln!(out, "wrote metrics snapshot to {path}");
@@ -458,12 +471,15 @@ fn cmd_emit(args: &Args) -> Result<CmdResult, CmdError> {
 }
 
 /// Build the scheduler stack (`SPN → datapath → virtual card →
-/// scheduler`) for one benchmark — shared by `serve`.
+/// scheduler`) for one benchmark — shared by `serve`. When `trace` is
+/// set, device spans (h2d/execute/d2h) are recorded into it, stamped
+/// with the request contexts the serving layer propagates.
 fn build_scheduler(
     bench: NipsBenchmark,
     pes: u32,
     threads: u32,
     block: u64,
+    trace: Option<Arc<TraceCollector>>,
 ) -> Result<Arc<Scheduler>, CmdError> {
     let config = RuntimeConfig::builder()
         .block_samples(block)
@@ -478,7 +494,7 @@ fn build_scheduler(
         pes,
         64 << 20,
     );
-    Scheduler::new(Arc::new(device), config)
+    Scheduler::with_trace(Arc::new(device), config, trace)
         .map(Arc::new)
         .map_err(|e| CmdError(e.to_string()))
 }
@@ -499,10 +515,14 @@ fn cmd_serve(args: &Args) -> Result<CmdResult, CmdError> {
         "max-inflight",
         "retries",
         "port-file",
+        "trace",
     ])?;
     let pes = args.get_or("pes", 4u32)?;
     let threads = args.get_or("threads", 2u32)?;
     let block = args.get_or("block", 2048u64)?;
+    // One collector shared by every scheduler *and* the server, so
+    // server spans and device spans land in the same export.
+    let trace = args.get("trace").map(|_| Arc::new(TraceCollector::new()));
     let opts = JobOptions::builder()
         .max_retries(args.get_or("retries", 3u32)?)
         .build()
@@ -512,7 +532,7 @@ fn cmd_serve(args: &Args) -> Result<CmdResult, CmdError> {
     for name in args.get("benchmarks").unwrap_or("NIPS10").split(',') {
         let bench = NipsBenchmark::from_name(name.trim())
             .ok_or_else(|| CmdError(format!("unknown benchmark '{name}'")))?;
-        let scheduler = build_scheduler(bench, pes, threads, block)?;
+        let scheduler = build_scheduler(bench, pes, threads, block, trace.clone())?;
         models.push(ModelSpec {
             name: bench.name().to_string(),
             scheduler,
@@ -531,6 +551,7 @@ fn cmd_serve(args: &Args) -> Result<CmdResult, CmdError> {
             ),
         },
         max_inflight_samples: args.get_or("max-inflight", 1u64 << 20)?,
+        trace: trace.clone(),
         ..ServerConfig::default()
     };
     let mut server =
@@ -544,7 +565,8 @@ fn cmd_serve(args: &Args) -> Result<CmdResult, CmdError> {
 
     server.wait_for_shutdown();
     server.shutdown();
-    let snap = server.metrics_snapshot();
+    let telemetry = server.telemetry_snapshot();
+    let snap = telemetry.server.as_ref().expect("server section is set");
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -557,8 +579,13 @@ fn cmd_serve(args: &Args) -> Result<CmdResult, CmdError> {
         snap.rejected_deadline,
         snap.rejected_malformed,
     );
-    let _ = write!(out, "server metrics: {}", snap.to_json());
-    Ok(CmdResult::text(out))
+    let _ = write!(out, "server telemetry: {}", telemetry.to_json());
+    let mut files = Vec::new();
+    if let (Some(path), Some(collector)) = (args.get("trace"), &trace) {
+        let _ = writeln!(out, "wrote {} trace spans to {path}", collector.len());
+        files.push((path.to_string(), collector.to_chrome_json()));
+    }
+    Ok(CmdResult { stdout: out, files })
 }
 
 /// Offer closed-loop load to a running server and report throughput
@@ -680,6 +707,7 @@ mod tests {
         )
         .unwrap();
         assert!(r.stdout.contains("3/3 jobs ok"), "stdout: {}", r.stdout);
+        assert!(r.stdout.contains("\"schema\": 1"));
         assert!(r.stdout.contains("\"jobs_completed\": 3"));
         assert!(r.stdout.contains("\"blocks_executed\": 15")); // 3 x ceil(300/64)
         assert!(r.stdout.contains("\"block_retries\": 0"));
@@ -696,8 +724,14 @@ mod tests {
         assert_eq!(r.files.len(), 1);
         assert_eq!(r.files[0].0, "/tmp/spn_metrics.json");
         let snap: serde_json::Value = serde_json::from_str(&r.files[0].1).unwrap();
-        assert_eq!(snap["jobs_completed"], 2);
-        assert!(snap["block_retries"].as_u64().unwrap() > 0, "p=0.3 retries");
+        assert_eq!(snap["schema"], 1);
+        assert!(snap["server"].is_null(), "no serving layer in accelerate");
+        let sched = &snap["models"]["NIPS10"]["scheduler"];
+        assert_eq!(sched["jobs_completed"], 2);
+        assert!(
+            sched["block_retries"].as_u64().unwrap() > 0,
+            "p=0.3 retries"
+        );
     }
 
     #[test]
@@ -825,10 +859,11 @@ mod tests {
         let _ = std::fs::remove_file(&port_file);
 
         let pf = port_file.display().to_string();
+        let trace_file = dir.join("trace.json").display().to_string();
         let serve = std::thread::spawn(move || {
             run_tokens(&format!(
                 "serve --benchmarks NIPS10 --pes 2 --block 256 \
-                 --batch-delay-us 500 --port-file {pf}"
+                 --batch-delay-us 500 --port-file {pf} --trace {trace_file}"
             ))
         });
         // Wait for the server to publish its port.
@@ -845,6 +880,7 @@ mod tests {
         ))
         .unwrap();
         assert!(out.stdout.contains("samples/s"), "got: {}", out.stdout);
+        assert!(out.stdout.contains("p95"));
         assert!(out.stdout.contains("p99"));
         assert!(out.stdout.contains("sent shutdown"));
 
@@ -854,5 +890,14 @@ mod tests {
             "got: {}",
             summary.stdout
         );
+        assert!(summary.stdout.contains("\"schema\": 1"));
+        // --trace produced one Chrome-trace export with both serving-
+        // and device-layer spans.
+        assert_eq!(summary.files.len(), 1);
+        assert!(summary.files[0].0.ends_with("trace.json"));
+        let trace = &summary.files[0].1;
+        for needle in ["batch-formed", "reply-written", "execute"] {
+            assert!(trace.contains(needle), "trace missing {needle}");
+        }
     }
 }

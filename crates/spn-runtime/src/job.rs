@@ -11,6 +11,7 @@
 
 use crate::runtime::RuntimeError;
 use serde::{Deserialize, Serialize};
+use spn_telemetry::SpanCtx;
 
 /// One contiguous block of samples within a job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -89,6 +90,12 @@ pub struct JobOptions {
     /// The scaling-experiment knob behind
     /// [`crate::SpnRuntime::infer_on_pes`].
     pub num_pes: Option<u32>,
+    /// Trace context of the request this job serves
+    /// ([`SpanCtx::NONE`] when no client request is behind it). The
+    /// scheduler stamps it onto every device span the job's blocks
+    /// produce, which is what correlates a live Chrome-trace export
+    /// end to end.
+    pub ctx: SpanCtx,
 }
 
 impl Default for JobOptions {
@@ -97,6 +104,7 @@ impl Default for JobOptions {
             max_retries: 3,
             retry_backoff_us: 200,
             num_pes: None,
+            ctx: SpanCtx::NONE,
         }
     }
 }
@@ -132,6 +140,12 @@ impl JobOptionsBuilder {
     /// Restrict the job to the first `n` PEs.
     pub fn num_pes(mut self, n: u32) -> Self {
         self.opts.num_pes = Some(n);
+        self
+    }
+
+    /// Attach the trace context of the request this job serves.
+    pub fn ctx(mut self, ctx: SpanCtx) -> Self {
+        self.opts.ctx = ctx;
         self
     }
 

@@ -12,7 +12,8 @@
 //! * [`scheduler`] — the concurrent multi-job scheduler: a persistent
 //!   worker pool, `submit`/`wait` job handles, per-block fault retry,
 //!   round-robin fairness and a bounded backpressure queue;
-//! * [`metrics`] — atomic runtime counters/gauges with JSON snapshots;
+//! * [`metrics`] — atomic runtime counters/gauges, snapshotted into the
+//!   unified `spn-telemetry` schema;
 //! * [`job`] — block decomposition and per-job options;
 //! * [`perf`] — the virtual-time end-to-end simulation behind Figs. 4/6;
 //! * [`analysis`] — the Fig. 5 scaling-potential study and the §V-C
@@ -76,6 +77,10 @@ pub use streaming::{
 };
 pub use trace::{Span, SpanKind, Trace};
 
+// Re-exported so scheduler users can mint trace contexts and attach a
+// live collector without depending on `spn-telemetry` directly.
+pub use spn_telemetry::{SpanCtx, TraceCollector, TraceId};
+
 /// One-stop import for the runtime API: scheduler, job handles,
 /// options, metrics, errors and the device types they operate on.
 ///
@@ -89,4 +94,5 @@ pub mod prelude {
     pub use crate::metrics::{JobOutcome, MetricsRegistry, MetricsSnapshot};
     pub use crate::runtime::{RuntimeConfig, RuntimeConfigBuilder, RuntimeError, SpnRuntime};
     pub use crate::scheduler::{JobHandle, JobStatus, Scheduler};
+    pub use spn_telemetry::{SpanCtx, TraceCollector, TraceId};
 }

@@ -6,13 +6,18 @@
 //! runs*. [`MetricsRegistry`] is a set of atomic counters and gauges
 //! updated by the scheduler's worker threads on their hot path —
 //! a few relaxed atomic adds, never a lock — and snapshotted on demand
-//! into a [`MetricsSnapshot`] that serialises to JSON for dashboards,
-//! the CLI (`spn accelerate --metrics out.json`) and tests.
+//! into a [`MetricsSnapshot`] (the `spn-telemetry` crate's
+//! [`spn_telemetry::SchedulerTelemetry`] schema), which serde-serialises
+//! to JSON for dashboards, the CLI (`spn accelerate --metrics out.json`)
+//! and the server's `Stats` opcode.
 
-use serde::{Deserialize, Serialize};
-use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// A point-in-time copy of the registry — the scheduler's section of
+/// the unified telemetry schema, re-exported under the name the
+/// runtime API has always used.
+pub type MetricsSnapshot = spn_telemetry::SchedulerTelemetry;
 
 /// Atomic counters/gauges for one scheduler instance.
 ///
@@ -163,66 +168,6 @@ pub enum JobOutcome {
     Cancelled,
 }
 
-/// A point-in-time copy of the registry, cheap to clone and compare.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct MetricsSnapshot {
-    /// Jobs accepted by `submit`/`submit_blocking`.
-    pub jobs_submitted: u64,
-    /// Jobs that finished successfully.
-    pub jobs_completed: u64,
-    /// Jobs that failed (retries exhausted, verification, …).
-    pub jobs_failed: u64,
-    /// Jobs cancelled before completion.
-    pub jobs_cancelled: u64,
-    /// Blocks that ran to completion on the device.
-    pub blocks_executed: u64,
-    /// Transient block failures that were retried.
-    pub block_retries: u64,
-    /// Total host→device bytes.
-    pub h2d_bytes: u64,
-    /// Total device→host bytes.
-    pub d2h_bytes: u64,
-    /// Jobs accepted and not yet terminal at snapshot time (gauge).
-    pub jobs_in_flight: u64,
-    /// Samples of accepted, not-yet-terminal jobs at snapshot time
-    /// (gauge).
-    pub samples_in_flight: u64,
-    /// Highest concurrent job count observed (gauge).
-    pub queue_high_watermark: u64,
-    /// Cumulative execution seconds per PE.
-    pub pe_busy_secs: Vec<f64>,
-}
-
-impl MetricsSnapshot {
-    /// Serialise as a single JSON object with stable key order.
-    ///
-    /// Hand-rolled (like [`crate::trace::Trace::to_chrome_json`]) so the
-    /// library needs no JSON dependency; the output round-trips through
-    /// `serde_json` — the tests prove it.
-    pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n");
-        let _ = writeln!(s, "  \"jobs_submitted\": {},", self.jobs_submitted);
-        let _ = writeln!(s, "  \"jobs_completed\": {},", self.jobs_completed);
-        let _ = writeln!(s, "  \"jobs_failed\": {},", self.jobs_failed);
-        let _ = writeln!(s, "  \"jobs_cancelled\": {},", self.jobs_cancelled);
-        let _ = writeln!(s, "  \"blocks_executed\": {},", self.blocks_executed);
-        let _ = writeln!(s, "  \"block_retries\": {},", self.block_retries);
-        let _ = writeln!(s, "  \"h2d_bytes\": {},", self.h2d_bytes);
-        let _ = writeln!(s, "  \"d2h_bytes\": {},", self.d2h_bytes);
-        let _ = writeln!(s, "  \"jobs_in_flight\": {},", self.jobs_in_flight);
-        let _ = writeln!(s, "  \"samples_in_flight\": {},", self.samples_in_flight);
-        let _ = writeln!(
-            s,
-            "  \"queue_high_watermark\": {},",
-            self.queue_high_watermark
-        );
-        let busy: Vec<String> = self.pe_busy_secs.iter().map(|b| format!("{b}")).collect();
-        let _ = writeln!(s, "  \"pe_busy_secs\": [{}]", busy.join(", "));
-        s.push_str("}\n");
-        s
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,9 +216,11 @@ mod tests {
         m.block_executed();
         m.add_pe_busy(0, Duration::from_micros(1500));
         let snap = m.snapshot();
-        let json = snap.to_json();
-        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
+        let back_compact: MetricsSnapshot =
+            serde_json::from_str(&serde_json::to_string(&snap).unwrap()).unwrap();
+        assert_eq!(back_compact, snap);
     }
 
     #[test]

@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use sim_core::{SimDuration, SimTime, Timeline};
 use spn_core::NipsBenchmark;
 use spn_hw::AcceleratorConfig;
+use spn_telemetry::TraceId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -194,6 +195,7 @@ fn simulate_impl(cfg: &PerfConfig, mut trace: Option<&mut Trace>) -> PerfResult 
                     if let Some(t) = trace.as_deref_mut() {
                         t.record(Span {
                             kind: SpanKind::H2D,
+                            trace_id: TraceId::NONE,
                             tid: ev.tid,
                             pe,
                             block: block_seq[ev.tid as usize],
@@ -228,6 +230,7 @@ fn simulate_impl(cfg: &PerfConfig, mut trace: Option<&mut Trace>) -> PerfResult 
                 if let Some(t) = trace.as_deref_mut() {
                     t.record(Span {
                         kind: SpanKind::Execute,
+                        trace_id: TraceId::NONE,
                         tid: ev.tid,
                         pe,
                         block: block_seq[ev.tid as usize],
@@ -251,6 +254,7 @@ fn simulate_impl(cfg: &PerfConfig, mut trace: Option<&mut Trace>) -> PerfResult 
                     if let Some(t) = trace.as_deref_mut() {
                         t.record(Span {
                             kind: SpanKind::D2H,
+                            trace_id: TraceId::NONE,
                             tid: ev.tid,
                             pe,
                             block: block_seq[ev.tid as usize],

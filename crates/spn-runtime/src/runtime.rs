@@ -29,6 +29,7 @@ use crate::memmgr::AllocError;
 use crate::metrics::MetricsSnapshot;
 use crate::scheduler::Scheduler;
 use spn_core::Dataset;
+use spn_telemetry::TraceCollector;
 use std::sync::Arc;
 
 /// Runtime configuration knobs (the paper's user-visible parameters,
@@ -258,7 +259,18 @@ impl SpnRuntime {
     /// Attach to a device. Never panics: an invalid `config` is
     /// reported by the first call that needs the scheduler.
     pub fn new(device: Arc<VirtualDevice>, config: RuntimeConfig) -> Self {
-        let scheduler = Scheduler::new(Arc::clone(&device), config).ok();
+        SpnRuntime::with_trace(device, config, None)
+    }
+
+    /// Attach to a device with a live span collector: every block the
+    /// scheduler runs records wall-clock h2d/execute/d2h spans into
+    /// `trace` (see [`Scheduler::with_trace`]).
+    pub fn with_trace(
+        device: Arc<VirtualDevice>,
+        config: RuntimeConfig,
+        trace: Option<Arc<TraceCollector>>,
+    ) -> Self {
+        let scheduler = Scheduler::with_trace(Arc::clone(&device), config, trace).ok();
         SpnRuntime {
             device,
             config,

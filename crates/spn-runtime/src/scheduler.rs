@@ -36,6 +36,7 @@ use crate::runtime::{validate_config, RuntimeConfig, RuntimeError};
 use parking_lot::{Condvar, Mutex};
 use spn_core::Dataset;
 use spn_hw::SynthConfig;
+use spn_telemetry::{SpanKind, TraceCollector};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -203,6 +204,10 @@ struct Shared {
     /// PE 0's synthesis config (all PEs are identical), read once.
     pe_cfg: SynthConfig,
     metrics: Arc<MetricsRegistry>,
+    /// Live wall-clock span collector (`None` when tracing is off).
+    /// Workers record one h2d/execute/d2h span per block, stamped with
+    /// the job's [`JobOptions::ctx`] trace context.
+    trace: Option<Arc<TraceCollector>>,
     state: Mutex<State>,
     /// Workers sleep here when no block is claimable.
     work_cv: Condvar,
@@ -235,6 +240,18 @@ pub struct Scheduler {
 impl Scheduler {
     /// Start a scheduler on `device` with a validated `config`.
     pub fn new(device: Arc<VirtualDevice>, config: RuntimeConfig) -> Result<Self, RuntimeError> {
+        Scheduler::with_trace(device, config, None)
+    }
+
+    /// Like [`Scheduler::new`], but every block execution additionally
+    /// records wall-clock h2d/execute/d2h spans into `trace` (stamped
+    /// with the submitting job's [`JobOptions::ctx`]), for one unified
+    /// Chrome-trace export alongside server-layer spans.
+    pub fn with_trace(
+        device: Arc<VirtualDevice>,
+        config: RuntimeConfig,
+        trace: Option<Arc<TraceCollector>>,
+    ) -> Result<Self, RuntimeError> {
         validate_config(&config)?;
         let pe_cfg = device.query_pe(0)?;
         let metrics = Arc::new(MetricsRegistry::new(device.num_pes()));
@@ -243,6 +260,7 @@ impl Scheduler {
             config,
             pe_cfg,
             metrics,
+            trace,
             state: Mutex::new(State {
                 jobs: Vec::new(),
                 rr: 0,
@@ -281,6 +299,11 @@ impl Scheduler {
     /// The live metrics registry.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.shared.metrics
+    }
+
+    /// The span collector this scheduler records into, when tracing.
+    pub fn trace(&self) -> Option<&Arc<TraceCollector>> {
+        self.shared.trace.as_ref()
     }
 
     /// Convenience: a point-in-time [`MetricsSnapshot`].
@@ -537,7 +560,7 @@ fn process_block(shared: &Shared, pe: u32, job: &Arc<JobState>, idx: usize) {
         if job.cancelled.load(Ordering::Relaxed) || job.terminal.load(Ordering::Relaxed) {
             break BlockOutcome::Skipped;
         }
-        match run_block(shared, pe, job, block) {
+        match run_block(shared, pe, job, block, idx as u64) {
             Ok(()) => break BlockOutcome::Done,
             Err(e) if is_transient(&e) && attempt < job.opts.max_retries => {
                 attempt += 1;
@@ -663,7 +686,13 @@ fn verify_results(shared: &Shared, job: &JobState, results: &[f64]) -> Result<()
 /// back. Device buffers are freed on every path — success, failure or
 /// fault — so neither job failure nor cancellation can leak channel
 /// memory.
-fn run_block(shared: &Shared, pe: u32, job: &JobState, block: Block) -> Result<(), RuntimeError> {
+fn run_block(
+    shared: &Shared,
+    pe: u32,
+    job: &JobState,
+    block: Block,
+    idx: u64,
+) -> Result<(), RuntimeError> {
     let pe_cfg = &shared.pe_cfg;
     let device = &shared.device;
     let in_bytes = block.samples * pe_cfg.input_bytes;
@@ -676,15 +705,28 @@ fn run_block(shared: &Shared, pe: u32, job: &JobState, block: Block) -> Result<(
             return Err(e.into());
         }
     };
+    let trace = shared.trace.as_deref();
+    let ctx = job.opts.ctx;
     let run = || -> Result<Vec<u8>, RuntimeError> {
         let (src_off, src_len) = block.input_range(pe_cfg.input_bytes);
         let src = &job.data.raw()[src_off as usize..(src_off + src_len) as usize];
+        let t_h2d = Instant::now();
         device.copy_to_device(inb, src)?;
+        if let Some(t) = trace {
+            t.record(SpanKind::H2D, ctx, pe, idx, t_h2d, Instant::now());
+        }
         shared.metrics.add_h2d_bytes(src.len() as u64);
         let t0 = Instant::now();
         device.launch(pe, inb, outb, block.samples)?;
+        if let Some(t) = trace {
+            t.record(SpanKind::Execute, ctx, pe, idx, t0, Instant::now());
+        }
         shared.metrics.add_pe_busy(pe, t0.elapsed());
+        let t_d2h = Instant::now();
         let raw = device.copy_from_device(outb)?;
+        if let Some(t) = trace {
+            t.record(SpanKind::D2H, ctx, pe, idx, t_d2h, Instant::now());
+        }
         shared.metrics.add_d2h_bytes(raw.len() as u64);
         Ok(raw)
     };
@@ -955,6 +997,36 @@ mod tests {
         sched.drain();
         blocked.join().expect("blocked submitter must not deadlock");
         h1.wait().expect("accepted job completes during drain");
+    }
+
+    #[test]
+    fn traced_scheduler_stamps_job_ctx_on_device_spans() {
+        let (dev, bench) = device(2);
+        let trace = Arc::new(TraceCollector::new());
+        let sched = Scheduler::with_trace(dev, config(64, 1), Some(Arc::clone(&trace))).unwrap();
+        assert!(sched.trace().is_some());
+        let ctx = spn_telemetry::SpanCtx::mint();
+        let data = Arc::new(bench.dataset(130, 5));
+        let opts = JobOptions::builder().ctx(ctx).build().unwrap();
+        sched
+            .submit(Arc::clone(&data), opts)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let spans = trace.spans();
+        // 3 blocks of ≤64 samples × (h2d, execute, d2h).
+        assert_eq!(spans.len(), 9);
+        assert!(
+            spans.iter().all(|s| s.ctx == ctx),
+            "all spans carry the job ctx"
+        );
+        for kind in [SpanKind::H2D, SpanKind::Execute, SpanKind::D2H] {
+            assert_eq!(spans.iter().filter(|s| s.kind == kind).count(), 3);
+        }
+        // An untraced scheduler records nothing and exposes no collector.
+        let (dev2, _) = device(1);
+        let plain = Scheduler::new(dev2, config(64, 1)).unwrap();
+        assert!(plain.trace().is_none());
     }
 
     #[test]

@@ -8,34 +8,18 @@
 
 use serde::{Deserialize, Serialize};
 use sim_core::{SimDuration, SimTime};
-use std::fmt::Write as _;
+use spn_telemetry::{chrome_trace_json, ChromeArgs, ChromeEvent, TraceId};
 
-/// What a span represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum SpanKind {
-    /// Host→device DMA transfer.
-    H2D,
-    /// Accelerator execution.
-    Execute,
-    /// Device→host DMA transfer.
-    D2H,
-}
-
-impl SpanKind {
-    fn label(self) -> &'static str {
-        match self {
-            SpanKind::H2D => "h2d",
-            SpanKind::Execute => "execute",
-            SpanKind::D2H => "d2h",
-        }
-    }
-}
+pub use spn_telemetry::SpanKind;
 
 /// One recorded span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Span {
     /// Span type.
     pub kind: SpanKind,
+    /// Request the span belongs to ([`TraceId::NONE`] for work that no
+    /// client request caused, e.g. virtual-time simulation).
+    pub trace_id: TraceId,
     /// Control thread that issued the operation.
     pub tid: u32,
     /// PE the operation belongs to.
@@ -134,25 +118,28 @@ impl Trace {
     }
 
     /// Export as Chrome trace-event JSON (complete events, "X" phase;
-    /// one row per control thread).
+    /// one row per control thread) through the shared
+    /// [`spn_telemetry::chrome_trace_json`] serializer.
     pub fn to_chrome_json(&self) -> String {
-        let mut out = String::from("[\n");
-        for (i, s) in self.spans.iter().enumerate() {
-            let comma = if i + 1 == self.spans.len() { "" } else { "," };
-            let _ = writeln!(
-                out,
-                "  {{\"name\":\"{} pe{} blk{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{}}}{comma}",
-                s.kind.label(),
-                s.pe,
-                s.block,
-                s.kind.label(),
-                s.start.as_ps() as f64 / 1e6, // trace ts is microseconds
-                s.duration().as_ps() as f64 / 1e6,
-                s.tid,
-            );
-        }
-        out.push_str("]\n");
-        out
+        let events: Vec<ChromeEvent> = self
+            .spans
+            .iter()
+            .map(|s| ChromeEvent {
+                name: format!("{} pe{} blk{}", s.kind.label(), s.pe, s.block),
+                cat: s.kind.category().to_string(),
+                ph: "X".to_string(),
+                ts: s.start.as_ps() as f64 / 1e6, // trace ts is microseconds
+                dur: s.duration().as_ps() as f64 / 1e6,
+                pid: 0,
+                tid: s.tid,
+                args: ChromeArgs {
+                    trace_id: s.trace_id.0,
+                    pe: s.pe,
+                    block: s.block,
+                },
+            })
+            .collect();
+        chrome_trace_json(&events)
     }
 }
 
@@ -163,6 +150,7 @@ mod tests {
     fn span(kind: SpanKind, tid: u32, block: u64, start: u64, end: u64) -> Span {
         Span {
             kind,
+            trace_id: TraceId::NONE,
             tid,
             pe: tid,
             block,
@@ -200,6 +188,7 @@ mod tests {
         let mut t = Trace::new();
         t.record(Span {
             kind: SpanKind::H2D,
+            trace_id: TraceId::NONE,
             tid: 0,
             pe: 0,
             block: 0,
@@ -208,6 +197,7 @@ mod tests {
         });
         t.record(Span {
             kind: SpanKind::Execute,
+            trace_id: TraceId::NONE,
             tid: 1,
             pe: 0,
             block: 0,

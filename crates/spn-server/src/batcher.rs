@@ -38,6 +38,7 @@ use crate::protocol::Status;
 use parking_lot::{Condvar, Mutex};
 use spn_core::Dataset;
 use spn_runtime::{JobHandle, JobOptions, RuntimeError, Scheduler};
+use spn_telemetry::{SpanCtx, SpanKind};
 use std::collections::VecDeque;
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
@@ -59,6 +60,8 @@ struct Pending {
     data: Vec<u8>,
     /// Samples in `data`.
     num_samples: u32,
+    /// Trace context minted when the request was decoded.
+    ctx: SpanCtx,
     /// When the connection thread enqueued it.
     enqueued: Instant,
     /// Absolute deadline, if the client set one.
@@ -195,6 +198,7 @@ impl Batcher {
     /// shutdown.
     pub fn enqueue(
         &self,
+        ctx: SpanCtx,
         data: Vec<u8>,
         num_samples: u32,
         deadline: Option<Instant>,
@@ -204,6 +208,7 @@ impl Batcher {
         let pending = Pending {
             data,
             num_samples,
+            ctx,
             enqueued: Instant::now(),
             deadline,
             reply: tx,
@@ -379,11 +384,46 @@ fn flush(
     }
     shared.metrics.batch_flushed(total as u64, &waits);
 
+    if let Some(trace) = shared.scheduler.trace() {
+        // One queue-wait span per member request, plus one span for the
+        // batch itself: it spans from the oldest member's enqueue to
+        // now, carries the lead request's context (the context stamped
+        // onto the scheduler job below), and records the coalesced
+        // sample count in its `block` field.
+        for p in &live {
+            trace.record(
+                SpanKind::RequestQueued,
+                p.ctx,
+                0,
+                u64::from(p.num_samples),
+                p.enqueued,
+                now,
+            );
+        }
+        let earliest = live
+            .iter()
+            .map(|p| p.enqueued)
+            .min()
+            .expect("live is non-empty");
+        trace.record(
+            SpanKind::BatchFormed,
+            live[0].ctx,
+            0,
+            total as u64,
+            earliest,
+            now,
+        );
+    }
+    // The scheduler job inherits the lead request's trace context, so
+    // the device spans serving this batch correlate back to a request.
+    let mut opts = shared.opts;
+    opts.ctx = live[0].ctx;
+
     let dataset = Arc::new(Dataset::from_raw(data, shared.num_features, shared.domain));
     // `submit_blocking` gives backpressure: when the scheduler queue
     // is full the batcher stalls here, the model queue backs up, and
     // admission control starts bouncing clients with ServerBusy.
-    match shared.scheduler.submit_blocking(dataset, shared.opts) {
+    match shared.scheduler.submit_blocking(dataset, opts) {
         Ok(handle) => {
             let _ = inflight_tx.send(InflightBatch {
                 handle,

@@ -8,6 +8,7 @@
 use crate::protocol::{
     decode_results, read_frame, write_frame, Frame, InferRequest, Opcode, Status, WireError,
 };
+use spn_telemetry::{SpanCtx, TelemetrySnapshot};
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -123,6 +124,8 @@ impl Client {
             num_samples,
             num_features,
             data: data.to_vec(),
+            // Trace contexts are server-side; the wire doesn't carry one.
+            ctx: SpanCtx::NONE,
         };
         let response = self.round_trip(&Frame::request(Opcode::Infer, req.encode()))?;
         decode_results(&response.payload).map_err(ClientError::Wire)
@@ -133,6 +136,14 @@ impl Client {
         let response = self.round_trip(&Frame::request(Opcode::Stats, vec![]))?;
         String::from_utf8(response.payload)
             .map_err(|_| ClientError::Wire("stats payload is not UTF-8".into()))
+    }
+
+    /// Fetch and parse the server's metrics document into a typed
+    /// [`TelemetrySnapshot`].
+    pub fn telemetry(&mut self) -> Result<TelemetrySnapshot, ClientError> {
+        let json = self.stats()?;
+        TelemetrySnapshot::from_json(&json)
+            .map_err(|e| ClientError::Wire(format!("stats payload is not valid telemetry: {e}")))
     }
 
     /// Ask the server to drain and stop. The server acknowledges

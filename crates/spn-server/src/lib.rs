@@ -19,8 +19,11 @@
 //!   admission control (bounded in-flight samples →
 //!   [`Status::ServerBusy`]), per-request deadlines, per-connection
 //!   fault isolation and graceful drain-on-shutdown;
-//! * [`metrics`] — serving-layer counters and latency/batch-size
-//!   histograms, exposed as JSON through the `Stats` opcode;
+//! * [`metrics`] — serving-layer counters and lock-free
+//!   latency/batch-size histograms ([`spn_telemetry::AtomicHistogram`]),
+//!   merged with per-model scheduler metrics into one
+//!   [`spn_telemetry::TelemetrySnapshot`] JSON document behind the
+//!   `Stats` opcode;
 //! * [`client`] — a blocking wire client;
 //! * [`loadgen`] — closed-loop load generation shared by the CLI, the
 //!   benchmark and the tests.
@@ -55,3 +58,6 @@ pub use loadgen::{run_load, synthetic_samples, LoadConfig, LoadReport};
 pub use metrics::{HistogramSummary, ServerMetrics, ServerMetricsSnapshot};
 pub use protocol::{Frame, InferRequest, Opcode, Status, WireError};
 pub use server::{ModelSpec, ServerConfig, ServerError, SpnServer};
+// Telemetry types that appear in this crate's public API, re-exported
+// so callers don't need a direct spn-telemetry dependency.
+pub use spn_telemetry::{SpanCtx, TelemetrySnapshot, TraceCollector, TraceId};

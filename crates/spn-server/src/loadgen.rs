@@ -3,13 +3,16 @@
 //! Shared by the `spn load` CLI subcommand, the serving benchmark and
 //! the integration tests: `connections` threads each run a blocking
 //! [`Client`] issuing `requests_per_connection` `Infer` requests of
-//! `samples_per_request` synthetic samples back to back, recording
-//! per-request wall-clock latency. Exact percentiles are computed from
-//! the full latency vector (no histogram bucketing — load runs are
-//! small enough to keep every observation).
+//! `samples_per_request` synthetic samples back to back. Per-request
+//! wall-clock latency is recorded into one shared lock-free
+//! [`AtomicHistogram`], so workers never synchronise on a latency
+//! vector; percentiles (p50/p95/p99, ≈9 % bucket resolution) come
+//! from the histogram summary and `max` stays exact.
 
 use crate::client::{Client, ClientError};
+use spn_telemetry::AtomicHistogram;
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -66,11 +69,15 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Successful samples per second of wall-clock.
     pub samples_per_sec: f64,
-    /// Median request latency, milliseconds.
+    /// Median request latency, milliseconds (histogram resolution).
     pub p50_ms: f64,
-    /// 99th-percentile request latency, milliseconds.
+    /// 95th-percentile request latency, milliseconds (histogram
+    /// resolution).
+    pub p95_ms: f64,
+    /// 99th-percentile request latency, milliseconds (histogram
+    /// resolution).
     pub p99_ms: f64,
-    /// Worst request latency, milliseconds.
+    /// Worst request latency, milliseconds (exact).
     pub max_ms: f64,
 }
 
@@ -79,26 +86,19 @@ impl LoadReport {
     pub fn summary(&self) -> String {
         format!(
             "{} ok / {} rejected requests, {} samples in {:.3} s \
-             => {:.0} samples/s; latency p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+             => {:.0} samples/s; latency p50 {:.3} ms, p95 {:.3} ms, \
+             p99 {:.3} ms, max {:.3} ms",
             self.ok_requests,
             self.rejected_requests,
             self.ok_samples,
             self.elapsed.as_secs_f64(),
             self.samples_per_sec,
             self.p50_ms,
+            self.p95_ms,
             self.p99_ms,
             self.max_ms
         )
     }
-}
-
-/// Exact quantile of a sorted latency vector (nearest-rank).
-fn quantile_ms(sorted: &[Duration], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1].as_secs_f64() * 1e3
 }
 
 /// Deterministic synthetic feature block (SplitMix64 over the seed).
@@ -120,10 +120,12 @@ pub fn synthetic_samples(num_samples: u32, num_features: u32, domain: u8, seed: 
 /// Run the load described by `cfg` and aggregate a report.
 pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
     assert!(cfg.connections > 0, "need at least one connection");
+    let latency = Arc::new(AtomicHistogram::latency());
     let t0 = Instant::now();
     let mut workers = Vec::with_capacity(cfg.connections);
     for conn in 0..cfg.connections {
         let cfg = cfg.clone();
+        let latency = Arc::clone(&latency);
         workers.push(thread::spawn(
             move || -> Result<WorkerStats, ClientError> {
                 let mut client = Client::connect(cfg.addr)?;
@@ -149,11 +151,11 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
                         Ok(lls) => {
                             stats.ok += 1;
                             stats.ok_samples += lls.len() as u64;
-                            stats.latencies.push(r0.elapsed());
+                            latency.record_duration(r0.elapsed());
                         }
                         Err(ClientError::Rejected { .. }) => {
                             stats.rejected += 1;
-                            stats.latencies.push(r0.elapsed());
+                            latency.record_duration(r0.elapsed());
                         }
                         Err(e) => return Err(e),
                     }
@@ -166,28 +168,24 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
     let mut ok = 0u64;
     let mut rejected = 0u64;
     let mut ok_samples = 0u64;
-    let mut latencies: Vec<Duration> = Vec::new();
     for w in workers {
         let stats = w.join().expect("load worker panicked")?;
         ok += stats.ok;
         rejected += stats.rejected;
         ok_samples += stats.ok_samples;
-        latencies.extend(stats.latencies);
     }
     let elapsed = t0.elapsed();
-    latencies.sort_unstable();
+    let lat = latency.summary();
     Ok(LoadReport {
         ok_requests: ok,
         rejected_requests: rejected,
         ok_samples,
         elapsed,
         samples_per_sec: ok_samples as f64 / elapsed.as_secs_f64().max(1e-12),
-        p50_ms: quantile_ms(&latencies, 0.50),
-        p99_ms: quantile_ms(&latencies, 0.99),
-        max_ms: latencies
-            .last()
-            .map(|d| d.as_secs_f64() * 1e3)
-            .unwrap_or(0.0),
+        p50_ms: lat.p50 * 1e3,
+        p95_ms: lat.p95 * 1e3,
+        p99_ms: lat.p99 * 1e3,
+        max_ms: lat.max * 1e3,
     })
 }
 
@@ -196,7 +194,6 @@ struct WorkerStats {
     ok: u64,
     rejected: u64,
     ok_samples: u64,
-    latencies: Vec<Duration>,
 }
 
 #[cfg(test)]
@@ -214,11 +211,21 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_are_nearest_rank() {
-        let v: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
-        assert_eq!(quantile_ms(&v, 0.50), 50.0);
-        assert_eq!(quantile_ms(&v, 0.99), 99.0);
-        assert_eq!(quantile_ms(&v, 1.0), 100.0);
-        assert_eq!(quantile_ms(&[], 0.5), 0.0);
+    fn report_summary_names_all_percentiles() {
+        let report = LoadReport {
+            ok_requests: 10,
+            rejected_requests: 2,
+            ok_samples: 10,
+            elapsed: Duration::from_secs(1),
+            samples_per_sec: 10.0,
+            p50_ms: 1.0,
+            p95_ms: 2.0,
+            p99_ms: 3.0,
+            max_ms: 4.0,
+        };
+        let s = report.summary();
+        for needle in ["p50", "p95", "p99", "max"] {
+            assert!(s.contains(needle), "summary missing {needle}: {s}");
+        }
     }
 }

@@ -5,20 +5,25 @@
 //! counts *jobs and blocks*, this counts *client requests and
 //! micro-batches* — how well the adaptive batcher coalesces traffic
 //! (batch-size histogram), how long requests sit in the batch queue,
-//! and end-to-end request latency as seen at the server. Counters are
-//! relaxed atomics; the three histograms are [`sim_core::LogHistogram`]
-//! behind a mutex (recording needs `&mut`, and a histogram update is
-//! far off the per-sample hot path).
+//! and end-to-end request latency as seen at the server. Everything is
+//! lock-free: counters are relaxed atomics and the three histograms
+//! are [`AtomicHistogram`]s, so connection threads never contend on a
+//! mutex to record a latency.
 
-use parking_lot::Mutex;
-use sim_core::LogHistogram;
-use std::fmt::Write as _;
+use spn_telemetry::AtomicHistogram;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::protocol::Status;
 
-/// Atomic counters and histograms for one server instance.
+pub use spn_telemetry::HistogramSummary;
+
+/// A point-in-time copy of [`ServerMetrics`] — the serving section of
+/// the unified telemetry schema, re-exported under the name the server
+/// API has always used.
+pub type ServerMetricsSnapshot = spn_telemetry::ServingTelemetry;
+
+/// Atomic counters and lock-free histograms for one server instance.
 #[derive(Debug)]
 pub struct ServerMetrics {
     requests_total: AtomicU64,
@@ -34,12 +39,12 @@ pub struct ServerMetrics {
     /// Samples admitted and not yet answered (gauge).
     inflight_samples: AtomicU64,
     /// Samples per scheduler job the batcher formed (1 … batch cap).
-    batch_samples: Mutex<LogHistogram>,
+    batch_samples: AtomicHistogram,
     /// Seconds a request waited in the batch queue before its job was
     /// submitted.
-    queue_wait: Mutex<LogHistogram>,
+    queue_wait: AtomicHistogram,
     /// Seconds from request decode to response ready.
-    e2e_latency: Mutex<LogHistogram>,
+    e2e_latency: AtomicHistogram,
 }
 
 impl ServerMetrics {
@@ -57,10 +62,10 @@ impl ServerMetrics {
             rejected_shutting_down: AtomicU64::new(0),
             rejected_internal: AtomicU64::new(0),
             inflight_samples: AtomicU64::new(0),
-            // 1 sample .. 16 Mi samples per batch, ~8 buckets/octave.
-            batch_samples: Mutex::new(LogHistogram::new(1.0, (16 << 20) as f64, 2f64.powf(0.125))),
-            queue_wait: Mutex::new(LogHistogram::latency()),
-            e2e_latency: Mutex::new(LogHistogram::latency()),
+            // 1 sample .. 16 Mi samples per batch, 8 sub-buckets/octave.
+            batch_samples: AtomicHistogram::new(1.0, (16u64 << 20) as f64),
+            queue_wait: AtomicHistogram::latency(),
+            e2e_latency: AtomicHistogram::latency(),
         }
     }
 
@@ -75,7 +80,7 @@ impl ServerMetrics {
     /// in-flight gauge and records end-to-end latency.
     pub fn request_done(&self, samples: u64, e2e: Duration) {
         self.inflight_samples.fetch_sub(samples, Ordering::Relaxed);
-        self.e2e_latency.lock().record(e2e.as_secs_f64());
+        self.e2e_latency.record_duration(e2e);
     }
 
     /// A request was rejected with `status` (before or after
@@ -98,10 +103,9 @@ impl ServerMetrics {
     /// member request waited `waits[i]` in the queue.
     pub fn batch_flushed(&self, samples: u64, waits: &[Duration]) {
         self.batches_total.fetch_add(1, Ordering::Relaxed);
-        self.batch_samples.lock().record(samples as f64);
-        let mut qw = self.queue_wait.lock();
+        self.batch_samples.record(samples as f64);
         for w in waits {
-            qw.record(w.as_secs_f64());
+            self.queue_wait.record_duration(*w);
         }
     }
 
@@ -113,7 +117,7 @@ impl ServerMetrics {
     }
 
     /// Point-in-time copy of every counter, gauge and histogram
-    /// summary.
+    /// summary, in the unified telemetry schema.
     pub fn snapshot(&self) -> ServerMetricsSnapshot {
         ServerMetricsSnapshot {
             requests_total: self.requests_total.load(Ordering::Relaxed),
@@ -127,9 +131,9 @@ impl ServerMetrics {
             rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
             rejected_shutting_down: self.rejected_shutting_down.load(Ordering::Relaxed),
             rejected_internal: self.rejected_internal.load(Ordering::Relaxed),
-            batch_samples: HistogramSummary::of(&self.batch_samples.lock()),
-            queue_wait_seconds: HistogramSummary::of(&self.queue_wait.lock()),
-            e2e_seconds: HistogramSummary::of(&self.e2e_latency.lock()),
+            batch_samples: self.batch_samples.summary(),
+            queue_wait_seconds: self.queue_wait.summary(),
+            e2e_seconds: self.e2e_latency.summary(),
         }
     }
 }
@@ -137,141 +141,6 @@ impl ServerMetrics {
 impl Default for ServerMetrics {
     fn default() -> Self {
         ServerMetrics::new()
-    }
-}
-
-/// Five-number summary of a [`LogHistogram`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct HistogramSummary {
-    /// Number of recorded observations.
-    pub count: u64,
-    /// Arithmetic mean (0 when empty).
-    pub mean: f64,
-    /// Median (upper bucket edge; 0 when empty).
-    pub p50: f64,
-    /// 95th percentile (0 when empty).
-    pub p95: f64,
-    /// 99th percentile (0 when empty).
-    pub p99: f64,
-    /// Largest observation (0 when empty).
-    pub max: f64,
-}
-
-impl HistogramSummary {
-    /// Summarise `h` (zeros when empty).
-    pub fn of(h: &LogHistogram) -> HistogramSummary {
-        let (p50, p95, p99) = h.percentiles().unwrap_or((0.0, 0.0, 0.0));
-        HistogramSummary {
-            count: h.count(),
-            mean: h.mean().unwrap_or(0.0),
-            p50,
-            p95,
-            p99,
-            max: if h.count() == 0 { 0.0 } else { h.max() },
-        }
-    }
-
-    fn write_json(&self, s: &mut String, indent: &str) {
-        let _ = writeln!(s, "{indent}{{");
-        let _ = writeln!(s, "{indent}  \"count\": {},", self.count);
-        let _ = writeln!(s, "{indent}  \"mean\": {},", fmt_f64(self.mean));
-        let _ = writeln!(s, "{indent}  \"p50\": {},", fmt_f64(self.p50));
-        let _ = writeln!(s, "{indent}  \"p95\": {},", fmt_f64(self.p95));
-        let _ = writeln!(s, "{indent}  \"p99\": {},", fmt_f64(self.p99));
-        let _ = writeln!(s, "{indent}  \"max\": {}", fmt_f64(self.max));
-        let _ = write!(s, "{indent}}}");
-    }
-}
-
-/// Render a finite f64 as JSON (always with a decimal point or
-/// exponent so it round-trips as a float).
-fn fmt_f64(v: f64) -> String {
-    if !v.is_finite() {
-        return "0.0".into();
-    }
-    let s = format!("{v}");
-    if s.contains('.') || s.contains('e') || s.contains('E') {
-        s
-    } else {
-        format!("{s}.0")
-    }
-}
-
-/// A point-in-time copy of [`ServerMetrics`], cheap to clone.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ServerMetricsSnapshot {
-    /// `Infer` requests admitted.
-    pub requests_total: u64,
-    /// Samples across all admitted requests.
-    pub samples_total: u64,
-    /// Scheduler jobs the batcher formed.
-    pub batches_total: u64,
-    /// Samples admitted, not yet answered (gauge).
-    pub inflight_samples: u64,
-    /// Requests rejected as malformed.
-    pub rejected_malformed: u64,
-    /// Requests naming an unregistered model.
-    pub rejected_unknown_model: u64,
-    /// Requests whose `num_features` did not match the model.
-    pub rejected_shape_mismatch: u64,
-    /// Requests bounced by admission control.
-    pub rejected_server_busy: u64,
-    /// Requests whose deadline expired in the queue.
-    pub rejected_deadline: u64,
-    /// Requests refused because the server was draining.
-    pub rejected_shutting_down: u64,
-    /// Requests failed by an internal error.
-    pub rejected_internal: u64,
-    /// Samples per micro-batch.
-    pub batch_samples: HistogramSummary,
-    /// Queue-wait latency (seconds).
-    pub queue_wait_seconds: HistogramSummary,
-    /// End-to-end request latency (seconds).
-    pub e2e_seconds: HistogramSummary,
-}
-
-impl ServerMetricsSnapshot {
-    /// Serialise as a single JSON object with stable key order
-    /// (hand-rolled, mirroring
-    /// [`spn_runtime::MetricsSnapshot::to_json`]; the golden test in
-    /// `system-tests` pins the layout).
-    pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n");
-        let _ = writeln!(s, "  \"requests_total\": {},", self.requests_total);
-        let _ = writeln!(s, "  \"samples_total\": {},", self.samples_total);
-        let _ = writeln!(s, "  \"batches_total\": {},", self.batches_total);
-        let _ = writeln!(s, "  \"inflight_samples\": {},", self.inflight_samples);
-        let _ = writeln!(s, "  \"rejected_malformed\": {},", self.rejected_malformed);
-        let _ = writeln!(
-            s,
-            "  \"rejected_unknown_model\": {},",
-            self.rejected_unknown_model
-        );
-        let _ = writeln!(
-            s,
-            "  \"rejected_shape_mismatch\": {},",
-            self.rejected_shape_mismatch
-        );
-        let _ = writeln!(
-            s,
-            "  \"rejected_server_busy\": {},",
-            self.rejected_server_busy
-        );
-        let _ = writeln!(s, "  \"rejected_deadline\": {},", self.rejected_deadline);
-        let _ = writeln!(
-            s,
-            "  \"rejected_shutting_down\": {},",
-            self.rejected_shutting_down
-        );
-        let _ = writeln!(s, "  \"rejected_internal\": {},", self.rejected_internal);
-        s.push_str("  \"batch_samples\":\n");
-        self.batch_samples.write_json(&mut s, "  ");
-        s.push_str(",\n  \"queue_wait_seconds\":\n");
-        self.queue_wait_seconds.write_json(&mut s, "  ");
-        s.push_str(",\n  \"e2e_seconds\":\n");
-        self.e2e_seconds.write_json(&mut s, "  ");
-        s.push_str("\n}\n");
-        s
     }
 }
 
@@ -308,42 +177,38 @@ mod tests {
     }
 
     #[test]
-    fn json_has_stable_key_order_and_float_leaves() {
+    fn snapshot_round_trips_through_serde_json() {
         let m = ServerMetrics::new();
         m.request_admitted(4);
         m.request_done(4, Duration::from_millis(1));
-        let json = m.snapshot().to_json();
-        let keys = [
-            "requests_total",
-            "samples_total",
-            "batches_total",
-            "inflight_samples",
-            "rejected_malformed",
-            "rejected_unknown_model",
-            "rejected_shape_mismatch",
-            "rejected_server_busy",
-            "rejected_deadline",
-            "rejected_shutting_down",
-            "rejected_internal",
-            "batch_samples",
-            "queue_wait_seconds",
-            "e2e_seconds",
-        ];
-        let mut last = 0;
-        for k in keys {
-            let at = json.find(&format!("\"{k}\"")).expect(k);
-            assert!(at >= last, "key {k} out of order");
-            last = at;
-        }
-        // Histogram leaves always parse as floats.
-        assert!(json.contains("\"mean\": 0.0") || json.contains("\"mean\": "));
+        m.batch_flushed(4, &[Duration::from_micros(10)]);
+        let snap = m.snapshot();
+        let back: ServerMetricsSnapshot = serde_json::from_str(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]
-    fn fmt_f64_always_floats() {
-        assert_eq!(fmt_f64(0.0), "0.0");
-        assert_eq!(fmt_f64(2.0), "2.0");
-        assert_eq!(fmt_f64(1.5), "1.5");
-        assert_eq!(fmt_f64(f64::NAN), "0.0");
+    fn histogram_recording_needs_no_mut_access() {
+        // Many threads record into one &ServerMetrics concurrently;
+        // every observation lands (the lock-free refactor's contract).
+        let m = std::sync::Arc::new(ServerMetrics::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        m.request_admitted(1);
+                        m.request_done(1, Duration::from_micros(i + 1));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.requests_total, 4000);
+        assert_eq!(snap.e2e_seconds.count, 4000);
+        assert_eq!(snap.inflight_samples, 0);
     }
 }

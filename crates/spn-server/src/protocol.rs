@@ -34,6 +34,7 @@
 //! at [`MAX_PAYLOAD`] so a corrupt length prefix cannot make the
 //! server allocate unbounded memory.
 
+use spn_telemetry::SpanCtx;
 use std::io::{self, Read, Write};
 
 /// The four magic bytes opening every frame.
@@ -259,6 +260,11 @@ pub struct InferRequest {
     pub num_features: u32,
     /// Row-major `num_samples × num_features` block.
     pub data: Vec<u8>,
+    /// Request-scoped trace context. [`InferRequest::decode`] mints a
+    /// fresh one per request (the server-side birth of a trace); it is
+    /// *not* carried on the wire, so clients building a request leave
+    /// it [`SpanCtx::NONE`].
+    pub ctx: SpanCtx,
 }
 
 impl InferRequest {
@@ -323,6 +329,7 @@ impl InferRequest {
             num_samples,
             num_features,
             data: p[at..].to_vec(),
+            ctx: SpanCtx::mint(),
         })
     }
 }
@@ -404,15 +411,21 @@ mod tests {
     }
 
     #[test]
-    fn infer_request_round_trips() {
+    fn infer_request_round_trips_and_decode_mints_ctx() {
         let req = InferRequest {
             model: "NIPS10".into(),
             deadline_ms: 250,
             num_samples: 3,
             num_features: 2,
             data: vec![0, 1, 2, 3, 4, 5],
+            ctx: SpanCtx::NONE,
         };
-        assert_eq!(InferRequest::decode(&req.encode()).unwrap(), req);
+        let mut got = InferRequest::decode(&req.encode()).unwrap();
+        assert!(got.ctx.trace_id.is_some(), "decode mints a trace context");
+        let other = InferRequest::decode(&req.encode()).unwrap();
+        assert_ne!(got.ctx, other.ctx, "every decode gets a fresh context");
+        got.ctx = req.ctx; // the wire fields themselves round-trip
+        assert_eq!(got, req);
     }
 
     #[test]
@@ -423,6 +436,7 @@ mod tests {
             num_samples: 2,
             num_features: 3,
             data: vec![0; 6],
+            ctx: SpanCtx::NONE,
         };
         req.data.pop(); // now 5 bytes for a promised 6
         assert!(InferRequest::decode(&req.encode()).is_err());

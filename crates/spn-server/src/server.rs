@@ -31,6 +31,10 @@ use crate::protocol::{
 };
 use parking_lot::{Condvar, Mutex};
 use spn_runtime::{JobOptions, Scheduler};
+use spn_telemetry::{
+    BatcherTelemetry, ModelTelemetry, SpanCtx, SpanKind, TelemetrySnapshot, TraceCollector,
+    TELEMETRY_SCHEMA_VERSION,
+};
 use std::collections::BTreeMap;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -52,6 +56,12 @@ pub struct ServerConfig {
     pub max_inflight_samples: u64,
     /// How often blocked reads wake up to check the shutdown flag.
     pub read_poll: Duration,
+    /// Live span collector shared with the models' schedulers
+    /// (`None` = tracing off). When set, connection threads record
+    /// `ReplyWritten` spans into it; pass the *same* collector to
+    /// [`spn_runtime::Scheduler::with_trace`] so server and device
+    /// spans land on one correlated timeline.
+    pub trace: Option<Arc<TraceCollector>>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +71,7 @@ impl Default for ServerConfig {
             batch: BatchPolicy::default(),
             max_inflight_samples: 1 << 20,
             read_poll: Duration::from_millis(25),
+            trace: None,
         }
     }
 }
@@ -121,6 +132,8 @@ struct SharedState {
     max_inflight_samples: u64,
     read_poll: Duration,
     local_addr: SocketAddr,
+    /// See [`ServerConfig::trace`].
+    trace: Option<Arc<TraceCollector>>,
 }
 
 impl SharedState {
@@ -230,6 +243,7 @@ impl SpnServer {
             max_inflight_samples: config.max_inflight_samples,
             read_poll: config.read_poll,
             local_addr,
+            trace: config.trace,
         });
 
         let conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>> =
@@ -256,6 +270,13 @@ impl SpnServer {
     /// Point-in-time serving metrics.
     pub fn metrics_snapshot(&self) -> ServerMetricsSnapshot {
         self.shared.metrics.snapshot()
+    }
+
+    /// The unified telemetry document: serving metrics plus one
+    /// scheduler/batcher section per model — exactly what the `Stats`
+    /// opcode returns on the wire.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        telemetry_snapshot(&self.shared)
     }
 
     /// Block until shutdown is requested — by a client's `Shutdown`
@@ -432,7 +453,7 @@ fn serve_connection(mut stream: TcpStream, shared: &SharedState) -> io::Result<(
                 )?;
             }
             Opcode::Stats => {
-                let json = stats_json(shared);
+                let json = telemetry_snapshot(shared).to_json();
                 write_frame(
                     &mut stream,
                     &Frame::response(Opcode::Stats, Status::Ok, json.into_bytes()),
@@ -449,15 +470,29 @@ fn serve_connection(mut stream: TcpStream, shared: &SharedState) -> io::Result<(
                 shared.request_shutdown();
             }
             Opcode::Infer => {
-                let frame = handle_infer(shared, &payload);
+                let (frame, ctx) = handle_infer(shared, &payload);
+                let t_write = Instant::now();
                 write_frame(&mut stream, &frame)?;
+                if let Some(trace) = &shared.trace {
+                    trace.record(
+                        SpanKind::ReplyWritten,
+                        ctx,
+                        0,
+                        frame.payload.len() as u64,
+                        t_write,
+                        Instant::now(),
+                    );
+                }
             }
         }
     }
 }
 
 /// Decode, validate, admit, batch and await one `Infer` request.
-fn handle_infer(shared: &SharedState, payload: &[u8]) -> Frame {
+/// Returns the response frame plus the request's trace context (minted
+/// at decode; [`SpanCtx::NONE`] when decoding failed) so the caller
+/// can stamp the reply-write span.
+fn handle_infer(shared: &SharedState, payload: &[u8]) -> (Frame, SpanCtx) {
     let t0 = Instant::now();
     let reject = |status: Status, msg: &str| {
         shared.metrics.rejected(status);
@@ -465,26 +500,32 @@ fn handle_infer(shared: &SharedState, payload: &[u8]) -> Frame {
     };
 
     if shared.is_shutting_down() {
-        return reject(Status::ShuttingDown, "server is draining");
+        return (
+            reject(Status::ShuttingDown, "server is draining"),
+            SpanCtx::NONE,
+        );
     }
     let req = match InferRequest::decode(payload) {
         Ok(r) => r,
-        Err(m) => return reject(Status::Malformed, &m),
+        Err(m) => return (reject(Status::Malformed, &m), SpanCtx::NONE),
     };
+    let ctx = req.ctx;
     let Some(model) = shared.models.get(&req.model) else {
-        return reject(
+        let frame = reject(
             Status::UnknownModel,
             &format!("model '{}' is not registered", req.model),
         );
+        return (frame, ctx);
     };
     if req.num_features != model.num_features {
-        return reject(
+        let frame = reject(
             Status::ShapeMismatch,
             &format!(
                 "model '{}' expects {} features per sample, request carries {}",
                 req.model, model.num_features, req.num_features
             ),
         );
+        return (frame, ctx);
     }
     // Domain check: every feature byte must be `< domain`, or the
     // batcher's `Dataset::from_raw` would panic — killing the model's
@@ -492,13 +533,14 @@ fn handle_infer(shared: &SharedState, payload: &[u8]) -> Frame {
     // One out-of-domain byte must cost *this* request only.
     if model.domain < 256 {
         if let Some(bad) = req.data.iter().find(|&&v| usize::from(v) >= model.domain) {
-            return reject(
+            let frame = reject(
                 Status::Malformed,
                 &format!(
                     "feature value {bad} outside model '{}' domain 0..{}",
                     req.model, model.domain
                 ),
             );
+            return (frame, ctx);
         }
     }
     let samples = u64::from(req.num_samples);
@@ -506,88 +548,61 @@ fn handle_infer(shared: &SharedState, payload: &[u8]) -> Frame {
     // (Racy increment-after-check is fine — the bound is a soft
     // protective limit, not an accounting invariant.)
     if shared.metrics.inflight_samples() + samples > shared.max_inflight_samples {
-        return reject(
+        let frame = reject(
             Status::ServerBusy,
             &format!(
                 "in-flight sample limit {} reached; retry later",
                 shared.max_inflight_samples
             ),
         );
+        return (frame, ctx);
     }
     shared.metrics.request_admitted(samples);
 
     let deadline =
         (req.deadline_ms > 0).then(|| t0 + Duration::from_millis(req.deadline_ms as u64));
-    let rx = model.batcher.enqueue(req.data, req.num_samples, deadline);
+    let rx = model
+        .batcher
+        .enqueue(ctx, req.data, req.num_samples, deadline);
     let reply = rx
         .recv()
         .unwrap_or_else(|_| Reply::Err(Status::Internal, "batcher dropped the request".into()));
     shared.metrics.request_done(samples, t0.elapsed());
 
-    match reply {
+    let frame = match reply {
         Reply::Ok(lls) => Frame::response(
             Opcode::Infer,
             Status::Ok,
             crate::protocol::encode_results(&lls),
         ),
         Reply::Err(status, msg) => Frame::error(Opcode::Infer, status, &msg),
-    }
+    };
+    (frame, ctx)
 }
 
-/// The `Stats` response: serving metrics plus one scheduler snapshot
-/// per model, spliced into a single JSON document with stable key
-/// order (models are in `BTreeMap` name order).
-fn stats_json(shared: &SharedState) -> String {
-    let mut s = String::from("{\n\"server\":\n");
-    s.push_str(shared.metrics.snapshot().to_json().trim_end());
-    s.push_str(",\n\"models\": {\n");
-    let mut first = true;
-    for (name, handle) in &shared.models {
-        if !first {
-            s.push_str(",\n");
-        }
-        first = false;
-        s.push('"');
-        json_escape_into(&mut s, name);
-        s.push_str("\":\n");
-        s.push_str(handle.scheduler.metrics_snapshot().to_json().trim_end());
-    }
-    s.push_str("\n}\n}\n");
-    s
-}
-
-/// Append `raw` to `out` as the body of a JSON string: escapes
-/// quotes, backslashes and control characters so an arbitrary model
-/// name cannot break the `Stats` document.
-fn json_escape_into(out: &mut String, raw: &str) {
-    use std::fmt::Write as _;
-    for c in raw.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::json_escape_into;
-
-    #[test]
-    fn json_escape_handles_quotes_backslashes_and_controls() {
-        let mut s = String::new();
-        json_escape_into(&mut s, "plain-NIPS10");
-        assert_eq!(s, "plain-NIPS10");
-
-        let mut s = String::new();
-        json_escape_into(&mut s, "a\"b\\c\nd\te\u{1}f");
-        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\u0001f");
+/// Build the unified telemetry document the `Stats` opcode serves:
+/// the serving section plus one scheduler/batcher section per model
+/// (models in `BTreeMap` name order; serde handles all escaping, so
+/// arbitrary model names are safe).
+fn telemetry_snapshot(shared: &SharedState) -> TelemetrySnapshot {
+    let models = shared
+        .models
+        .iter()
+        .map(|(name, handle)| {
+            (
+                name.clone(),
+                ModelTelemetry {
+                    scheduler: handle.scheduler.metrics_snapshot(),
+                    batcher: Some(BatcherTelemetry {
+                        queued_samples: handle.batcher.queued_samples(),
+                    }),
+                },
+            )
+        })
+        .collect();
+    TelemetrySnapshot {
+        schema: TELEMETRY_SCHEMA_VERSION,
+        server: Some(shared.metrics.snapshot()),
+        models,
     }
 }

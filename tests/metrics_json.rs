@@ -1,13 +1,18 @@
-//! Golden tests pinning the *exact* JSON layout of the metrics
-//! snapshots — the contract consumed by dashboards, by
+//! Golden tests pinning the *exact* JSON layout of the telemetry
+//! documents — the contract consumed by dashboards, by
 //! `spn accelerate --metrics`, and by the server's `Stats` opcode.
-//! Key order is part of the contract (both serialisers are
-//! hand-rolled with stable ordering); if this test fails, either fix
-//! the regression or consciously update the golden text *and* every
-//! consumer.
+//! Everything serialises through `spn-telemetry`'s serde schema; key
+//! order follows field declaration order there and is part of the
+//! contract. If a test here fails, either fix the regression or
+//! consciously update the golden text *and* bump
+//! `TELEMETRY_SCHEMA_VERSION`.
 
 use spn_runtime::{JobOutcome, MetricsRegistry, MetricsSnapshot};
-use spn_server::ServerMetrics;
+use spn_server::{HistogramSummary, ServerMetrics};
+use spn_telemetry::{
+    BatcherTelemetry, ModelTelemetry, SchedulerTelemetry, ServingTelemetry, TelemetrySnapshot,
+    TELEMETRY_SCHEMA_VERSION,
+};
 use std::time::Duration;
 
 /// The scheduler snapshot serialises byte-for-byte to the golden
@@ -39,14 +44,17 @@ fn scheduler_metrics_snapshot_golden_json() {
   \"jobs_in_flight\": 1,
   \"samples_in_flight\": 50,
   \"queue_high_watermark\": 2,
-  \"pe_busy_secs\": [0.5, 0]
+  \"pe_busy_secs\": [
+    0.5,
+    0.0
+  ]
 }
 ";
     assert_eq!(reg.snapshot().to_json(), golden);
 }
 
-/// The hand-rolled JSON round-trips through the serde path (the same
-/// one `spn accelerate --metrics out.json` consumers use).
+/// The emitted JSON round-trips through the serde path (the same one
+/// `spn accelerate --metrics out.json` consumers use).
 #[test]
 fn scheduler_metrics_snapshot_round_trips_through_serde_json() {
     let reg = MetricsRegistry::new(3);
@@ -58,7 +66,7 @@ fn scheduler_metrics_snapshot_round_trips_through_serde_json() {
     let parsed: MetricsSnapshot = serde_json::from_str(&snap.to_json()).unwrap();
     assert_eq!(parsed, snap);
 
-    // And through the derive-based serialiser as well.
+    // And through the compact serialiser as well.
     let via_derive = serde_json::to_string(&snap).unwrap();
     let reparsed: MetricsSnapshot = serde_json::from_str(&via_derive).unwrap();
     assert_eq!(reparsed, snap);
@@ -88,7 +96,7 @@ fn server_metrics_snapshot_golden_layout() {
   \"rejected_deadline\": 0,
   \"rejected_shutting_down\": 0,
   \"rejected_internal\": 0,
-  \"batch_samples\":
+  \"batch_samples\": {
 ";
     assert!(json.starts_with(golden_prefix), "layout drifted:\n{json}");
 
@@ -100,11 +108,148 @@ fn server_metrics_snapshot_golden_layout() {
     assert_eq!(v["e2e_seconds"]["count"], 1u64);
     assert!(v["e2e_seconds"]["p99"].as_f64().unwrap() > 0.0);
 
-    // Histogram sub-objects appear in their pinned order.
+    // Histogram sub-objects appear in their pinned order, each with
+    // its summary keys in declaration order.
     let mut last = 0usize;
     for key in ["batch_samples", "queue_wait_seconds", "e2e_seconds"] {
         let at = json.find(&format!("\"{key}\"")).unwrap();
         assert!(at > last, "key {key} out of order");
         last = at;
     }
+    for key in ["count", "mean", "p50", "p95", "p99", "max"] {
+        assert!(
+            v["e2e_seconds"][key].as_f64().is_some(),
+            "missing leaf {key}"
+        );
+    }
+}
+
+fn summary_fixture(count: u64, value: f64) -> HistogramSummary {
+    HistogramSummary {
+        count,
+        mean: value,
+        p50: value,
+        p95: value,
+        p99: value,
+        max: value,
+    }
+}
+
+/// The merged document — schema stamp, serving section, per-model
+/// scheduler + batcher — pinned byte-for-byte from a hand-built
+/// fixture (no timing-dependent leaves).
+#[test]
+fn telemetry_snapshot_golden_json() {
+    let snap = TelemetrySnapshot {
+        schema: TELEMETRY_SCHEMA_VERSION,
+        server: Some(ServingTelemetry {
+            requests_total: 4,
+            samples_total: 32,
+            batches_total: 2,
+            inflight_samples: 0,
+            rejected_malformed: 0,
+            rejected_unknown_model: 1,
+            rejected_shape_mismatch: 0,
+            rejected_server_busy: 0,
+            rejected_deadline: 0,
+            rejected_shutting_down: 0,
+            rejected_internal: 0,
+            batch_samples: summary_fixture(2, 16.0),
+            queue_wait_seconds: summary_fixture(4, 0.5),
+            e2e_seconds: summary_fixture(4, 1.5),
+        }),
+        models: [(
+            "NIPS10".to_string(),
+            ModelTelemetry {
+                scheduler: SchedulerTelemetry {
+                    jobs_submitted: 2,
+                    jobs_completed: 2,
+                    jobs_failed: 0,
+                    jobs_cancelled: 0,
+                    blocks_executed: 2,
+                    block_retries: 0,
+                    h2d_bytes: 320,
+                    d2h_bytes: 256,
+                    jobs_in_flight: 0,
+                    samples_in_flight: 0,
+                    queue_high_watermark: 1,
+                    pe_busy_secs: vec![0.25],
+                },
+                batcher: Some(BatcherTelemetry { queued_samples: 7 }),
+            },
+        )]
+        .into_iter()
+        .collect(),
+    };
+
+    let golden = "\
+{
+  \"schema\": 1,
+  \"server\": {
+    \"requests_total\": 4,
+    \"samples_total\": 32,
+    \"batches_total\": 2,
+    \"inflight_samples\": 0,
+    \"rejected_malformed\": 0,
+    \"rejected_unknown_model\": 1,
+    \"rejected_shape_mismatch\": 0,
+    \"rejected_server_busy\": 0,
+    \"rejected_deadline\": 0,
+    \"rejected_shutting_down\": 0,
+    \"rejected_internal\": 0,
+    \"batch_samples\": {
+      \"count\": 2,
+      \"mean\": 16.0,
+      \"p50\": 16.0,
+      \"p95\": 16.0,
+      \"p99\": 16.0,
+      \"max\": 16.0
+    },
+    \"queue_wait_seconds\": {
+      \"count\": 4,
+      \"mean\": 0.5,
+      \"p50\": 0.5,
+      \"p95\": 0.5,
+      \"p99\": 0.5,
+      \"max\": 0.5
+    },
+    \"e2e_seconds\": {
+      \"count\": 4,
+      \"mean\": 1.5,
+      \"p50\": 1.5,
+      \"p95\": 1.5,
+      \"p99\": 1.5,
+      \"max\": 1.5
+    }
+  },
+  \"models\": {
+    \"NIPS10\": {
+      \"scheduler\": {
+        \"jobs_submitted\": 2,
+        \"jobs_completed\": 2,
+        \"jobs_failed\": 0,
+        \"jobs_cancelled\": 0,
+        \"blocks_executed\": 2,
+        \"block_retries\": 0,
+        \"h2d_bytes\": 320,
+        \"d2h_bytes\": 256,
+        \"jobs_in_flight\": 0,
+        \"samples_in_flight\": 0,
+        \"queue_high_watermark\": 1,
+        \"pe_busy_secs\": [
+          0.25
+        ]
+      },
+      \"batcher\": {
+        \"queued_samples\": 7
+      }
+    }
+  }
+}
+";
+    assert_eq!(snap.to_json(), golden);
+
+    // And the golden text parses back to the identical document.
+    let back = TelemetrySnapshot::from_json(golden).unwrap();
+    assert_eq!(back, snap);
 }

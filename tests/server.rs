@@ -10,6 +10,7 @@ use spn_server::{
     protocol, BatchPolicy, Client, ClientError, LoadConfig, ModelSpec, ServerConfig, SpnServer,
     Status,
 };
+use spn_telemetry::{SpanCtx, SpanKind, TraceCollector};
 use std::io::Write as _;
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -363,7 +364,7 @@ fn enqueue_after_drain_is_refused_not_stranded() {
     // `handle_infer` (is_shutting_down check → enqueue) can hit.
     batcher.drain();
 
-    let rx = batcher.enqueue(vec![0u8; bench.num_vars()], 1, None);
+    let rx = batcher.enqueue(SpanCtx::NONE, vec![0u8; bench.num_vars()], 1, None);
     let reply = rx
         .recv_timeout(Duration::from_secs(5))
         .expect("post-drain enqueue must still be answered");
@@ -481,13 +482,109 @@ fn stats_opcode_returns_parsable_json() {
 
     let json = client.stats().unwrap();
     let v: serde_json::Value = serde_json::from_str(&json).expect("stats JSON parses");
+    assert_eq!(v["schema"], 1u64);
     assert_eq!(v["server"]["requests_total"], 1u64);
     assert_eq!(v["server"]["samples_total"], 3u64);
     assert_eq!(v["server"]["inflight_samples"], 0u64);
     assert!(v["server"]["e2e_seconds"]["count"].as_u64() == Some(1));
-    // The per-model scheduler snapshot is embedded verbatim.
-    assert_eq!(v["models"]["NIPS10"]["jobs_completed"], 1u64);
-    assert_eq!(v["models"]["NIPS10"]["samples_in_flight"], 0u64);
+    // The per-model scheduler snapshot is embedded under "scheduler",
+    // next to the batcher gauges.
+    assert_eq!(v["models"]["NIPS10"]["scheduler"]["jobs_completed"], 1u64);
+    assert_eq!(
+        v["models"]["NIPS10"]["scheduler"]["samples_in_flight"],
+        0u64
+    );
+    assert_eq!(v["models"]["NIPS10"]["batcher"]["queued_samples"], 0u64);
+
+    // The same document parses through the typed client path.
+    let snap = client.telemetry().unwrap();
+    assert_eq!(snap.server.unwrap().requests_total, 1);
+    assert_eq!(snap.models["NIPS10"].scheduler.jobs_completed, 1);
+}
+
+/// Tentpole acceptance: one `Infer` request through the loopback
+/// server leaves spans in *both* layers — server (request-queued,
+/// batch-formed, reply-written) and runtime (h2d/execute/d2h) — all
+/// stamped with the same per-request `TraceId`, and the Chrome export
+/// shows that id on correlated server and runtime tracks.
+#[test]
+fn trace_ids_propagate_from_wire_to_device_spans() {
+    let bench = NipsBenchmark::Nips10;
+    let nf = bench.num_vars() as u32;
+    // One collector shared by the scheduler *and* the server.
+    let collector = Arc::new(TraceCollector::new());
+    let config = RuntimeConfig::builder()
+        .block_samples(512)
+        .threads_per_pe(2)
+        .build()
+        .unwrap();
+    let scheduler = Arc::new(
+        Scheduler::with_trace(make_device(bench, 2), config, Some(Arc::clone(&collector))).unwrap(),
+    );
+    let spec = ModelSpec::new(bench.name(), scheduler, nf, 256);
+    let server = SpnServer::serve(
+        ServerConfig {
+            trace: Some(Arc::clone(&collector)),
+            ..ServerConfig::default()
+        },
+        vec![spec],
+    )
+    .unwrap();
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let lls = client
+        .infer(bench.name(), &vec![0u8; 2 * bench.num_vars()], 2, nf)
+        .unwrap();
+    assert_eq!(lls.len(), 2);
+
+    // `ReplyWritten` is recorded just after the reply hits the socket,
+    // so the client can observe the reply first — wait for it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !collector
+        .spans()
+        .iter()
+        .any(|s| s.kind == SpanKind::ReplyWritten)
+    {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reply-written span never recorded"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let spans = collector.spans();
+    let id = spans
+        .iter()
+        .find(|s| s.kind == SpanKind::BatchFormed)
+        .expect("batch-formed span recorded")
+        .ctx
+        .trace_id;
+    assert!(id.is_some(), "batch carries a minted trace id");
+    for kind in [
+        SpanKind::RequestQueued,
+        SpanKind::ReplyWritten,
+        SpanKind::H2D,
+        SpanKind::Execute,
+        SpanKind::D2H,
+    ] {
+        assert!(
+            spans.iter().any(|s| s.kind == kind && s.ctx.trace_id == id),
+            "no {kind:?} span carries trace id {id:?}; spans: {spans:?}"
+        );
+    }
+
+    // The Chrome export carries the id on both layers' tracks
+    // (server = pid 1, runtime = pid 0).
+    let v: serde_json::Value = serde_json::from_str(&collector.to_chrome_json()).unwrap();
+    let events = v.as_array().unwrap();
+    for pid in [0u64, 1] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e["pid"] == pid && e["args"]["trace_id"] == id.0),
+            "pid {pid} track misses the request's trace id"
+        );
+    }
 }
 
 /// Graceful drain: a request parked in the batch queue when shutdown

@@ -1,0 +1,84 @@
+//! Concurrency stress tests for `spn-telemetry`'s lock-free
+//! [`AtomicHistogram`] — the structure every serving-path latency
+//! sample funnels through, recorded from many connection threads at
+//! once with no mutex.
+
+use spn_telemetry::AtomicHistogram;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const THREADS: usize = 8;
+const RECORDS_PER_THREAD: usize = 10_000;
+
+/// Hammer one histogram from 8 std threads and assert *conservation*:
+/// every record lands in exactly one bucket, so the total count (which
+/// is computed as the sum over buckets, not a separate counter) equals
+/// the number of records issued.
+#[test]
+fn concurrent_records_conserve_total_count() {
+    let hist = Arc::new(AtomicHistogram::latency());
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = Arc::clone(&hist);
+            thread::spawn(move || {
+                for i in 0..RECORDS_PER_THREAD {
+                    // Values span underflow, the log-linear range and
+                    // overflow so every bucket class is exercised.
+                    let v = match i % 4 {
+                        0 => 1e-12,                       // underflow bucket
+                        1 => 1e-6 * (t + 1) as f64,       // in range
+                        2 => 0.001 * (i % 97 + 1) as f64, // in range
+                        _ => 1e6,                         // overflow clamp
+                    };
+                    hist.record(v);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("recorder thread panicked");
+    }
+
+    let expected = (THREADS * RECORDS_PER_THREAD) as u64;
+    assert_eq!(hist.count(), expected, "records were lost or duplicated");
+    let summary = hist.summary();
+    assert_eq!(summary.count, expected);
+    // The exact-max tracker saw the overflow values.
+    assert_eq!(summary.max, 1e6);
+    // Quantiles are monotone over the merged distribution.
+    assert!(summary.p50 <= summary.p95);
+    assert!(summary.p95 <= summary.p99);
+    assert!(summary.p99 <= summary.max);
+}
+
+/// Concurrent `record_duration` (the serving hot path) conserves both
+/// the count and the exact sum-derived mean within float tolerance.
+#[test]
+fn concurrent_durations_conserve_count_and_mean() {
+    let hist = Arc::new(AtomicHistogram::latency());
+    let workers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let hist = Arc::clone(&hist);
+            thread::spawn(move || {
+                for _ in 0..RECORDS_PER_THREAD {
+                    hist.record_duration(Duration::from_micros(250));
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("recorder thread panicked");
+    }
+
+    let summary = hist.summary();
+    assert_eq!(summary.count, (THREADS * RECORDS_PER_THREAD) as u64);
+    // All samples are identical, so the CAS-accumulated sum must give
+    // back exactly that value as the mean.
+    assert!(
+        (summary.mean - 250e-6).abs() < 1e-12,
+        "mean drifted: {}",
+        summary.mean
+    );
+    assert_eq!(summary.max, 250e-6);
+}

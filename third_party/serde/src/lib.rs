@@ -174,6 +174,19 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+/// Maps with string keys serialize to JSON objects. `BTreeMap`
+/// iterates in key order, so the textual form is deterministic —
+/// the property the workspace's golden-JSON tests rely on.
+impl<T: Serialize> Serialize for std::collections::BTreeMap<String, T> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
 macro_rules! ser_tuple {
     ($(($($n:tt $t:ident),+))*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
@@ -298,6 +311,22 @@ impl<T: Deserialize> Deserialize for Option<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for std::collections::BTreeMap<String, T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, item)| {
+                    T::deserialize(item)
+                        .map(|t| (k.clone(), t))
+                        .map_err(|e| DeError(format!("map[{k}]: {}", e.0)))
+                })
+                .collect(),
+            _ => Err(DeError::expected("an object", v, "BTreeMap")),
+        }
+    }
+}
+
 macro_rules! de_tuple {
     ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
         impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
@@ -355,6 +384,19 @@ mod tests {
         assert_eq!(u32::deserialize(&ok).unwrap(), 7);
         let bad = Value::Number(Number::F64(7.5));
         assert!(u32::deserialize(&bad).is_err());
+    }
+
+    #[test]
+    fn string_keyed_maps_round_trip_in_key_order() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("zeta".to_string(), 1u32);
+        m.insert("alpha".to_string(), 2u32);
+        let v = m.serialize();
+        let entries = v.as_object_slice().unwrap();
+        assert_eq!(entries[0].0, "alpha");
+        assert_eq!(entries[1].0, "zeta");
+        let back = std::collections::BTreeMap::<String, u32>::deserialize(&v).unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]
