@@ -7,7 +7,7 @@
 //! evaluation per sample, log-domain, parallelized over the batch with
 //! one worker per hardware thread and chunked work distribution.
 
-use spn_core::{Dataset, Evaluator, Spn};
+use spn_core::{Dataset, Evaluator, Query, Spn};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -68,7 +68,7 @@ impl CpuBaseline {
                         }
                         let end = (start + self.chunk).min(n);
                         for i in start..end {
-                            let ll = ev.log_likelihood_bytes(data.row(i));
+                            let ll = ev.eval_bytes(&Query::Complete, data.row(i));
                             // SAFETY: each index i is claimed by exactly one
                             // worker (disjoint chunks from the atomic cursor),
                             // and `out` outlives the scope.
@@ -117,7 +117,7 @@ mod tests {
         let got = cpu.infer(&data);
         let mut ev = Evaluator::new(&spn);
         for (i, row) in data.rows().enumerate() {
-            assert_eq!(got[i], ev.log_likelihood_bytes(row), "sample {i}");
+            assert_eq!(got[i], ev.eval_bytes(&Query::Complete, row), "sample {i}");
         }
     }
 

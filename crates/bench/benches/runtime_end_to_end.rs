@@ -39,7 +39,13 @@ fn benches(c: &mut Criterion) {
         .warm_up_time(std::time::Duration::from_millis(500));
     g.throughput(Throughput::Elements(data.num_samples() as u64));
     g.bench_function("functional_infer_4pe", |b| {
-        b.iter(|| black_box(rt.infer(black_box(&data)).unwrap()))
+        b.iter(|| {
+            black_box(
+                rt.run(black_box(&data), JobOptions::default())
+                    .unwrap()
+                    .values,
+            )
+        })
     });
     // The concurrent path: 4 jobs multiplexed across the same PEs by the
     // persistent scheduler pool (per-call cost includes no thread spawns).

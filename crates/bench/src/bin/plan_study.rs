@@ -1,0 +1,152 @@
+//! Compiled plan vs tree-walk study — the acceptance record for the
+//! plan compiler: per-sample latency of the tree-walking [`Evaluator`]
+//! oracle against the batched [`PlanExecutor`] across batch sizes, on
+//! the NIPS models. Writes the committed `BENCH_plan.json` at the repo
+//! root (plus the usual `results/` copy).
+//!
+//! Methodology: each (path, batch) cell is timed over enough
+//! repetitions to exceed a fixed wall-clock budget and the *best*
+//! per-sample time is kept — minimum-of-N is robust against scheduler
+//! noise, and both paths get identical data and identical treatment.
+
+use bench::{write_json, Table};
+use serde::Serialize;
+use spn_core::{CompiledPlan, Dataset, Evaluator, NipsBenchmark, PlanExecutor, Query, Spn};
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Point {
+    model: &'static str,
+    batch: usize,
+    treewalk_ns_per_sample: f64,
+    plan_ns_per_sample: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Study {
+    /// What the numbers are: best-of-N per-sample inference latency,
+    /// complete-evidence query, single thread.
+    methodology: &'static str,
+    compile_micros: Vec<(String, f64)>,
+    points: Vec<Point>,
+}
+
+/// Best per-sample nanoseconds over repeated timed runs of `f`
+/// (which evaluates `batch` samples per call).
+fn best_ns_per_sample(batch: usize, mut f: impl FnMut()) -> f64 {
+    // Warm up caches and lazy allocations.
+    f();
+    let mut best = f64::INFINITY;
+    let budget = std::time::Duration::from_millis(120);
+    let t_all = Instant::now();
+    while t_all.elapsed() < budget {
+        let t0 = Instant::now();
+        f();
+        let ns = t0.elapsed().as_nanos() as f64 / batch as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+fn measure(spn: &Spn, plan: &CompiledPlan, data: &Dataset, batch: usize) -> (f64, f64) {
+    let slab = &data.raw()[..batch * data.num_features()];
+    let nf = data.num_features();
+
+    let mut ev = Evaluator::new(spn);
+    let tree = best_ns_per_sample(batch, || {
+        let mut acc = 0.0;
+        for row in slab.chunks_exact(nf) {
+            acc += ev.eval_bytes(&Query::Complete, row);
+        }
+        std::hint::black_box(acc);
+    });
+
+    let mut ex = PlanExecutor::new(plan);
+    let mut out = Vec::with_capacity(batch);
+    let fast = best_ns_per_sample(batch, || {
+        out.clear();
+        ex.eval_batch_raw(&Query::Complete, slab, nf, &mut out);
+        std::hint::black_box(out.last().copied());
+    });
+    (tree, fast)
+}
+
+fn main() {
+    let batches = [1usize, 8, 64, 256, 4096];
+    let models = [
+        NipsBenchmark::Nips10,
+        NipsBenchmark::Nips20,
+        NipsBenchmark::Nips30,
+        NipsBenchmark::Nips40,
+        NipsBenchmark::Nips80,
+    ];
+
+    println!("Compiled plan vs tree-walk oracle (complete-evidence query)\n");
+    let mut table = Table::new(vec![
+        "model",
+        "batch",
+        "treewalk [ns/sample]",
+        "plan [ns/sample]",
+        "speedup",
+    ]);
+
+    let mut compile_micros = Vec::new();
+    let mut points = Vec::new();
+    for bench in models {
+        let spn = bench.build_spn();
+        let data = bench.dataset(4096, 42);
+
+        let t0 = Instant::now();
+        let plan = CompiledPlan::compile(&spn);
+        compile_micros.push((bench.name().to_string(), t0.elapsed().as_secs_f64() * 1e6));
+
+        for batch in batches {
+            let (tree, fast) = measure(&spn, &plan, &data, batch);
+            let speedup = tree / fast;
+            table.row(vec![
+                bench.name().to_string(),
+                batch.to_string(),
+                format!("{tree:.1}"),
+                format!("{fast:.1}"),
+                format!("{speedup:.2}x"),
+            ]);
+            points.push(Point {
+                model: bench.name(),
+                batch,
+                treewalk_ns_per_sample: tree,
+                plan_ns_per_sample: fast,
+                speedup,
+            });
+        }
+    }
+    table.print();
+
+    let worst_big_batch = points
+        .iter()
+        .filter(|p| p.batch >= 64)
+        .map(|p| p.speedup)
+        .fold(f64::INFINITY, f64::min);
+
+    let study = Study {
+        methodology: "best-of-N per-sample latency over a 120ms budget per cell; \
+                      single thread; identical data; Query::Complete",
+        compile_micros,
+        points,
+    };
+    write_json("plan_study", &study);
+    match serde_json::to_string_pretty(&study) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write("BENCH_plan.json", s) {
+                eprintln!("note: cannot write BENCH_plan.json: {e}");
+            } else {
+                eprintln!("[written BENCH_plan.json]");
+            }
+        }
+        Err(e) => eprintln!("note: cannot serialize study: {e}"),
+    }
+
+    println!("\nworst speedup at batch >= 64: {worst_big_batch:.2}x (target >= 3x)");
+}

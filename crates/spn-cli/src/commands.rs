@@ -6,8 +6,8 @@ use crate::args::{ArgError, Args};
 use crate::csv::{parse_csv, to_csv};
 use spn_arith::AnyFormat;
 use spn_core::{
-    from_text, learn_spn, to_text, Evaluator, LearnParams, NipsBenchmark, RandomSpnConfig, Sampler,
-    Spn,
+    from_text, learn_spn, to_text, Evaluator, LearnParams, NipsBenchmark, Query, RandomSpnConfig,
+    Sampler, Spn,
 };
 use spn_hw::{
     datapath_cost, design_cost, emit_verilog, ArithCosts, DatapathProgram, OpLatencies,
@@ -184,8 +184,11 @@ fn cmd_learn(args: &Args) -> Result<CmdResult, CmdError> {
         spn = fitted;
     }
     let mut ev = Evaluator::new(&spn);
-    let mean_ll: f64 =
-        data.rows().map(|r| ev.log_likelihood_bytes(r)).sum::<f64>() / data.num_samples() as f64;
+    let mean_ll: f64 = data
+        .rows()
+        .map(|r| ev.eval_bytes(&Query::Complete, r))
+        .sum::<f64>()
+        / data.num_samples() as f64;
     let path = out_file(args, "learned.spn");
     Ok(CmdResult {
         stdout: format!(
@@ -258,7 +261,7 @@ fn cmd_infer(args: &Args) -> Result<CmdResult, CmdError> {
         AnyFormat::F64 => {
             let mut ev = Evaluator::new(&spn);
             for row in data.rows() {
-                let _ = writeln!(out, "{}", ev.log_likelihood_bytes(row));
+                let _ = writeln!(out, "{}", ev.eval_bytes(&Query::Complete, row));
             }
         }
         _ => {
@@ -707,7 +710,7 @@ mod tests {
         )
         .unwrap();
         assert!(r.stdout.contains("3/3 jobs ok"), "stdout: {}", r.stdout);
-        assert!(r.stdout.contains("\"schema\": 1"));
+        assert!(r.stdout.contains("\"schema\": 2"));
         assert!(r.stdout.contains("\"jobs_completed\": 3"));
         assert!(r.stdout.contains("\"blocks_executed\": 15")); // 3 x ceil(300/64)
         assert!(r.stdout.contains("\"block_retries\": 0"));
@@ -724,7 +727,7 @@ mod tests {
         assert_eq!(r.files.len(), 1);
         assert_eq!(r.files[0].0, "/tmp/spn_metrics.json");
         let snap: serde_json::Value = serde_json::from_str(&r.files[0].1).unwrap();
-        assert_eq!(snap["schema"], 1);
+        assert_eq!(snap["schema"], 2);
         assert!(snap["server"].is_null(), "no serving layer in accelerate");
         let sched = &snap["models"]["NIPS10"]["scheduler"];
         assert_eq!(sched["jobs_completed"], 2);
@@ -890,7 +893,7 @@ mod tests {
             "got: {}",
             summary.stdout
         );
-        assert!(summary.stdout.contains("\"schema\": 1"));
+        assert!(summary.stdout.contains("\"schema\": 2"));
         // --trace produced one Chrome-trace export with both serving-
         // and device-layer spans.
         assert_eq!(summary.files.len(), 1);

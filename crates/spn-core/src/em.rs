@@ -196,6 +196,7 @@ mod tests {
     use super::*;
     use crate::builder::SpnBuilder;
     use crate::leaf::Leaf;
+    use crate::query::Query;
     use crate::sample::Sampler;
 
     /// Two-component mixture with distinctive components.
@@ -302,7 +303,7 @@ mod tests {
         let mut ev = crate::infer::Evaluator::new(&fitted);
         let total: f64 = [[0u8, 0], [0, 1], [1, 0], [1, 1]]
             .iter()
-            .map(|s| ev.log_likelihood_bytes(s).exp())
+            .map(|s| ev.eval_bytes(&Query::Complete, s).exp())
             .sum();
         assert!((total - 1.0).abs() < 1e-9);
     }

@@ -193,6 +193,71 @@ impl Spn {
         }
     }
 
+    /// A structural fingerprint of the network: identical structure
+    /// and parameters (name excluded) hash identically; any change to
+    /// topology, weights, or leaf parameters changes the hash with
+    /// overwhelming probability. This is the key the runtime's plan
+    /// cache uses to recognize a model it has already compiled.
+    ///
+    /// The value is deterministic within one build of the library but
+    /// is *not* a stable serialization format across versions.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.num_vars.hash(&mut h);
+        self.root.0.hash(&mut h);
+        self.nodes.len().hash(&mut h);
+        for node in &self.nodes {
+            match node {
+                Node::Sum { children, weights } => {
+                    0u8.hash(&mut h);
+                    children.len().hash(&mut h);
+                    for (c, w) in children.iter().zip(weights) {
+                        c.0.hash(&mut h);
+                        w.to_bits().hash(&mut h);
+                    }
+                }
+                Node::Product { children } => {
+                    1u8.hash(&mut h);
+                    children.len().hash(&mut h);
+                    for c in children {
+                        c.0.hash(&mut h);
+                    }
+                }
+                Node::Leaf { var, dist } => {
+                    2u8.hash(&mut h);
+                    var.hash(&mut h);
+                    match dist {
+                        Leaf::Histogram { breaks, densities } => {
+                            3u8.hash(&mut h);
+                            breaks.len().hash(&mut h);
+                            for b in breaks {
+                                b.to_bits().hash(&mut h);
+                            }
+                            for d in densities {
+                                d.to_bits().hash(&mut h);
+                            }
+                        }
+                        Leaf::Gaussian { mean, std } => {
+                            4u8.hash(&mut h);
+                            mean.to_bits().hash(&mut h);
+                            std.to_bits().hash(&mut h);
+                        }
+                        Leaf::Categorical { probs } => {
+                            5u8.hash(&mut h);
+                            probs.len().hash(&mut h);
+                            for p in probs {
+                                p.to_bits().hash(&mut h);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Ids of all leaf nodes in arena order.
     pub fn leaf_ids(&self) -> Vec<NodeId> {
         self.nodes
@@ -267,6 +332,27 @@ mod tests {
         for id in spn.leaf_ids() {
             assert_eq!(d[id.index()], 0);
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_name() {
+        let spn = small_spn();
+        let mut renamed = spn.clone();
+        renamed.name = "other".into();
+        assert_eq!(spn.fingerprint(), renamed.fingerprint());
+
+        let mut reweighted = spn.clone();
+        if let Node::Sum { weights, .. } = &mut reweighted.nodes[6] {
+            weights[0] = 0.4;
+            weights[1] = 0.6;
+        }
+        assert_ne!(spn.fingerprint(), reweighted.fingerprint());
+
+        let mut releafed = spn.clone();
+        if let Node::Leaf { dist, .. } = &mut releafed.nodes[0] {
+            *dist = Leaf::byte_histogram(&[0.25, 0.75]);
+        }
+        assert_ne!(spn.fingerprint(), releafed.fingerprint());
     }
 
     #[test]

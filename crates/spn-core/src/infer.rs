@@ -8,12 +8,16 @@
 //! no hashing, which is also exactly the evaluation order the hardware
 //! pipeline uses.
 //!
-//! Three query types are supported, mirroring the SPN literature:
-//! complete-evidence likelihood, marginal likelihood (some variables
-//! summed out — the "uncertainty handling" the paper motivates SPNs
-//! with), and MPE (most probable explanation).
+//! All query shapes go through one surface: build a [`Query`]
+//! (complete / marginal / MPE) and call [`Evaluator::eval`] with a
+//! value row, or [`Evaluator::eval_mpe`] when the arg-max assignment is
+//! wanted too. The per-sample tree walk here is the *bit-exactness
+//! oracle*; the compiled fast path in [`crate::plan`] must reproduce it
+//! exactly. The pre-`Query` entry points survive as thin deprecated
+//! wrappers in the compat section at the bottom.
 
 use crate::graph::{Node, NodeId, Spn};
+use crate::query::Query;
 
 /// Numerically stable `log(sum(exp(xs)))` over weighted children:
 /// computes `log Σ wᵢ·exp(xᵢ)` given log-values `xs` and linear weights.
@@ -59,32 +63,98 @@ impl<'a> Evaluator<'a> {
         self.spn
     }
 
-    /// Log-likelihood of a fully observed sample.
+    /// Answer `query` about one sample `row` (one f64 per variable).
+    ///
+    /// * [`Query::Complete`] — joint log-likelihood of the row.
+    /// * [`Query::Marginal`] — marginal log-likelihood; unobserved
+    ///   entries of `row` are never read (they may be NaN).
+    /// * [`Query::Mpe`] — the max log-probability over completions of
+    ///   the observed evidence (use [`Evaluator::eval_mpe`] for the
+    ///   arg-max assignment itself).
     ///
     /// # Panics
-    /// Panics if `sample.len() != spn.num_vars()`.
-    pub fn log_likelihood(&mut self, sample: &[f64]) -> f64 {
+    /// Panics if `row` or the query mask does not match
+    /// `spn.num_vars()`.
+    pub fn eval(&mut self, query: &Query, row: &[f64]) -> f64 {
+        self.check_row(query, row.len());
+        match query {
+            Query::Complete => self.eval_internal(|var| Some(row[var])),
+            Query::Marginal { observed } => {
+                self.eval_internal(|var| observed[var].then(|| row[var]))
+            }
+            Query::Mpe { observed } => {
+                self.mpe_upward(|var| observed[var].then(|| row[var]), &mut [])
+            }
+        }
+    }
+
+    /// [`Evaluator::eval`] for a byte row (the benchmark input format:
+    /// one byte per variable).
+    pub fn eval_bytes(&mut self, query: &Query, row: &[u8]) -> f64 {
+        self.check_row(query, row.len());
+        match query {
+            Query::Complete => self.eval_internal(|var| Some(row[var] as f64)),
+            Query::Marginal { observed } => {
+                self.eval_internal(|var| observed[var].then(|| row[var] as f64))
+            }
+            Query::Mpe { observed } => {
+                self.mpe_upward(|var| observed[var].then(|| row[var] as f64), &mut [])
+            }
+        }
+    }
+
+    /// Most Probable Explanation with traceback: returns the max
+    /// log-probability and one value per variable (observed variables
+    /// keep their `row` value; the rest get the arg-max branch's leaf
+    /// modes).
+    ///
+    /// # Panics
+    /// Panics if `query` is not [`Query::Mpe`], or on arity mismatch.
+    pub fn eval_mpe(&mut self, query: &Query, row: &[f64]) -> (f64, Vec<f64>) {
+        let observed = match query {
+            Query::Mpe { observed } => observed,
+            other => panic!(
+                "eval_mpe requires Query::Mpe, got a {} query",
+                other.label()
+            ),
+        };
+        self.check_row(query, row.len());
+        let spn = self.spn;
+        let mut best_child: Vec<u32> = vec![0; spn.len()];
+        let score = self.mpe_upward(|var| observed[var].then(|| row[var]), &mut best_child);
+        // Traceback: walk the induced tree from the root, assigning each
+        // leaf's variable.
+        let mut assignment: Vec<f64> = row
+            .iter()
+            .zip(observed)
+            .map(|(&v, &obs)| if obs { v } else { f64::NAN })
+            .collect();
+        let mut stack: Vec<NodeId> = vec![spn.root()];
+        while let Some(id) = stack.pop() {
+            match spn.node(id) {
+                Node::Leaf { var, dist } => {
+                    if !observed[*var] {
+                        assignment[*var] = mode_value(dist);
+                    }
+                }
+                Node::Product { children } => stack.extend(children.iter().copied()),
+                Node::Sum { children, .. } => {
+                    stack.push(children[best_child[id.index()] as usize]);
+                }
+            }
+        }
+        (score, assignment)
+    }
+
+    fn check_row(&self, query: &Query, row_len: usize) {
         assert_eq!(
-            sample.len(),
+            row_len,
             self.spn.num_vars(),
             "sample has {} values but the network models {} variables",
-            sample.len(),
+            row_len,
             self.spn.num_vars()
         );
-        self.eval_internal(|var| Some(sample[var]))
-    }
-
-    /// Log marginal likelihood: `None` entries are summed out.
-    pub fn log_marginal(&mut self, evidence: &[Option<f64>]) -> f64 {
-        assert_eq!(evidence.len(), self.spn.num_vars());
-        self.eval_internal(|var| evidence[var])
-    }
-
-    /// Log-likelihood of a byte sample (the benchmark input format:
-    /// one byte per variable).
-    pub fn log_likelihood_bytes(&mut self, sample: &[u8]) -> f64 {
-        assert_eq!(sample.len(), self.spn.num_vars());
-        self.eval_internal(|var| Some(sample[var] as f64))
+        query.check_arity(self.spn.num_vars());
     }
 
     fn eval_internal(&mut self, value_of: impl Fn(usize) -> Option<f64>) -> f64 {
@@ -119,6 +189,46 @@ impl<'a> Evaluator<'a> {
         self.values[self.spn.root().index()]
     }
 
+    /// The MPE upward pass: sums become weighted maxes. When
+    /// `best_child` is non-empty it records the arg-max branch per sum
+    /// node (for traceback); pass `&mut []` when only the score is
+    /// needed.
+    fn mpe_upward(
+        &mut self,
+        value_of: impl Fn(usize) -> Option<f64>,
+        best_child: &mut [u32],
+    ) -> f64 {
+        let track = !best_child.is_empty();
+        for (i, node) in self.spn.nodes().iter().enumerate() {
+            self.values[i] = match node {
+                Node::Leaf { var, dist } => match value_of(*var) {
+                    Some(v) => dist.log_density(Some(v)),
+                    None => mode_log_density(dist),
+                },
+                Node::Product { children } => children.iter().map(|c| self.values[c.index()]).sum(),
+                Node::Sum { children, weights } => {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut arg = 0u32;
+                    for (k, (c, &w)) in children.iter().zip(weights).enumerate() {
+                        if w <= 0.0 {
+                            continue;
+                        }
+                        let v = w.ln() + self.values[c.index()];
+                        if v > best {
+                            best = v;
+                            arg = k as u32;
+                        }
+                    }
+                    if track {
+                        best_child[i] = arg;
+                    }
+                    best
+                }
+            };
+        }
+        self.values[self.spn.root().index()]
+    }
+
     /// Conditional log-probability `log P(query | evidence)`, computed
     /// exactly as the ratio of two marginals — the tractable conditional
     /// query that makes SPNs attractive over general graphical models.
@@ -142,7 +252,9 @@ impl<'a> Evaluator<'a> {
             }
             joint[v] = Some(x);
         }
-        self.log_marginal(&joint) - self.log_marginal(&cond)
+        let (jq, jrow) = Query::marginal_from_evidence(&joint);
+        let (cq, crow) = Query::marginal_from_evidence(&cond);
+        self.eval(&jq, &jrow) - self.eval(&cq, &crow)
     }
 
     /// Linear-domain likelihood. Underflows for deep networks — provided
@@ -166,6 +278,35 @@ impl<'a> Evaluator<'a> {
         self.values[self.spn.root().index()]
     }
 
+    // ------------------------------------------------------------------
+    // Compat wrappers: the pre-`Query` entry points. New code should go
+    // through `eval` / `eval_bytes` / `eval_mpe`; these stay only so
+    // downstream callers migrate on their own schedule.
+    // ------------------------------------------------------------------
+
+    /// Log-likelihood of a fully observed sample.
+    ///
+    /// # Panics
+    /// Panics if `sample.len() != spn.num_vars()`.
+    #[deprecated(note = "use `eval(&Query::Complete, sample)` instead")]
+    pub fn log_likelihood(&mut self, sample: &[f64]) -> f64 {
+        self.eval(&Query::Complete, sample)
+    }
+
+    /// Log marginal likelihood: `None` entries are summed out.
+    #[deprecated(note = "use `eval` with `Query::marginal_from_evidence(evidence)` instead")]
+    pub fn log_marginal(&mut self, evidence: &[Option<f64>]) -> f64 {
+        let (q, row) = Query::marginal_from_evidence(evidence);
+        self.eval(&q, &row)
+    }
+
+    /// Log-likelihood of a byte sample (the benchmark input format:
+    /// one byte per variable).
+    #[deprecated(note = "use `eval_bytes(&Query::Complete, sample)` instead")]
+    pub fn log_likelihood_bytes(&mut self, sample: &[u8]) -> f64 {
+        self.eval_bytes(&Query::Complete, sample)
+    }
+
     /// Most Probable Explanation: replaces sums by max and tracks the
     /// arg-max branch, then reads off one value per variable by
     /// descending the selected tree. Evidence entries fix variables;
@@ -174,63 +315,20 @@ impl<'a> Evaluator<'a> {
     /// For histogram/categorical leaves the returned value is the
     /// (left edge of the) most probable bucket; for Gaussians it is the
     /// mean.
+    #[deprecated(note = "use `eval_mpe` with `Query::mpe_from_evidence(evidence)` instead")]
     pub fn mpe(&mut self, evidence: &[Option<f64>]) -> Vec<f64> {
-        assert_eq!(evidence.len(), self.spn.num_vars());
-        let spn = self.spn;
-        let mut best_child: Vec<u32> = vec![0; spn.len()];
-        for (i, node) in spn.nodes().iter().enumerate() {
-            self.values[i] = match node {
-                Node::Leaf { var, dist } => match evidence[*var] {
-                    Some(v) => dist.log_density(Some(v)),
-                    None => mode_log_density(dist),
-                },
-                Node::Product { children } => children.iter().map(|c| self.values[c.index()]).sum(),
-                Node::Sum { children, weights } => {
-                    let mut best = f64::NEG_INFINITY;
-                    let mut arg = 0u32;
-                    for (k, (c, &w)) in children.iter().zip(weights).enumerate() {
-                        if w <= 0.0 {
-                            continue;
-                        }
-                        let v = w.ln() + self.values[c.index()];
-                        if v > best {
-                            best = v;
-                            arg = k as u32;
-                        }
-                    }
-                    best_child[i] = arg;
-                    best
-                }
-            };
-        }
-        // Traceback: walk the induced tree from the root, assigning each
-        // leaf's variable.
-        let mut assignment: Vec<f64> = evidence.iter().map(|e| e.unwrap_or(f64::NAN)).collect();
-        let mut stack: Vec<NodeId> = vec![spn.root()];
-        while let Some(id) = stack.pop() {
-            match spn.node(id) {
-                Node::Leaf { var, dist } => {
-                    if evidence[*var].is_none() {
-                        assignment[*var] = mode_value(dist);
-                    }
-                }
-                Node::Product { children } => stack.extend(children.iter().copied()),
-                Node::Sum { children, .. } => {
-                    stack.push(children[best_child[id.index()] as usize]);
-                }
-            }
-        }
-        assignment
+        let (q, row) = Query::mpe_from_evidence(evidence);
+        self.eval_mpe(&q, &row).1
     }
 }
 
 /// Log-density of a leaf at its mode.
-fn mode_log_density(dist: &crate::leaf::Leaf) -> f64 {
+pub(crate) fn mode_log_density(dist: &crate::leaf::Leaf) -> f64 {
     dist.log_density(Some(mode_value(dist)))
 }
 
 /// The value at which the leaf's density is maximal.
-fn mode_value(dist: &crate::leaf::Leaf) -> f64 {
+pub(crate) fn mode_value(dist: &crate::leaf::Leaf) -> f64 {
     use crate::leaf::Leaf;
     match dist {
         Leaf::Histogram { breaks, densities } => {
@@ -254,9 +352,15 @@ fn mode_value(dist: &crate::leaf::Leaf) -> f64 {
 }
 
 /// One-shot convenience: log-likelihoods of many byte samples.
+#[deprecated(
+    note = "compile a `plan::CompiledPlan` and use `PlanExecutor::eval_batch`, or `Evaluator::eval_bytes` per row"
+)]
 pub fn batch_log_likelihood(spn: &Spn, samples: &[Vec<u8>]) -> Vec<f64> {
     let mut ev = Evaluator::new(spn);
-    samples.iter().map(|s| ev.log_likelihood_bytes(s)).collect()
+    samples
+        .iter()
+        .map(|s| ev.eval_bytes(&Query::Complete, s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -283,10 +387,10 @@ mod tests {
         let spn = mixture();
         let mut ev = Evaluator::new(&spn);
         // P(0,0) = 0.3*0.5*0.25 + 0.7*0.9*0.1 = 0.0375 + 0.063 = 0.1005
-        let ll = ev.log_likelihood(&[0.0, 0.0]);
+        let ll = ev.eval(&Query::Complete, &[0.0, 0.0]);
         assert!((ll - 0.1005f64.ln()).abs() < 1e-12);
         // P(1,1) = 0.3*0.5*0.75 + 0.7*0.1*0.9 = 0.1125 + 0.063 = 0.1755
-        let ll = ev.log_likelihood(&[1.0, 1.0]);
+        let ll = ev.eval(&Query::Complete, &[1.0, 1.0]);
         assert!((ll - 0.1755f64.ln()).abs() < 1e-12);
     }
 
@@ -296,7 +400,7 @@ mod tests {
         let mut ev = Evaluator::new(&spn);
         let total: f64 = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]]
             .iter()
-            .map(|s| ev.log_likelihood(s).exp())
+            .map(|s| ev.eval(&Query::Complete, s).exp())
             .sum();
         assert!((total - 1.0).abs() < 1e-12, "total mass {total}");
     }
@@ -306,7 +410,7 @@ mod tests {
         let spn = mixture();
         let mut ev = Evaluator::new(&spn);
         for s in [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] {
-            let log = ev.log_likelihood(&s);
+            let log = ev.eval(&Query::Complete, &s);
             let lin = ev.likelihood_linear(&s);
             assert!((log.exp() - lin).abs() < 1e-12);
         }
@@ -317,10 +421,10 @@ mod tests {
         let spn = mixture();
         let mut ev = Evaluator::new(&spn);
         // P(X0=0) = sum over X1 of P(0, x1) = 0.3*0.5 + 0.7*0.9 = 0.78
-        let m = ev.log_marginal(&[Some(0.0), None]);
+        let m = ev.eval(&Query::marginal(vec![true, false]), &[0.0, f64::NAN]);
         assert!((m - 0.78f64.ln()).abs() < 1e-12);
         // Marginalizing everything gives probability 1.
-        let all = ev.log_marginal(&[None, None]);
+        let all = ev.eval(&Query::marginal(vec![false, false]), &[f64::NAN, f64::NAN]);
         assert!(all.abs() < 1e-12);
     }
 
@@ -328,8 +432,11 @@ mod tests {
     fn marginal_equals_explicit_sum() {
         let spn = mixture();
         let mut ev = Evaluator::new(&spn);
-        let explicit = ev.log_likelihood(&[1.0, 0.0]).exp() + ev.log_likelihood(&[1.0, 1.0]).exp();
-        let marginal = ev.log_marginal(&[Some(1.0), None]).exp();
+        let explicit = ev.eval(&Query::Complete, &[1.0, 0.0]).exp()
+            + ev.eval(&Query::Complete, &[1.0, 1.0]).exp();
+        let marginal = ev
+            .eval(&Query::marginal(vec![true, false]), &[1.0, 0.0])
+            .exp();
         assert!((explicit - marginal).abs() < 1e-12);
     }
 
@@ -338,8 +445,10 @@ mod tests {
         let spn = mixture();
         let mut ev = Evaluator::new(&spn);
         // P(X1=1 | X0=0) = P(0,1)/P(X0=0).
-        let p01 = ev.log_likelihood(&[0.0, 1.0]).exp();
-        let p0 = ev.log_marginal(&[Some(0.0), None]).exp();
+        let p01 = ev.eval(&Query::Complete, &[0.0, 1.0]).exp();
+        let p0 = ev
+            .eval(&Query::marginal(vec![true, false]), &[0.0, 0.0])
+            .exp();
         let cond = ev.log_conditional(&[(1, 1.0)], &[(0, 0.0)]).exp();
         assert!((cond - p01 / p0).abs() < 1e-12);
         // Conditionals over the query variable's domain normalize.
@@ -347,7 +456,10 @@ mod tests {
         assert!((cond + c0 - 1.0).abs() < 1e-12);
         // Conditioning on nothing is the marginal.
         let m = ev.log_conditional(&[(0, 1.0)], &[]).exp();
-        assert!((m - ev.log_marginal(&[Some(1.0), None]).exp()).abs() < 1e-15);
+        let want = ev
+            .eval(&Query::marginal(vec![true, false]), &[1.0, 0.0])
+            .exp();
+        assert!((m - want).abs() < 1e-15);
     }
 
     #[test]
@@ -363,8 +475,8 @@ mod tests {
         let spn = mixture();
         let mut ev = Evaluator::new(&spn);
         assert_eq!(
-            ev.log_likelihood_bytes(&[1, 0]),
-            ev.log_likelihood(&[1.0, 0.0])
+            ev.eval_bytes(&Query::Complete, &[1, 0]),
+            ev.eval(&Query::Complete, &[1.0, 0.0])
         );
     }
 
@@ -372,18 +484,7 @@ mod tests {
     fn out_of_support_is_neg_infinity() {
         let spn = mixture();
         let mut ev = Evaluator::new(&spn);
-        assert_eq!(ev.log_likelihood(&[5.0, 0.0]), f64::NEG_INFINITY);
-    }
-
-    #[test]
-    fn batch_matches_single() {
-        let spn = mixture();
-        let samples = vec![vec![0u8, 0], vec![1, 1], vec![0, 1]];
-        let batch = batch_log_likelihood(&spn, &samples);
-        let mut ev = Evaluator::new(&spn);
-        for (s, &b) in samples.iter().zip(&batch) {
-            assert_eq!(ev.log_likelihood_bytes(s), b);
-        }
+        assert_eq!(ev.eval(&Query::Complete, &[5.0, 0.0]), f64::NEG_INFINITY);
     }
 
     #[test]
@@ -405,8 +506,11 @@ mod tests {
     fn mpe_with_full_evidence_is_identity() {
         let spn = mixture();
         let mut ev = Evaluator::new(&spn);
-        let out = ev.mpe(&[Some(1.0), Some(0.0)]);
+        let (score, out) = ev.eval_mpe(&Query::mpe(vec![true, true]), &[1.0, 0.0]);
         assert_eq!(out, vec![1.0, 0.0]);
+        // With full evidence the MPE score is the max component's
+        // weighted joint: max(0.3*0.5*0.25, 0.7*0.1*0.1) = 0.0375.
+        assert!((score.exp() - 0.3 * 0.5 * 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -416,14 +520,62 @@ mod tests {
         // With no evidence the heavier component (0.7, favouring X0=0,
         // X1=1) should win: its max joint is 0.7*0.9*0.9 = 0.567 versus
         // 0.3*0.5*0.75 = 0.1125.
-        let out = ev.mpe(&[None, None]);
+        let q = Query::mpe(vec![false, false]);
+        let (score, out) = ev.eval_mpe(&q, &[0.0, 0.0]);
         assert_eq!(out, vec![0.0, 1.0]);
+        assert!((score.exp() - 0.567).abs() < 1e-12);
+        // Score-only evaluation agrees with the traceback variant.
+        assert_eq!(ev.eval(&q, &[0.0, 0.0]).to_bits(), score.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires Query::Mpe")]
+    fn eval_mpe_rejects_other_queries() {
+        let spn = mixture();
+        Evaluator::new(&spn).eval_mpe(&Query::Complete, &[0.0, 0.0]);
     }
 
     #[test]
     #[should_panic(expected = "variables")]
     fn wrong_sample_arity_panics() {
         let spn = mixture();
-        Evaluator::new(&spn).log_likelihood(&[0.0]);
+        Evaluator::new(&spn).eval(&Query::Complete, &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "variables")]
+    fn wrong_mask_arity_panics() {
+        let spn = mixture();
+        Evaluator::new(&spn).eval(&Query::marginal(vec![true]), &[0.0, 0.0]);
+    }
+
+    /// The deprecated wrappers must stay bit-identical to the `Query`
+    /// surface they delegate to.
+    #[test]
+    #[allow(deprecated)]
+    fn compat_wrappers_delegate_exactly() {
+        let spn = mixture();
+        let mut ev = Evaluator::new(&spn);
+        assert_eq!(
+            ev.log_likelihood(&[1.0, 0.0]).to_bits(),
+            ev.eval(&Query::Complete, &[1.0, 0.0]).to_bits()
+        );
+        assert_eq!(
+            ev.log_likelihood_bytes(&[1, 0]).to_bits(),
+            ev.eval_bytes(&Query::Complete, &[1, 0]).to_bits()
+        );
+        let evidence = [Some(1.0), None];
+        let (q, row) = Query::marginal_from_evidence(&evidence);
+        assert_eq!(
+            ev.log_marginal(&evidence).to_bits(),
+            ev.eval(&q, &row).to_bits()
+        );
+        let (q, row) = Query::mpe_from_evidence(&[None, None]);
+        assert_eq!(ev.mpe(&[None, None]), ev.eval_mpe(&q, &row).1);
+        let samples = vec![vec![0u8, 0], vec![1, 1], vec![0, 1]];
+        let batch = batch_log_likelihood(&spn, &samples);
+        for (s, &b) in samples.iter().zip(&batch) {
+            assert_eq!(ev.eval_bytes(&Query::Complete, s).to_bits(), b.to_bits());
+        }
     }
 }

@@ -304,6 +304,7 @@ mod tests {
     use super::*;
     use crate::dataset::{generate_bag_of_words, BagOfWordsConfig};
     use crate::infer::Evaluator;
+    use crate::query::Query;
 
     fn clustered_data(features: usize, samples: usize) -> Dataset {
         generate_bag_of_words(
@@ -333,7 +334,10 @@ mod tests {
         let data = clustered_data(5, 1000);
         let spn = learn_spn(&data, &LearnParams::default(), "fit").unwrap();
         let mut ev = Evaluator::new(&spn);
-        let mean_ll: f64 = data.rows().map(|r| ev.log_likelihood_bytes(r)).sum::<f64>()
+        let mean_ll: f64 = data
+            .rows()
+            .map(|r| ev.eval_bytes(&Query::Complete, r))
+            .sum::<f64>()
             / data.num_samples() as f64;
         // Uniform model over 8^5 outcomes -> mean LL = -5 ln 8 ≈ -10.4.
         let uniform_ll = -(5.0 * (8f64).ln());
@@ -414,7 +418,7 @@ mod tests {
         let mut total = 0.0;
         for a in 0..8u8 {
             for b in 0..8u8 {
-                total += ev.log_likelihood_bytes(&[a, b]).exp();
+                total += ev.eval_bytes(&Query::Complete, &[a, b]).exp();
             }
         }
         assert!((total - 1.0).abs() < 1e-9, "total mass {total}");

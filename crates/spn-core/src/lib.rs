@@ -9,8 +9,11 @@
 //!   ([`leaf`]),
 //! * structural validation: completeness, decomposability, weight
 //!   normalization ([`mod@validate`]),
-//! * exact inference — joint, marginal and MPE queries, in log and
-//!   linear domains ([`infer`]),
+//! * exact inference — joint, marginal and MPE queries behind one
+//!   [`Query`] surface, in log and linear domains ([`infer`]),
+//! * compiled inference plans — flat instruction buffers with leaf
+//!   lookup tables and a batched executor, bit-exact against the
+//!   tree-walk oracle ([`plan`]),
 //! * the SPFlow-compatible textual interchange format ([`text`]),
 //! * LearnSPN-style structure learning ([`learn`]),
 //! * RAT-SPN-style random generation ([`random`]),
@@ -27,6 +30,8 @@ pub mod infer;
 pub mod leaf;
 pub mod learn;
 pub mod nips;
+pub mod plan;
+pub mod query;
 pub mod random;
 pub mod sample;
 pub mod scope;
@@ -38,10 +43,14 @@ pub use builder::SpnBuilder;
 pub use dataset::{generate_bag_of_words, generate_uniform, BagOfWordsConfig, Dataset};
 pub use em::{em_weights, EmIteration, EmParams};
 pub use graph::{Node, NodeId, Spn, SpnStats};
-pub use infer::{batch_log_likelihood, log_sum_exp_weighted, Evaluator};
+#[allow(deprecated)]
+pub use infer::batch_log_likelihood;
+pub use infer::{log_sum_exp_weighted, Evaluator};
 pub use leaf::Leaf;
 pub use learn::{learn_spn, LearnParams};
 pub use nips::{NipsBenchmark, ALL_BENCHMARKS, TABLE1_BENCHMARKS};
+pub use plan::{CompiledPlan, PlanExecutor, PlanStats};
+pub use query::Query;
 pub use random::{random_spn, RandomSpnConfig};
 pub use sample::Sampler;
 pub use scope::Scope;

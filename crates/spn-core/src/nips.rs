@@ -206,6 +206,7 @@ pub mod geo_means {
 mod tests {
     use super::*;
     use crate::infer::Evaluator;
+    use crate::query::Query;
     use sim_core_shim::*;
 
     /// Local helper: NIPS10's paper-quoted bandwidth sanity check without
@@ -268,7 +269,7 @@ mod tests {
         let data = b.dataset(100, 1);
         let mut ev = Evaluator::new(&spn);
         for row in data.rows() {
-            let ll = ev.log_likelihood_bytes(row);
+            let ll = ev.eval_bytes(&Query::Complete, row);
             assert!(ll.is_finite(), "log-likelihood must be finite, got {ll}");
             assert!(ll < 0.0, "log of a probability density over bytes");
         }

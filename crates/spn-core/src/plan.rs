@@ -1,0 +1,555 @@
+//! Compiled inference plans: compile once, execute many.
+//!
+//! The tree-walking [`crate::Evaluator`] re-dispatches on every node of
+//! every sample — enum match, bounds checks, and a binary search per
+//! histogram leaf. This module compiles an [`Spn`] *once* into a flat
+//! instruction buffer ([`CompiledPlan`]) and evaluates whole byte
+//! [`crate::Dataset`] slices with a batched [`PlanExecutor`]:
+//!
+//! * **Flat ops over arena indices.** The arena is already a level-
+//!   consistent topological order (children strictly precede parents),
+//!   so plan ops are emitted 1:1 in arena order and executed as a
+//!   linear scan — the same schedule the hardware pipeline uses.
+//! * **Leaf lookup tables.** Datasets are byte matrices (domain ≤ 256),
+//!   so every leaf lowers to a 256-entry log-density table built with
+//!   the oracle's own `log_density` — one indexed load per sample
+//!   replaces a binary search, with bit-identical results.
+//! * **Fused log-domain sum kernels.** Sum ops carry `(child, weight,
+//!   log-weight)` terms pre-filtered to `w > 0` in child order; the
+//!   executor specializes `log_sum_exp_weighted` per fan-in (1, 2, n)
+//!   while preserving the oracle's exact float-op order.
+//! * **Batch-major operand layout.** The executor evaluates [`LANES`]
+//!   samples per pass with scratch indexed `op * LANES + lane`, so the
+//!   per-op dispatch cost is amortized across the lane group.
+//!
+//! Bit-exactness against the [`crate::Evaluator`] oracle is a hard
+//! contract (pinned by `tests/plan_differential.rs`): every kernel
+//! reproduces the oracle's operation order exactly.
+
+use crate::dataset::Dataset;
+use crate::graph::{Node, Spn};
+use crate::infer::{mode_log_density, mode_value};
+use crate::leaf::MARGINALIZED_LOG;
+use crate::query::Query;
+use serde::{Deserialize, Serialize};
+
+/// Samples evaluated per executor pass (the batch-major lane width).
+pub const LANES: usize = 8;
+
+/// Entries in a lowered leaf table: one per possible byte value.
+const TABLE_SIZE: usize = 256;
+
+/// One weighted child of a compiled sum op. Only `weight > 0` terms
+/// are compiled in; order matches the source child order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SumTerm {
+    /// Plan/arena index of the child op.
+    child: u32,
+    /// Linear mixture weight (> 0).
+    weight: f64,
+    /// Precomputed `weight.ln()` for the MPE max kernel.
+    log_weight: f64,
+}
+
+/// One flat instruction. Operands are plan indices (= arena indices).
+#[derive(Debug, Clone, PartialEq)]
+enum PlanOp {
+    /// Leaf lowered to a byte-indexed log-density table.
+    Leaf {
+        /// Variable (= dataset column) this leaf reads.
+        var: u32,
+        /// `table[v] = log density at v`, for every byte value `v`.
+        table: Box<[f64]>,
+        /// Log-density at the distribution's mode (MPE's value for an
+        /// unobserved variable).
+        mode_log: f64,
+        /// The mode itself (MPE traceback assignment).
+        mode_value: f64,
+    },
+    /// Product: log-domain sum of child values, in child order.
+    Product {
+        /// Plan indices of the children.
+        children: Box<[u32]>,
+    },
+    /// Sum: fused weighted log-sum-exp (or weighted max for MPE).
+    Sum {
+        /// Positive-weight terms, in child order.
+        terms: Box<[SumTerm]>,
+    },
+}
+
+/// Structural statistics of a compiled plan (telemetry payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanStats {
+    /// Total op count (= node count of the source network).
+    pub ops: usize,
+    /// Leaf-table ops.
+    pub leaf_ops: usize,
+    /// Product ops.
+    pub product_ops: usize,
+    /// Sum ops.
+    pub sum_ops: usize,
+    /// Largest compiled sum fan-in.
+    pub max_sum_fan_in: usize,
+    /// Bytes held in leaf lookup tables.
+    pub table_bytes: usize,
+}
+
+/// An [`Spn`] compiled to a flat instruction buffer.
+///
+/// Compile once with [`CompiledPlan::compile`], then evaluate any
+/// number of batches through [`PlanExecutor`]. The plan is immutable
+/// and shareable (`Arc<CompiledPlan>` is the unit the runtime's plan
+/// cache stores).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPlan {
+    ops: Vec<PlanOp>,
+    num_vars: usize,
+    fingerprint: u64,
+    name: String,
+    stats: PlanStats,
+}
+
+impl CompiledPlan {
+    /// Lower `spn` into a flat plan. Cost is one pass over the arena
+    /// plus 256 oracle `log_density` calls per leaf.
+    pub fn compile(spn: &Spn) -> CompiledPlan {
+        let mut ops = Vec::with_capacity(spn.len());
+        let mut stats = PlanStats {
+            ops: spn.len(),
+            leaf_ops: 0,
+            product_ops: 0,
+            sum_ops: 0,
+            max_sum_fan_in: 0,
+            table_bytes: 0,
+        };
+        for node in spn.nodes() {
+            let op = match node {
+                Node::Leaf { var, dist } => {
+                    stats.leaf_ops += 1;
+                    stats.table_bytes += TABLE_SIZE * std::mem::size_of::<f64>();
+                    let table: Box<[f64]> = (0..TABLE_SIZE)
+                        .map(|v| dist.log_density(Some(v as f64)))
+                        .collect();
+                    PlanOp::Leaf {
+                        var: *var as u32,
+                        table,
+                        mode_log: mode_log_density(dist),
+                        mode_value: mode_value(dist),
+                    }
+                }
+                Node::Product { children } => {
+                    stats.product_ops += 1;
+                    PlanOp::Product {
+                        children: children.iter().map(|c| c.0).collect(),
+                    }
+                }
+                Node::Sum { children, weights } => {
+                    stats.sum_ops += 1;
+                    let terms: Box<[SumTerm]> = children
+                        .iter()
+                        .zip(weights)
+                        .filter(|(_, &w)| w > 0.0)
+                        .map(|(c, &w)| SumTerm {
+                            child: c.0,
+                            weight: w,
+                            log_weight: w.ln(),
+                        })
+                        .collect();
+                    stats.max_sum_fan_in = stats.max_sum_fan_in.max(terms.len());
+                    PlanOp::Sum { terms }
+                }
+            };
+            ops.push(op);
+        }
+        CompiledPlan {
+            ops,
+            num_vars: spn.num_vars(),
+            fingerprint: spn.fingerprint(),
+            name: spn.name.clone(),
+            stats,
+        }
+    }
+
+    /// Number of variables the source network models.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Fingerprint of the source network ([`Spn::fingerprint`]) — the
+    /// runtime's cache key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Name of the source network.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// Number of ops (= source node count).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the plan is empty (never for a compiled network).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Batched plan interpreter. Owns the lane-major scratch buffer
+/// (`ops × LANES` f64s, allocated once) and streams a [`Dataset`]
+/// through the plan [`LANES`] samples at a time.
+pub struct PlanExecutor<'p> {
+    plan: &'p CompiledPlan,
+    /// Lane-major values: `scratch[op * LANES + lane]`.
+    scratch: Vec<f64>,
+}
+
+impl<'p> PlanExecutor<'p> {
+    /// Build an executor (allocates the scratch once).
+    pub fn new(plan: &'p CompiledPlan) -> Self {
+        PlanExecutor {
+            plan,
+            scratch: vec![0.0; plan.ops.len() * LANES],
+        }
+    }
+
+    /// The plan this executor runs.
+    pub fn plan(&self) -> &CompiledPlan {
+        self.plan
+    }
+
+    /// Evaluate `query` over every row of `data`: one result per
+    /// sample, in order. For [`Query::Mpe`] the result is the max
+    /// log-probability (the oracle's upward-pass root value).
+    ///
+    /// # Panics
+    /// Panics if the dataset width or query mask does not match the
+    /// plan's variable count.
+    pub fn eval_batch(&mut self, query: &Query, data: &Dataset) -> Vec<f64> {
+        let mut out = Vec::with_capacity(data.num_samples());
+        self.eval_batch_into(query, data, &mut out);
+        out
+    }
+
+    /// [`PlanExecutor::eval_batch`] appending into a caller-owned
+    /// buffer (the allocation-free inner loop the server batcher uses).
+    pub fn eval_batch_into(&mut self, query: &Query, data: &Dataset, out: &mut Vec<f64>) {
+        assert_eq!(
+            data.num_features(),
+            self.plan.num_vars,
+            "dataset has {} features but the plan models {} variables",
+            data.num_features(),
+            self.plan.num_vars
+        );
+        self.eval_batch_raw(query, data.raw(), data.num_features(), out);
+    }
+
+    /// Evaluate `query` over rows packed contiguously in `raw`
+    /// (`num_features` bytes per row), appending one result per row to
+    /// `out`. This is the zero-copy entry the runtime's host backend
+    /// feeds block-sized dataset slices through.
+    ///
+    /// # Panics
+    /// Panics if `raw` is not a whole number of rows or the query mask
+    /// does not match the plan's variable count.
+    pub fn eval_batch_raw(
+        &mut self,
+        query: &Query,
+        raw: &[u8],
+        num_features: usize,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(
+            num_features, self.plan.num_vars,
+            "rows have {} features but the plan models {} variables",
+            num_features, self.plan.num_vars
+        );
+        assert_eq!(
+            raw.len() % num_features,
+            0,
+            "raw byte length {} is not a whole number of {}-byte rows",
+            raw.len(),
+            num_features
+        );
+        query.check_arity(self.plan.num_vars);
+        let n = raw.len() / num_features;
+        out.reserve(n);
+        let mut start = 0;
+        while start < n {
+            let lanes = LANES.min(n - start);
+            self.run_chunk(query, raw, num_features, start, lanes);
+            let root = (self.plan.ops.len() - 1) * LANES;
+            out.extend_from_slice(&self.scratch[root..root + lanes]);
+            start += lanes;
+        }
+    }
+
+    /// Evaluate one byte row (single-lane convenience; same result as
+    /// a one-row batch).
+    pub fn eval_row(&mut self, query: &Query, row: &[u8]) -> f64 {
+        let data = Dataset::from_raw(row.to_vec(), row.len(), TABLE_SIZE);
+        self.eval_batch(query, &data)[0]
+    }
+
+    /// Evaluate ops over `lanes` samples starting at row `start`,
+    /// leaving results in the lane-major scratch.
+    fn run_chunk(&mut self, query: &Query, raw: &[u8], nf: usize, start: usize, lanes: usize) {
+        let mpe = query.is_mpe();
+        for (i, op) in self.plan.ops.iter().enumerate() {
+            let base = i * LANES;
+            match op {
+                PlanOp::Leaf {
+                    var,
+                    table,
+                    mode_log,
+                    ..
+                } => {
+                    let var = *var as usize;
+                    if query.is_observed(var) {
+                        for l in 0..lanes {
+                            let v = raw[(start + l) * nf + var] as usize;
+                            self.scratch[base + l] = table[v];
+                        }
+                    } else {
+                        // Summed out (marginal) or maximized (MPE).
+                        let fill = if mpe { *mode_log } else { MARGINALIZED_LOG };
+                        self.scratch[base..base + lanes].fill(fill);
+                    }
+                }
+                PlanOp::Product { children } => {
+                    for l in 0..lanes {
+                        // Same fold as the oracle: 0.0, then += in
+                        // child order.
+                        let mut acc = 0.0;
+                        for &c in children.iter() {
+                            acc += self.scratch[c as usize * LANES + l];
+                        }
+                        self.scratch[base + l] = acc;
+                    }
+                }
+                PlanOp::Sum { terms } => {
+                    if mpe {
+                        for l in 0..lanes {
+                            // Oracle's MPE kernel: strict `>`, first
+                            // term wins ties.
+                            let mut best = f64::NEG_INFINITY;
+                            for t in terms.iter() {
+                                let v = t.log_weight + self.scratch[t.child as usize * LANES + l];
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                            self.scratch[base + l] = best;
+                        }
+                    } else {
+                        self.lse_lanes(terms, base, lanes);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Weighted log-sum-exp over `lanes` samples, specialized per
+    /// fan-in. Every arm reproduces the oracle's exact op order
+    /// (max in term order, then `Σ w·exp(x−m)` in term order).
+    #[inline]
+    fn lse_lanes(&mut self, terms: &[SumTerm], base: usize, lanes: usize) {
+        match terms {
+            // All weights were zero: the oracle's empty max.
+            [] => self.scratch[base..base + lanes].fill(f64::NEG_INFINITY),
+            // Fan-in 1: m = x, s = w·exp(0) = w, result x + ln w.
+            [t] => {
+                let child = t.child as usize * LANES;
+                for l in 0..lanes {
+                    let x = self.scratch[child + l];
+                    self.scratch[base + l] = if x == f64::NEG_INFINITY {
+                        f64::NEG_INFINITY
+                    } else {
+                        x + t.log_weight
+                    };
+                }
+            }
+            // Fan-in 2: fully unrolled.
+            [a, b] => {
+                let (ca, cb) = (a.child as usize * LANES, b.child as usize * LANES);
+                for l in 0..lanes {
+                    let x0 = self.scratch[ca + l];
+                    let x1 = self.scratch[cb + l];
+                    let m = x0.max(x1);
+                    self.scratch[base + l] = if m == f64::NEG_INFINITY {
+                        f64::NEG_INFINITY
+                    } else {
+                        let s = a.weight * (x0 - m).exp() + b.weight * (x1 - m).exp();
+                        m + s.ln()
+                    };
+                }
+            }
+            _ => {
+                for l in 0..lanes {
+                    let mut m = f64::NEG_INFINITY;
+                    for t in terms {
+                        m = m.max(self.scratch[t.child as usize * LANES + l]);
+                    }
+                    self.scratch[base + l] = if m == f64::NEG_INFINITY {
+                        f64::NEG_INFINITY
+                    } else {
+                        let mut s = 0.0;
+                        for t in terms {
+                            s += t.weight * (self.scratch[t.child as usize * LANES + l] - m).exp();
+                        }
+                        m + s.ln()
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SpnBuilder;
+    use crate::infer::Evaluator;
+    use crate::leaf::Leaf;
+
+    fn mixture() -> Spn {
+        let mut b = SpnBuilder::new(2);
+        let a0 = b.leaf(0, Leaf::byte_histogram(&[0.5, 0.5]));
+        let a1 = b.leaf(1, Leaf::byte_histogram(&[0.25, 0.75]));
+        let c0 = b.leaf(0, Leaf::byte_histogram(&[0.9, 0.1]));
+        let c1 = b.leaf(1, Leaf::byte_histogram(&[0.1, 0.9]));
+        let p1 = b.product(vec![a0, a1]);
+        let p2 = b.product(vec![c0, c1]);
+        let s = b.sum(vec![(0.3, p1), (0.7, p2)]);
+        b.finish(s, "mix").unwrap()
+    }
+
+    fn all_rows() -> Dataset {
+        Dataset::from_raw(vec![0, 0, 0, 1, 1, 0, 1, 1], 2, 2)
+    }
+
+    #[test]
+    fn compile_counts_ops() {
+        let spn = mixture();
+        let plan = CompiledPlan::compile(&spn);
+        assert_eq!(plan.len(), spn.len());
+        let st = plan.stats();
+        assert_eq!(st.leaf_ops, 4);
+        assert_eq!(st.product_ops, 2);
+        assert_eq!(st.sum_ops, 1);
+        assert_eq!(st.max_sum_fan_in, 2);
+        assert_eq!(st.table_bytes, 4 * 256 * 8);
+        assert_eq!(plan.fingerprint(), spn.fingerprint());
+        assert_eq!(plan.name(), "mix");
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn complete_matches_oracle_bit_exactly() {
+        let spn = mixture();
+        let plan = CompiledPlan::compile(&spn);
+        let data = all_rows();
+        let out = PlanExecutor::new(&plan).eval_batch(&Query::Complete, &data);
+        let mut ev = Evaluator::new(&spn);
+        for (row, &got) in data.rows().zip(&out) {
+            let want = ev.eval_bytes(&Query::Complete, row);
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn marginal_matches_oracle_bit_exactly() {
+        let spn = mixture();
+        let plan = CompiledPlan::compile(&spn);
+        let data = all_rows();
+        let q = Query::marginal(vec![true, false]);
+        let out = PlanExecutor::new(&plan).eval_batch(&q, &data);
+        let mut ev = Evaluator::new(&spn);
+        for (row, &got) in data.rows().zip(&out) {
+            let want = ev.eval_bytes(&q, row);
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+        // And against the classic evidence API: P(X0=0) = 0.78.
+        assert!((out[0] - 0.78f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpe_scores_match_oracle_bit_exactly() {
+        let spn = mixture();
+        let plan = CompiledPlan::compile(&spn);
+        let data = all_rows();
+        let q = Query::mpe(vec![false, true]);
+        let out = PlanExecutor::new(&plan).eval_batch(&q, &data);
+        let mut ev = Evaluator::new(&spn);
+        for (row, &got) in data.rows().zip(&out) {
+            let want = ev.eval_bytes(&q, row);
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn remainder_lanes_match_whole_chunks() {
+        // 13 samples: one full 8-lane chunk plus a 5-lane remainder.
+        let spn = mixture();
+        let plan = CompiledPlan::compile(&spn);
+        let raw: Vec<u8> = (0..26).map(|i| (i % 2) as u8).collect();
+        let data = Dataset::from_raw(raw, 2, 2);
+        let out = PlanExecutor::new(&plan).eval_batch(&Query::Complete, &data);
+        assert_eq!(out.len(), 13);
+        let mut ev = Evaluator::new(&spn);
+        for (row, &got) in data.rows().zip(&out) {
+            assert_eq!(
+                got.to_bits(),
+                ev.eval_bytes(&Query::Complete, row).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_children_are_filtered_like_the_oracle() {
+        let mut b = SpnBuilder::new(1);
+        let l0 = b.leaf(0, Leaf::byte_histogram(&[0.5, 0.5]));
+        let l1 = b.leaf(0, Leaf::byte_histogram(&[1.0]));
+        let s = b.sum(vec![(1.0, l0), (0.0, l1)]);
+        let spn = b.finish(s, "zw").unwrap();
+        let plan = CompiledPlan::compile(&spn);
+        let data = Dataset::from_raw(vec![0, 1], 1, 2);
+        let out = PlanExecutor::new(&plan).eval_batch(&Query::Complete, &data);
+        let mut ev = Evaluator::new(&spn);
+        for (row, &got) in data.rows().zip(&out) {
+            assert_eq!(
+                got.to_bits(),
+                ev.eval_bytes(&Query::Complete, row).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn eval_row_matches_batch() {
+        let spn = mixture();
+        let plan = CompiledPlan::compile(&spn);
+        let mut ex = PlanExecutor::new(&plan);
+        let batch = ex.eval_batch(&Query::Complete, &all_rows());
+        assert_eq!(
+            ex.eval_row(&Query::Complete, &[1, 0]).to_bits(),
+            batch[2].to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn wrong_width_panics() {
+        let spn = mixture();
+        let plan = CompiledPlan::compile(&spn);
+        let data = Dataset::from_raw(vec![0, 0, 0], 3, 2);
+        PlanExecutor::new(&plan).eval_batch(&Query::Complete, &data);
+    }
+}

@@ -143,6 +143,7 @@ fn dirichlet_ish(n: usize, rng: &mut StdRng) -> Vec<f64> {
 mod tests {
     use super::*;
     use crate::infer::Evaluator;
+    use crate::query::Query;
 
     #[test]
     fn generates_valid_networks_across_sizes() {
@@ -209,7 +210,7 @@ mod tests {
         for a in 0..4u8 {
             for b in 0..4u8 {
                 for c in 0..4u8 {
-                    total += ev.log_likelihood_bytes(&[a, b, c]).exp();
+                    total += ev.eval_bytes(&Query::Complete, &[a, b, c]).exp();
                 }
             }
         }

@@ -121,6 +121,7 @@ mod tests {
     use super::*;
     use crate::builder::SpnBuilder;
     use crate::infer::Evaluator;
+    use crate::query::Query;
 
     fn mixture() -> Spn {
         let mut b = SpnBuilder::new(2);
@@ -158,7 +159,7 @@ mod tests {
         let mut ev = Evaluator::new(&spn);
         for a in 0..2u8 {
             for b in 0..2u8 {
-                let model_p = ev.log_likelihood_bytes(&[a, b]).exp();
+                let model_p = ev.eval_bytes(&Query::Complete, &[a, b]).exp();
                 let emp = counts[a as usize][b as usize] as f64 / n as f64;
                 assert!(
                     (emp - model_p).abs() < 0.01,
@@ -232,7 +233,10 @@ mod tests {
         let mut ev_true = Evaluator::new(&spn);
         let mut ev_learned = Evaluator::new(&learned);
         let mean = |ev: &mut Evaluator| -> f64 {
-            data.rows().map(|r| ev.log_likelihood_bytes(r)).sum::<f64>() / data.num_samples() as f64
+            data.rows()
+                .map(|r| ev.eval_bytes(&Query::Complete, r))
+                .sum::<f64>()
+                / data.num_samples() as f64
         };
         let ll_true = mean(&mut ev_true);
         let ll_learned = mean(&mut ev_learned);

@@ -409,6 +409,7 @@ impl<'a> Parser<'a> {
 mod tests {
     use super::*;
     use crate::builder::SpnBuilder;
+    use crate::query::Query;
 
     fn sample_spn() -> Spn {
         let mut b = SpnBuilder::new(2);
@@ -449,7 +450,7 @@ mod tests {
         let mut e1 = crate::infer::Evaluator::new(&spn);
         let mut e2 = crate::infer::Evaluator::new(&back);
         for s in [[0.0, 1.4], [1.0, -2.0], [0.0, 0.0]] {
-            assert_eq!(e1.log_likelihood(&s), e2.log_likelihood(&s));
+            assert_eq!(e1.eval(&Query::Complete, &s), e2.eval(&Query::Complete, &s));
         }
     }
 

@@ -203,6 +203,7 @@ fn erf(x: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::infer::Evaluator;
+    use crate::query::Query;
 
     /// Fig. 1(a): a Gaussian-leaf SPN.
     fn gaussian_spn() -> Spn {
@@ -266,8 +267,10 @@ mod tests {
                 // Bucket [a, a+1) holds the average density, which is the
                 // continuous density at the bucket *midpoint* (to second
                 // order) — compare there.
-                let c = ec.log_likelihood(&[a as f64 + 0.5, b as f64 + 0.5]).exp();
-                let m = em.log_likelihood_bytes(&[a, b]).exp();
+                let c = ec
+                    .eval(&Query::Complete, &[a as f64 + 0.5, b as f64 + 0.5])
+                    .exp();
+                let m = em.eval_bytes(&Query::Complete, &[a, b]).exp();
                 if c > 5e-3 {
                     // Bulk: tight agreement.
                     assert!((c - m).abs() < 0.2 * c, "({a},{b}): {c} vs {m}");
@@ -282,7 +285,7 @@ mod tests {
         // And the discretized model is a proper distribution over bytes.
         let total: f64 = (0..16u8)
             .flat_map(|a| (0..16u8).map(move |b| (a, b)))
-            .map(|(a, b)| em.log_likelihood_bytes(&[a, b]).exp())
+            .map(|(a, b)| em.eval_bytes(&Query::Complete, &[a, b]).exp())
             .sum();
         assert!((total - 1.0).abs() < 1e-9, "mass {total}");
     }
@@ -314,8 +317,8 @@ mod tests {
         let mut e1 = Evaluator::new(&spn);
         let mut e2 = Evaluator::new(&pruned);
         for v in 0..2u8 {
-            let a = e1.log_likelihood_bytes(&[v]).exp();
-            let b = e2.log_likelihood_bytes(&[v]).exp();
+            let a = e1.eval_bytes(&Query::Complete, &[v]).exp();
+            let b = e2.eval_bytes(&Query::Complete, &[v]).exp();
             assert!((a - b).abs() < 1e-6);
         }
     }

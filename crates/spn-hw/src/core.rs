@@ -177,7 +177,7 @@ impl AcceleratorCore {
 mod tests {
     use super::*;
     use spn_arith::CfpFormat;
-    use spn_core::{Evaluator, NipsBenchmark};
+    use spn_core::{Evaluator, NipsBenchmark, Query};
 
     fn channel_bw() -> Bandwidth {
         Bandwidth::from_gib_per_sec(12.0)
@@ -260,7 +260,7 @@ mod tests {
         let results = core.run_job(data.raw());
         let mut ev = Evaluator::new(&spn);
         for (row, &hw) in data.rows().zip(&results) {
-            let reference = ev.log_likelihood_bytes(row).exp();
+            let reference = ev.eval_bytes(&Query::Complete, row).exp();
             let rel = ((hw - reference) / reference).abs();
             assert!(rel < 1e-4, "hw {hw} vs ref {reference}");
         }

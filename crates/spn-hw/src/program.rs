@@ -287,7 +287,7 @@ fn expand_histogram(breaks: &[f64], densities: &[f64]) -> Vec<f64> {
 mod tests {
     use super::*;
     use spn_arith::{CfpFormat, F64Format, LnsFormat, PositFormat};
-    use spn_core::{Evaluator, Leaf, NipsBenchmark, SpnBuilder};
+    use spn_core::{Evaluator, Leaf, NipsBenchmark, Query, SpnBuilder};
 
     fn mixture() -> Spn {
         let mut b = SpnBuilder::new(2);
@@ -308,7 +308,7 @@ mod tests {
         let mut ev = Evaluator::new(&spn);
         for s in [[0u8, 0], [0, 1], [1, 0], [1, 1]] {
             let hw = prog.execute(&F64Format, &s);
-            let reference = ev.log_likelihood_bytes(&s).exp();
+            let reference = ev.eval_bytes(&Query::Complete, &s).exp();
             assert!(
                 (hw - reference).abs() < 1e-15,
                 "sample {s:?}: hw {hw} vs ref {reference}"
@@ -326,7 +326,7 @@ mod tests {
         let lns = LnsFormat::paper_default();
         let posit = PositFormat::paper_default();
         for row in data.rows() {
-            let reference = ev.log_likelihood_bytes(row).exp();
+            let reference = ev.eval_bytes(&Query::Complete, row).exp();
             // Posit precision tapers away from 1.0; probabilities of
             // ~1e-24 sit deep in the regime where fraction bits are
             // scarce — exactly the weakness [4] reports for posits.

@@ -13,6 +13,7 @@ use crate::memmgr::{DeviceBuffer, DeviceMemoryManager};
 use parking_lot::Mutex;
 use sim_core::SplitMix64;
 use spn_arith::AnyFormat;
+use spn_core::Spn;
 use spn_hw::{AcceleratorConfig, AcceleratorCore, DatapathProgram, Reg, RegisterFile, SynthConfig};
 use std::sync::Arc;
 
@@ -106,6 +107,9 @@ pub struct VirtualDevice {
     channel_capacity: u64,
     faults: Option<FaultInjection>,
     fault_rng: Mutex<SplitMix64>,
+    /// The SPN the datapath program was compiled from, when the
+    /// builder attached it ([`VirtualDevice::with_model`]).
+    model: Option<Arc<Spn>>,
 }
 
 impl VirtualDevice {
@@ -148,6 +152,7 @@ impl VirtualDevice {
             channel_capacity,
             faults: None,
             fault_rng: Mutex::new(SplitMix64::new(0)),
+            model: None,
         }
     }
 
@@ -158,6 +163,20 @@ impl VirtualDevice {
         self.fault_rng = Mutex::new(SplitMix64::new(faults.seed));
         self.faults = Some(faults);
         self
+    }
+
+    /// Attach the SPN the device's datapath program was compiled from.
+    /// This is what lets the scheduler compile a host-side inference
+    /// plan for the same model and accept
+    /// [`crate::job::ExecBackend::HostPlan`] jobs.
+    pub fn with_model(mut self, model: Arc<Spn>) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// The attached SPN, if any (see [`VirtualDevice::with_model`]).
+    pub fn model(&self) -> Option<&Arc<Spn>> {
+        self.model.as_ref()
     }
 
     /// Golden re-computation of one sample on the host, bypassing any
@@ -315,7 +334,7 @@ mod tests {
     use super::*;
     use sim_core::MIB;
     use spn_arith::CfpFormat;
-    use spn_core::{Evaluator, NipsBenchmark};
+    use spn_core::{Evaluator, NipsBenchmark, Query};
 
     fn device(pes: u32) -> (VirtualDevice, NipsBenchmark) {
         let bench = NipsBenchmark::Nips10;
@@ -356,7 +375,7 @@ mod tests {
 
         for (i, row) in data.rows().enumerate() {
             let got = f64::from_le_bytes(raw[i * 8..i * 8 + 8].try_into().unwrap());
-            let reference = ev.log_likelihood_bytes(row).exp();
+            let reference = ev.eval_bytes(&Query::Complete, row).exp();
             let rel = ((got - reference) / reference).abs();
             assert!(rel < 1e-4, "sample {i}: {got} vs {reference}");
         }
@@ -442,7 +461,7 @@ mod tests {
         let spn = bench.build_spn();
         let mut ev = Evaluator::new(&spn);
         let got = f64::from_le_bytes(raw[0..8].try_into().unwrap());
-        let reference = ev.log_likelihood_bytes(data.row(0)).exp();
+        let reference = ev.eval_bytes(&Query::Complete, data.row(0)).exp();
         assert!(((got - reference) / reference).abs() < 1e-4);
     }
 
@@ -472,7 +491,7 @@ mod tests {
         // Spot-check correctness.
         let mut ev = Evaluator::new(&spn);
         let got = f64::from_le_bytes(results[0][0..8].try_into().unwrap());
-        let reference = ev.log_likelihood_bytes(data.row(0)).exp();
+        let reference = ev.eval_bytes(&Query::Complete, data.row(0)).exp();
         assert!(((got - reference) / reference).abs() < 1e-4);
     }
 }

@@ -70,6 +70,21 @@ pub fn assign_to_pes(blocks: &[Block], pes: u32) -> Vec<Vec<Block>> {
     per_pe
 }
 
+/// Where a job's blocks execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// The virtual accelerator card: blocks are DMA'd in, run on the
+    /// bit-accurate PE cores, and DMA'd back. The default.
+    #[default]
+    Device,
+    /// The host CPU through the model's compiled inference plan
+    /// ([`spn_core::CompiledPlan`]): no device transfers, full f64
+    /// precision. Requires the scheduler's device to carry its model
+    /// ([`crate::VirtualDevice::with_model`]); submission is rejected
+    /// otherwise.
+    HostPlan,
+}
+
 /// Per-job options for [`crate::scheduler::Scheduler::submit`].
 ///
 /// Construct via [`JobOptions::builder`] (validating) or rely on
@@ -86,10 +101,11 @@ pub struct JobOptions {
     /// actual sleep grows linearly with the attempt number and is
     /// bounded (see [`crate::scheduler`]); `0` retries immediately.
     pub retry_backoff_us: u64,
-    /// Restrict the job to the first `n` PEs (`None` = all PEs).
-    /// The scaling-experiment knob behind
-    /// [`crate::SpnRuntime::infer_on_pes`].
+    /// Restrict the job to the first `n` PEs (`None` = all PEs) —
+    /// the scaling-experiment knob.
     pub num_pes: Option<u32>,
+    /// Which backend executes the job's blocks.
+    pub backend: ExecBackend,
     /// Trace context of the request this job serves
     /// ([`SpanCtx::NONE`] when no client request is behind it). The
     /// scheduler stamps it onto every device span the job's blocks
@@ -104,6 +120,7 @@ impl Default for JobOptions {
             max_retries: 3,
             retry_backoff_us: 200,
             num_pes: None,
+            backend: ExecBackend::Device,
             ctx: SpanCtx::NONE,
         }
     }
@@ -143,6 +160,12 @@ impl JobOptionsBuilder {
         self
     }
 
+    /// Choose the execution backend (device by default).
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.opts.backend = backend;
+        self
+    }
+
     /// Attach the trace context of the request this job serves.
     pub fn ctx(mut self, ctx: SpanCtx) -> Self {
         self.opts.ctx = ctx;
@@ -172,11 +195,14 @@ mod tests {
             .max_retries(7)
             .retry_backoff_us(50)
             .num_pes(2)
+            .backend(ExecBackend::HostPlan)
             .build()
             .unwrap();
         assert_eq!(o.max_retries, 7);
         assert_eq!(o.retry_backoff_us, 50);
         assert_eq!(o.num_pes, Some(2));
+        assert_eq!(o.backend, ExecBackend::HostPlan);
+        assert_eq!(JobOptions::default().backend, ExecBackend::Device);
         assert!(matches!(
             JobOptions::builder().num_pes(0).build(),
             Err(RuntimeError::InvalidConfig { .. })

@@ -12,6 +12,9 @@
 //! * [`scheduler`] — the concurrent multi-job scheduler: a persistent
 //!   worker pool, `submit`/`wait` job handles, per-block fault retry,
 //!   round-robin fairness and a bounded backpressure queue;
+//! * [`plan_cache`] — the fingerprint-keyed cache of compiled inference
+//!   plans behind the scheduler's host fast path
+//!   ([`job::ExecBackend::HostPlan`]);
 //! * [`metrics`] — atomic runtime counters/gauges, snapshotted into the
 //!   unified `spn-telemetry` schema;
 //! * [`job`] — block decomposition and per-job options;
@@ -56,6 +59,7 @@ pub mod job;
 pub mod memmgr;
 pub mod metrics;
 pub mod perf;
+pub mod plan_cache;
 pub mod runtime;
 pub mod scheduler;
 pub mod streaming;
@@ -65,11 +69,16 @@ pub use analysis::{
     hbm_limits, max_cores_by_hbm, pcie_outlook, required_bandwidth, HbmLimits, OutlookRow,
 };
 pub use device::{DeviceError, FaultInjection, VirtualDevice};
-pub use job::{assign_to_pes, split_into_blocks, Block, JobOptions, JobOptionsBuilder};
+pub use job::{
+    assign_to_pes, split_into_blocks, Block, ExecBackend, JobOptions, JobOptionsBuilder,
+};
 pub use memmgr::{AllocError, DeviceBuffer, DeviceMemoryManager};
 pub use metrics::{JobOutcome, MetricsRegistry, MetricsSnapshot};
 pub use perf::{scaling_series, simulate, simulate_traced, PerfConfig, PerfResult};
-pub use runtime::{RuntimeConfig, RuntimeConfigBuilder, RuntimeError, SpnRuntime};
+pub use plan_cache::PlanCache;
+pub use runtime::{
+    ExecProvenance, InferResult, RuntimeConfig, RuntimeConfigBuilder, RuntimeError, SpnRuntime,
+};
 pub use scheduler::{JobHandle, JobStatus, Scheduler};
 pub use streaming::{
     min_replication_for_line_rate, simulate_streaming, StreamingModel, StreamingSimConfig,
@@ -89,10 +98,14 @@ pub use spn_telemetry::{SpanCtx, TraceCollector, TraceId};
 /// ```
 pub mod prelude {
     pub use crate::device::{DeviceError, FaultInjection, VirtualDevice};
-    pub use crate::job::{Block, JobOptions, JobOptionsBuilder};
+    pub use crate::job::{Block, ExecBackend, JobOptions, JobOptionsBuilder};
     pub use crate::memmgr::{AllocError, DeviceBuffer, DeviceMemoryManager};
     pub use crate::metrics::{JobOutcome, MetricsRegistry, MetricsSnapshot};
-    pub use crate::runtime::{RuntimeConfig, RuntimeConfigBuilder, RuntimeError, SpnRuntime};
+    pub use crate::plan_cache::PlanCache;
+    pub use crate::runtime::{
+        ExecProvenance, InferResult, RuntimeConfig, RuntimeConfigBuilder, RuntimeError, SpnRuntime,
+    };
     pub use crate::scheduler::{JobHandle, JobStatus, Scheduler};
+    pub use spn_core::{CompiledPlan, PlanExecutor, Query};
     pub use spn_telemetry::{SpanCtx, TraceCollector, TraceId};
 }

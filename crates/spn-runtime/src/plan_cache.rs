@@ -1,0 +1,206 @@
+//! The runtime's compiled-plan cache.
+//!
+//! Compiling an [`Spn`] into a [`CompiledPlan`] is linear in the
+//! network but still far too expensive to repeat per request. The
+//! [`PlanCache`] memoizes compilations keyed by
+//! [`Spn::fingerprint`] — a structural hash over topology, weights and
+//! leaf parameters — so every scheduler (and, through a shared cache,
+//! every model a server hosts) compiles each distinct model exactly
+//! once. Plans are handed out as `Arc`s: executors borrow them
+//! concurrently while the cache retains its copy.
+//!
+//! The cache also keeps hit/miss/invalidation counters that surface in
+//! the unified telemetry document as the `plan` section
+//! ([`spn_telemetry::PlanTelemetry`]).
+
+use spn_core::{CompiledPlan, Spn};
+use spn_telemetry::PlanTelemetry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A fingerprint-keyed memo of compiled inference plans.
+///
+/// Thread-safe; cheap to share via `Arc`. See the module docs.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<u64, Arc<CompiledPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The plan for `spn`, compiling it on a miss. The boolean is
+    /// `true` when the plan came from the cache.
+    pub fn get_or_compile(&self, spn: &Spn) -> (Arc<CompiledPlan>, bool) {
+        let key = spn.fingerprint();
+        let mut plans = self.plans.lock().unwrap();
+        if let Some(plan) = plans.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(plan), true);
+        }
+        // Compile under the lock: a concurrent miss on the same model
+        // would otherwise compile twice, and plan compilation is fast
+        // enough (one linear pass) that blocking peers is the lesser
+        // evil.
+        let plan = Arc::new(CompiledPlan::compile(spn));
+        plans.insert(key, Arc::clone(&plan));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (plan, false)
+    }
+
+    /// The cached plan for `spn`, if present, without compiling.
+    /// Counts as a hit or a miss like [`PlanCache::get_or_compile`].
+    pub fn get(&self, spn: &Spn) -> Option<Arc<CompiledPlan>> {
+        let found = self.plans.lock().unwrap().get(&spn.fingerprint()).cloned();
+        match found {
+            Some(plan) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Drop the plan compiled for `spn` (after retraining, say, the
+    /// fingerprint changes and the stale entry would never be hit
+    /// again — but an *in-place* parameter update reuses the old
+    /// fingerprint's slot until invalidated). Returns `true` if an
+    /// entry was removed.
+    pub fn invalidate(&self, spn: &Spn) -> bool {
+        let removed = self
+            .plans
+            .lock()
+            .unwrap()
+            .remove(&spn.fingerprint())
+            .is_some();
+        if removed {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Drop every cached plan. Each evicted entry counts as an
+    /// invalidation.
+    pub fn clear(&self) {
+        let mut plans = self.plans.lock().unwrap();
+        self.invalidations
+            .fetch_add(plans.len() as u64, Ordering::Relaxed);
+        plans.clear();
+    }
+
+    /// Number of plans currently cached.
+    pub fn len(&self) -> usize {
+        self.plans.lock().unwrap().len()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters for the telemetry document's `plan` section.
+    pub fn telemetry(&self) -> PlanTelemetry {
+        PlanTelemetry {
+            cached_plans: self.len() as u64,
+            cache_hits: self.hits.load(Ordering::Relaxed),
+            cache_misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_core::{random_spn, RandomSpnConfig};
+
+    fn model(seed: u64) -> Spn {
+        let cfg = RandomSpnConfig {
+            num_vars: 4,
+            domain: 4,
+            seed,
+            ..RandomSpnConfig::default()
+        };
+        random_spn(&cfg, "cache-test").unwrap()
+    }
+
+    #[test]
+    fn first_lookup_compiles_then_hits() {
+        let cache = PlanCache::new();
+        let spn = model(1);
+        let (p1, hit1) = cache.get_or_compile(&spn);
+        assert!(!hit1);
+        let (p2, hit2) = cache.get_or_compile(&spn);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        let t = cache.telemetry();
+        assert_eq!((t.cached_plans, t.cache_hits, t.cache_misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_models_get_distinct_entries() {
+        let cache = PlanCache::new();
+        cache.get_or_compile(&model(1));
+        cache.get_or_compile(&model(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.telemetry().cache_misses, 2);
+    }
+
+    #[test]
+    fn renamed_model_is_the_same_entry() {
+        let cache = PlanCache::new();
+        let spn = model(1);
+        let mut renamed = spn.clone();
+        renamed.name = "other".into();
+        cache.get_or_compile(&spn);
+        let (_, hit) = cache.get_or_compile(&renamed);
+        assert!(hit, "fingerprint ignores the name");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn invalidation_forces_recompilation() {
+        let cache = PlanCache::new();
+        let spn = model(1);
+        cache.get_or_compile(&spn);
+        assert!(cache.invalidate(&spn));
+        assert!(!cache.invalidate(&spn), "second invalidation is a no-op");
+        assert!(cache.is_empty());
+        let (_, hit) = cache.get_or_compile(&spn);
+        assert!(!hit);
+        let t = cache.telemetry();
+        assert_eq!(t.invalidations, 1);
+        assert_eq!(t.cache_misses, 2);
+    }
+
+    #[test]
+    fn get_without_compile_reports_misses() {
+        let cache = PlanCache::new();
+        let spn = model(1);
+        assert!(cache.get(&spn).is_none());
+        cache.get_or_compile(&spn);
+        assert!(cache.get(&spn).is_some());
+        let t = cache.telemetry();
+        assert_eq!((t.cache_hits, t.cache_misses), (1, 2));
+    }
+
+    #[test]
+    fn clear_counts_evictions() {
+        let cache = PlanCache::new();
+        cache.get_or_compile(&model(1));
+        cache.get_or_compile(&model(2));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.telemetry().invalidations, 2);
+    }
+}

@@ -13,12 +13,14 @@
 //!
 //! Since the scheduler redesign, the control threads live in a
 //! persistent [`crate::scheduler::Scheduler`] worker pool owned by the
-//! runtime, and [`SpnRuntime::infer`] is a thin
+//! runtime, and [`SpnRuntime::run`] is a thin
 //! `submit_blocking` + `wait` wrapper around it — the blocking
 //! single-job API and the concurrent multi-job API share one code
 //! path. Use [`SpnRuntime::scheduler`] (or build a
 //! [`crate::Scheduler`] directly) for concurrent submission, job
-//! handles and metrics.
+//! handles and metrics. [`JobOptions`] selects the execution backend:
+//! the device (default) or the host through the model's compiled
+//! inference plan ([`crate::job::ExecBackend::HostPlan`]).
 //!
 //! These are real OS threads moving real bytes through the
 //! [`VirtualDevice`]; the results are bit-exact accelerator output.
@@ -241,12 +243,41 @@ impl From<DeviceError> for RuntimeError {
     }
 }
 
+/// How a set of inference results was produced — the provenance a
+/// typed [`InferResult`] carries alongside its values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecProvenance {
+    /// Executed on the virtual accelerator device (CFP/LNS/Posit
+    /// datapath precision).
+    Device,
+    /// Executed on the host through a compiled inference plan
+    /// ([`spn_core::CompiledPlan`], full f64 precision). `cache_hit`
+    /// is `true` when the plan was served from a [`crate::PlanCache`]
+    /// rather than compiled for this scheduler/job.
+    CompiledPlan {
+        /// Whether the plan came out of a warm cache.
+        cache_hit: bool,
+    },
+    /// Evaluated by the tree-walking [`spn_core::Evaluator`] oracle
+    /// (no plan, no device) — the slow reference path.
+    TreeWalk,
+}
+
+/// Batch-inference results plus how they were computed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResult {
+    /// One probability per sample, in dataset order.
+    pub values: Vec<f64>,
+    /// Which execution path produced the values.
+    pub provenance: ExecProvenance,
+}
+
 /// The runtime handle: a device plus a persistent scheduler.
 ///
-/// [`SpnRuntime::infer`] keeps the classic one-call blocking API (now
-/// a deprecated-in-spirit thin wrapper, retained indefinitely for
-/// convenience); [`SpnRuntime::scheduler`] exposes the concurrent
-/// submit/wait API underneath it.
+/// [`SpnRuntime::run`] is the one-call blocking API (the deprecated
+/// `infer`/`infer_on_pes` wrappers delegate to it);
+/// [`SpnRuntime::scheduler`] exposes the concurrent submit/wait API
+/// underneath it.
 pub struct SpnRuntime {
     device: Arc<VirtualDevice>,
     config: RuntimeConfig,
@@ -306,25 +337,39 @@ impl SpnRuntime {
         self.scheduler.as_ref().map(|s| s.metrics_snapshot())
     }
 
+    /// Run batch inference over a dataset with explicit [`JobOptions`]
+    /// — backend selection, PE restriction, retry budget, trace
+    /// context. Returns a typed [`InferResult`] whose provenance says
+    /// whether the values came off the device or through a compiled
+    /// plan (and whether the plan was a cache hit).
+    ///
+    /// Equivalent to `scheduler().submit_blocking(..).wait()`; this is
+    /// the single-job entry point.
+    pub fn run(&self, data: &Dataset, opts: JobOptions) -> Result<InferResult, RuntimeError> {
+        let handle = self
+            .scheduler()?
+            .submit_blocking(Arc::new(data.clone()), opts)?;
+        let provenance = handle.provenance();
+        let values = handle.wait()?;
+        Ok(InferResult { values, provenance })
+    }
+
     /// Run batch inference over a dataset, using all PEs.
     /// Returns one probability per sample, in dataset order.
-    ///
-    /// Equivalent to `scheduler().submit_blocking(..).wait()`; kept as
-    /// the convenient single-job entry point.
+    #[deprecated(note = "use `SpnRuntime::run(data, JobOptions::default())` and read \
+                         `InferResult::values`")]
     pub fn infer(&self, data: &Dataset) -> Result<Vec<f64>, RuntimeError> {
-        self.scheduler()?
-            .submit_blocking(Arc::new(data.clone()), JobOptions::default())?
-            .wait()
+        self.run(data, JobOptions::default()).map(|r| r.values)
     }
 
     /// Run batch inference restricted to the first `num_pes` PEs
     /// (the knob behind the scaling experiments). Zero or out-of-range
     /// PE counts are reported as [`RuntimeError::InvalidConfig`].
+    #[deprecated(note = "use `SpnRuntime::run` with \
+                         `JobOptions::builder().num_pes(n)`")]
     pub fn infer_on_pes(&self, data: &Dataset, num_pes: u32) -> Result<Vec<f64>, RuntimeError> {
         let opts = JobOptions::builder().num_pes(num_pes).build()?;
-        self.scheduler()?
-            .submit_blocking(Arc::new(data.clone()), opts)?
-            .wait()
+        self.run(data, opts).map(|r| r.values)
     }
 }
 
@@ -333,7 +378,7 @@ mod tests {
     use super::*;
     use sim_core::MIB;
     use spn_arith::{AnyFormat, CfpFormat};
-    use spn_core::{Evaluator, NipsBenchmark};
+    use spn_core::{Evaluator, NipsBenchmark, Query};
     use spn_hw::{AcceleratorConfig, DatapathProgram};
 
     fn runtime(pes: u32, cfg: RuntimeConfig) -> (SpnRuntime, NipsBenchmark) {
@@ -353,7 +398,7 @@ mod tests {
         let spn = bench.build_spn();
         let mut ev = Evaluator::new(&spn);
         data.rows()
-            .map(|r| ev.log_likelihood_bytes(r).exp())
+            .map(|r| ev.eval_bytes(&Query::Complete, r).exp())
             .collect()
     }
 
@@ -368,7 +413,7 @@ mod tests {
                 .unwrap(),
         );
         let data = bench.dataset(1234, 11); // deliberately not block-aligned
-        let got = rt.infer(&data).unwrap();
+        let got = rt.run(&data, JobOptions::default()).unwrap().values;
         let want = reference(bench, &data);
         assert_eq!(got.len(), want.len());
         for (i, (g, w)) in got.iter().zip(&want).enumerate() {
@@ -388,7 +433,7 @@ mod tests {
                 .unwrap(),
         );
         let data = bench.dataset(500, 3);
-        let got = rt.infer(&data).unwrap();
+        let got = rt.run(&data, JobOptions::default()).unwrap().values;
         assert_eq!(got.len(), 500);
         assert!(got.iter().all(|p| p.is_finite() && *p > 0.0));
     }
@@ -404,8 +449,8 @@ mod tests {
                 .unwrap(),
         );
         let data = bench.dataset(1000, 17);
-        let a = rt.infer(&data).unwrap();
-        let b = rt.infer(&data).unwrap();
+        let a = rt.run(&data, JobOptions::default()).unwrap().values;
+        let b = rt.run(&data, JobOptions::default()).unwrap().values;
         assert_eq!(a, b, "runtime results are deterministic");
     }
 
@@ -413,7 +458,10 @@ mod tests {
     fn restricted_pe_count() {
         let (rt, bench) = runtime(4, RuntimeConfig::default());
         let data = bench.dataset(100, 2);
-        let got = rt.infer_on_pes(&data, 2).unwrap();
+        let got = rt
+            .run(&data, JobOptions::builder().num_pes(2).build().unwrap())
+            .unwrap()
+            .values;
         let want = reference(bench, &data);
         for (g, w) in got.iter().zip(&want) {
             assert!(((g - w) / w).abs() < 1e-4);
@@ -424,16 +472,20 @@ mod tests {
     fn zero_and_out_of_range_pe_counts_are_errors_not_panics() {
         let (rt, bench) = runtime(2, RuntimeConfig::default());
         let data = bench.dataset(16, 2);
+        // Zero is rejected by the options builder...
         assert!(matches!(
-            rt.infer_on_pes(&data, 0),
+            JobOptions::builder().num_pes(0).build(),
             Err(RuntimeError::InvalidConfig { .. })
         ));
+        // ...and an out-of-range count by submission.
+        let three = JobOptions::builder().num_pes(3).build().unwrap();
         assert!(matches!(
-            rt.infer_on_pes(&data, 3),
+            rt.run(&data, three),
             Err(RuntimeError::InvalidConfig { .. })
         ));
         // The runtime still works afterwards.
-        assert_eq!(rt.infer_on_pes(&data, 2).unwrap().len(), 16);
+        let two = JobOptions::builder().num_pes(2).build().unwrap();
+        assert_eq!(rt.run(&data, two).unwrap().values.len(), 16);
     }
 
     #[test]
@@ -444,7 +496,7 @@ mod tests {
         };
         let (rt, bench) = runtime(1, cfg);
         let data = bench.dataset(8, 1);
-        match rt.infer(&data) {
+        match rt.run(&data, JobOptions::default()) {
             Err(RuntimeError::InvalidConfig { reason }) => {
                 assert!(reason.contains("block_samples"), "got: {reason}")
             }
@@ -508,7 +560,11 @@ mod tests {
     fn empty_job() {
         let (rt, bench) = runtime(2, RuntimeConfig::default());
         let data = bench.dataset(0, 1);
-        assert!(rt.infer(&data).unwrap().is_empty());
+        assert!(rt
+            .run(&data, JobOptions::default())
+            .unwrap()
+            .values
+            .is_empty());
     }
 
     #[test]
@@ -516,7 +572,7 @@ mod tests {
         let (rt, _) = runtime(1, RuntimeConfig::default());
         let wrong = NipsBenchmark::Nips20.dataset(10, 1);
         assert!(matches!(
-            rt.infer(&wrong),
+            rt.run(&wrong, JobOptions::default()),
             Err(RuntimeError::ShapeMismatch { .. })
         ));
     }
@@ -535,7 +591,7 @@ mod tests {
             .map(|c| rt.device().memory().free_bytes(c).unwrap())
             .collect();
         let data = bench.dataset(2000, 23);
-        rt.infer(&data).unwrap();
+        rt.run(&data, JobOptions::default()).unwrap();
         for (c, b) in before.iter().enumerate() {
             assert_eq!(
                 rt.device().memory().free_bytes(c as u32).unwrap(),
@@ -543,6 +599,85 @@ mod tests {
                 "channel {c} leaked device memory"
             );
         }
+    }
+
+    /// Build a runtime whose device carries its model, enabling the
+    /// HostPlan backend.
+    fn runtime_with_model(pes: u32, cfg: RuntimeConfig) -> (SpnRuntime, NipsBenchmark) {
+        let bench = NipsBenchmark::Nips10;
+        let spn = bench.build_spn();
+        let prog = DatapathProgram::compile(&spn);
+        let dev = VirtualDevice::new(
+            prog,
+            AnyFormat::Cfp(CfpFormat::paper_default()),
+            AcceleratorConfig::paper_default(),
+            pes,
+            16 * MIB,
+        )
+        .with_model(Arc::new(spn));
+        (SpnRuntime::new(Arc::new(dev), cfg), bench)
+    }
+
+    #[test]
+    fn host_plan_backend_is_bit_exact_with_the_oracle() {
+        let (rt, bench) = runtime_with_model(
+            2,
+            RuntimeConfig::builder()
+                .block_samples(100)
+                .threads_per_pe(2)
+                .build()
+                .unwrap(),
+        );
+        let data = bench.dataset(1234, 11);
+        let opts = JobOptions::builder()
+            .backend(crate::job::ExecBackend::HostPlan)
+            .build()
+            .unwrap();
+        let res = rt.run(&data, opts).unwrap();
+        assert_eq!(
+            res.provenance,
+            ExecProvenance::CompiledPlan { cache_hit: false },
+            "first HostPlan job compiled the plan"
+        );
+        let want = reference(bench, &data);
+        for (i, (g, w)) in res.values.iter().zip(&want).enumerate() {
+            assert_eq!(g.to_bits(), w.to_bits(), "sample {i}: {g} vs {w}");
+        }
+        // A second job reuses the compiled plan.
+        let res2 = rt.run(&data, opts).unwrap();
+        assert_eq!(
+            res2.provenance,
+            ExecProvenance::CompiledPlan { cache_hit: true }
+        );
+        // Device jobs report device provenance.
+        let dev_res = rt.run(&data, JobOptions::default()).unwrap();
+        assert_eq!(dev_res.provenance, ExecProvenance::Device);
+    }
+
+    #[test]
+    fn host_plan_requires_a_model_on_the_device() {
+        let (rt, bench) = runtime(1, RuntimeConfig::default());
+        let data = bench.dataset(8, 1);
+        let opts = JobOptions::builder()
+            .backend(crate::job::ExecBackend::HostPlan)
+            .build()
+            .unwrap();
+        match rt.run(&data, opts) {
+            Err(RuntimeError::InvalidConfig { reason }) => {
+                assert!(reason.contains("with_model"), "got: {reason}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_run() {
+        let (rt, bench) = runtime(2, RuntimeConfig::default());
+        let data = bench.dataset(64, 3);
+        let via_run = rt.run(&data, JobOptions::default()).unwrap().values;
+        assert_eq!(rt.infer(&data).unwrap(), via_run);
+        assert_eq!(rt.infer_on_pes(&data, 2).unwrap(), via_run);
     }
 
     #[test]
@@ -556,7 +691,7 @@ mod tests {
                 .unwrap(),
         );
         let data = bench.dataset(525, 9);
-        rt.infer(&data).unwrap();
+        rt.run(&data, JobOptions::default()).unwrap();
         let m = rt.metrics_snapshot().unwrap();
         assert_eq!(m.jobs_submitted, 1);
         assert_eq!(m.jobs_completed, 1);

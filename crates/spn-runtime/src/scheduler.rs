@@ -24,19 +24,23 @@
 //! * every hot-path event feeds the [`MetricsRegistry`]
 //!   (jobs/blocks/retries/bytes/per-PE busy time).
 //!
-//! The classic blocking [`crate::SpnRuntime::infer`] is now a thin
+//! The blocking [`crate::SpnRuntime::run`] is a thin
 //! `submit_blocking` + `wait` wrapper, so the single-job path and the
-//! multi-job path are the same code.
+//! multi-job path are the same code. [`crate::job::ExecBackend`] in
+//! the job options picks where blocks execute: the device (default) or
+//! the host through the model's compiled inference plan, memoized in a
+//! [`PlanCache`].
 
 use crate::device::VirtualDevice;
-use crate::job::{split_into_blocks, Block, JobOptions};
+use crate::job::{split_into_blocks, Block, ExecBackend, JobOptions};
 use crate::memmgr::AllocError;
 use crate::metrics::{JobOutcome, MetricsRegistry, MetricsSnapshot};
-use crate::runtime::{validate_config, RuntimeConfig, RuntimeError};
+use crate::plan_cache::PlanCache;
+use crate::runtime::{validate_config, ExecProvenance, RuntimeConfig, RuntimeError};
 use parking_lot::{Condvar, Mutex};
-use spn_core::Dataset;
+use spn_core::{CompiledPlan, Dataset, PlanExecutor, Query};
 use spn_hw::SynthConfig;
-use spn_telemetry::{SpanKind, TraceCollector};
+use spn_telemetry::{SpanCtx, SpanKind, TraceCollector};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -80,6 +84,9 @@ struct JobState {
     /// The job runs on PEs `0..pe_limit`.
     pe_limit: u32,
     opts: JobOptions,
+    /// How this job's results will have been produced (fixed at
+    /// submission: backend plus plan-cache state).
+    provenance: ExecProvenance,
     /// Next unclaimed block index (guarded by the scheduler state lock).
     next_block: AtomicUsize,
     /// Blocks currently executing (guarded by the scheduler state lock).
@@ -163,6 +170,13 @@ impl JobHandle {
         }
     }
 
+    /// How this job's results are produced: device execution, or a
+    /// compiled host plan (with its cache-hit flag). Available from
+    /// submission — callers don't have to wait to know the path.
+    pub fn provenance(&self) -> ExecProvenance {
+        self.job.provenance
+    }
+
     /// `(blocks_done, blocks_total)` — the progress bar numbers.
     pub fn progress(&self) -> (u64, u64) {
         (
@@ -208,6 +222,19 @@ struct Shared {
     /// Workers record one h2d/execute/d2h span per block, stamped with
     /// the job's [`JobOptions::ctx`] trace context.
     trace: Option<Arc<TraceCollector>>,
+    /// The compiled inference plan for the device's model, when the
+    /// device carries one ([`VirtualDevice::with_model`]). Compiled
+    /// eagerly at construction through `plan_cache`; required for
+    /// [`ExecBackend::HostPlan`] jobs.
+    plan: Option<Arc<CompiledPlan>>,
+    /// The cache `plan` came from (shareable across schedulers — a
+    /// server passes one cache to every model's scheduler).
+    plan_cache: Arc<PlanCache>,
+    /// Whether `plan` was served from a warm cache at construction.
+    plan_from_cache: bool,
+    /// Set once the first `HostPlan` job is submitted; later jobs
+    /// report a cache hit (the compile was amortized already).
+    plan_used: AtomicBool,
     state: Mutex<State>,
     /// Workers sleep here when no block is claimable.
     work_cv: Condvar,
@@ -252,15 +279,54 @@ impl Scheduler {
         config: RuntimeConfig,
         trace: Option<Arc<TraceCollector>>,
     ) -> Result<Self, RuntimeError> {
+        Scheduler::with_cache(device, config, trace, Arc::new(PlanCache::new()))
+    }
+
+    /// Like [`Scheduler::with_trace`], but compiled plans go through a
+    /// caller-owned [`PlanCache`] — the constructor a server uses so
+    /// all its model schedulers share one cache. When the device
+    /// carries its model ([`VirtualDevice::with_model`]), the plan is
+    /// compiled (or fetched) eagerly here, recording a `plan-compile`
+    /// span on a cache miss when tracing.
+    pub fn with_cache(
+        device: Arc<VirtualDevice>,
+        config: RuntimeConfig,
+        trace: Option<Arc<TraceCollector>>,
+        plan_cache: Arc<PlanCache>,
+    ) -> Result<Self, RuntimeError> {
         validate_config(&config)?;
         let pe_cfg = device.query_pe(0)?;
         let metrics = Arc::new(MetricsRegistry::new(device.num_pes()));
+        let (plan, plan_from_cache) = match device.model() {
+            Some(model) => {
+                let t0 = Instant::now();
+                let (plan, hit) = plan_cache.get_or_compile(model);
+                if !hit {
+                    if let Some(t) = trace.as_deref() {
+                        t.record(
+                            SpanKind::PlanCompile,
+                            SpanCtx::NONE,
+                            0,
+                            0,
+                            t0,
+                            Instant::now(),
+                        );
+                    }
+                }
+                (Some(plan), hit)
+            }
+            None => (None, false),
+        };
         let shared = Arc::new(Shared {
             device,
             config,
             pe_cfg,
             metrics,
             trace,
+            plan,
+            plan_cache,
+            plan_from_cache,
+            plan_used: AtomicBool::new(false),
             state: Mutex::new(State {
                 jobs: Vec::new(),
                 rr: 0,
@@ -304,6 +370,17 @@ impl Scheduler {
     /// The span collector this scheduler records into, when tracing.
     pub fn trace(&self) -> Option<&Arc<TraceCollector>> {
         self.shared.trace.as_ref()
+    }
+
+    /// The compiled plan for the device's model, when the device
+    /// carries one (see [`Scheduler::with_cache`]).
+    pub fn plan(&self) -> Option<&Arc<CompiledPlan>> {
+        self.shared.plan.as_ref()
+    }
+
+    /// The plan cache this scheduler compiles through.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.shared.plan_cache
     }
 
     /// Convenience: a point-in-time [`MetricsSnapshot`].
@@ -383,6 +460,22 @@ impl Scheduler {
                 got_bytes: data.num_features() as u64,
             });
         }
+        let provenance = match opts.backend {
+            ExecBackend::Device => ExecProvenance::Device,
+            ExecBackend::HostPlan => {
+                if self.shared.plan.is_none() {
+                    return Err(RuntimeError::InvalidConfig {
+                        reason: "HostPlan backend requires a device built with its model \
+                                 (VirtualDevice::with_model)"
+                            .into(),
+                    });
+                }
+                ExecProvenance::CompiledPlan {
+                    cache_hit: self.shared.plan_from_cache
+                        || self.shared.plan_used.swap(true, Ordering::Relaxed),
+                }
+            }
+        };
         let total = data.num_samples();
         let blocks = split_into_blocks(total as u64, self.shared.config.block_samples);
 
@@ -413,6 +506,7 @@ impl Scheduler {
             blocks,
             pe_limit,
             opts,
+            provenance,
             next_block: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
             blocks_done: AtomicU64::new(0),
@@ -560,7 +654,11 @@ fn process_block(shared: &Shared, pe: u32, job: &Arc<JobState>, idx: usize) {
         if job.cancelled.load(Ordering::Relaxed) || job.terminal.load(Ordering::Relaxed) {
             break BlockOutcome::Skipped;
         }
-        match run_block(shared, pe, job, block, idx as u64) {
+        let ran = match job.opts.backend {
+            ExecBackend::Device => run_block(shared, pe, job, block, idx as u64),
+            ExecBackend::HostPlan => run_block_host(shared, pe, job, block, idx as u64),
+        };
+        match ran {
             Ok(()) => break BlockOutcome::Done,
             Err(e) if is_transient(&e) && attempt < job.opts.max_retries => {
                 attempt += 1;
@@ -640,10 +738,13 @@ fn finalize_cancelled(
 }
 
 /// All blocks done: run verification sampling (outside any lock) and
-/// publish the results.
+/// publish the results. Host-plan jobs skip verification: their
+/// results *are* exact host arithmetic, while the golden check's tight
+/// tolerance assumes device-format output re-computed by the same
+/// bit-accurate core.
 fn finalize_success(shared: &Shared, job: &Arc<JobState>) {
     let results = std::mem::take(&mut *job.results.lock());
-    if shared.config.verify_fraction > 0.0 {
+    if shared.config.verify_fraction > 0.0 && job.opts.backend == ExecBackend::Device {
         if let Err(e) = verify_results(shared, job, &results) {
             shared
                 .metrics
@@ -678,6 +779,49 @@ fn verify_results(shared: &Shared, job: &JobState, results: &[f64]) -> Result<()
                 expected,
             });
         }
+    }
+    Ok(())
+}
+
+/// The host fast path: evaluate one block through the compiled plan,
+/// entirely on the CPU. No device buffers, no DMA — just the batched
+/// [`PlanExecutor`] over the block's slice of the dataset. Results are
+/// stored as linear probabilities (`exp(log-likelihood)`), matching
+/// the device convention, so callers see one result format regardless
+/// of backend.
+fn run_block_host(
+    shared: &Shared,
+    pe: u32,
+    job: &JobState,
+    block: Block,
+    idx: u64,
+) -> Result<(), RuntimeError> {
+    let plan = shared
+        .plan
+        .as_ref()
+        .expect("HostPlan jobs are rejected at submit without a plan");
+    let nf = job.data.num_features();
+    let (src_off, src_len) = block.input_range(nf as u64);
+    let src = &job.data.raw()[src_off as usize..(src_off + src_len) as usize];
+    let t0 = Instant::now();
+    let mut ex = PlanExecutor::new(plan);
+    let mut out = Vec::with_capacity(block.samples as usize);
+    ex.eval_batch_raw(&Query::Complete, src, nf, &mut out);
+    if let Some(t) = shared.trace.as_deref() {
+        t.record(
+            SpanKind::PlanExec,
+            job.opts.ctx,
+            pe,
+            idx,
+            t0,
+            Instant::now(),
+        );
+    }
+    shared.metrics.add_pe_busy(pe, t0.elapsed());
+
+    let mut res = job.results.lock();
+    for (i, ll) in out.iter().enumerate() {
+        res[block.first_sample as usize + i] = ll.exp();
     }
     Ok(())
 }
@@ -750,6 +894,7 @@ mod tests {
     use crate::device::FaultInjection;
     use sim_core::MIB;
     use spn_arith::{AnyFormat, CfpFormat};
+    use spn_core::Query;
     use spn_core::{Evaluator, NipsBenchmark};
     use spn_hw::{AcceleratorConfig, DatapathProgram};
 
@@ -778,7 +923,7 @@ mod tests {
         let spn = bench.build_spn();
         let mut ev = Evaluator::new(&spn);
         data.rows()
-            .map(|r| ev.log_likelihood_bytes(r).exp())
+            .map(|r| ev.eval_bytes(&Query::Complete, r).exp())
             .collect()
     }
 

@@ -93,9 +93,35 @@ impl Client {
             .map(|_| ())
     }
 
+    /// Start building an inference request against `model`. This is
+    /// the one entry point for inference — shape, deadline and trace
+    /// opt-out are all set on the returned [`InferBuilder`], so new
+    /// request knobs (e.g. future query types) extend the builder
+    /// instead of multiplying `infer_*` method variants:
+    ///
+    /// ```ignore
+    /// let lls = client
+    ///     .request("NIPS10")
+    ///     .samples(&block, 64, 10)
+    ///     .deadline_ms(250)
+    ///     .send()?;
+    /// ```
+    pub fn request<'a>(&'a mut self, model: &str) -> InferBuilder<'a> {
+        InferBuilder {
+            client: self,
+            model: model.to_string(),
+            data: Vec::new(),
+            num_samples: 0,
+            num_features: 0,
+            deadline_ms: 0,
+            trace: true,
+        }
+    }
+
     /// Run inference: `data` is a row-major
     /// `num_samples × num_features` block of `u8` features. Returns
     /// one log-likelihood per sample, in order.
+    #[deprecated(note = "use `request(model).samples(data, n, f).send()` instead")]
     pub fn infer(
         &mut self,
         model: &str,
@@ -103,13 +129,15 @@ impl Client {
         num_samples: u32,
         num_features: u32,
     ) -> Result<Vec<f64>, ClientError> {
-        self.infer_with_deadline(model, data, num_samples, num_features, 0)
+        self.request(model)
+            .samples(data, num_samples, num_features)
+            .send()
     }
 
-    /// Like [`Client::infer`] with a per-request deadline in
-    /// milliseconds (`0` = none). A request still queued when its
-    /// deadline passes is answered with
-    /// [`Status::DeadlineExceeded`].
+    /// Like `infer` with a per-request deadline in milliseconds
+    /// (`0` = none). A request still queued when its deadline passes
+    /// is answered with [`Status::DeadlineExceeded`].
+    #[deprecated(note = "use `request(model).samples(data, n, f).deadline_ms(ms).send()` instead")]
     pub fn infer_with_deadline(
         &mut self,
         model: &str,
@@ -118,17 +146,10 @@ impl Client {
         num_features: u32,
         deadline_ms: u32,
     ) -> Result<Vec<f64>, ClientError> {
-        let req = InferRequest {
-            model: model.to_string(),
-            deadline_ms,
-            num_samples,
-            num_features,
-            data: data.to_vec(),
-            // Trace contexts are server-side; the wire doesn't carry one.
-            ctx: SpanCtx::NONE,
-        };
-        let response = self.round_trip(&Frame::request(Opcode::Infer, req.encode()))?;
-        decode_results(&response.payload).map_err(ClientError::Wire)
+        self.request(model)
+            .samples(data, num_samples, num_features)
+            .deadline_ms(deadline_ms)
+            .send()
     }
 
     /// Fetch the server's metrics document (JSON).
@@ -157,5 +178,67 @@ impl Client {
     /// send deliberately broken bytes).
     pub fn stream_mut(&mut self) -> &mut TcpStream {
         &mut self.stream
+    }
+}
+
+/// An in-flight inference request under construction; created by
+/// [`Client::request`], fired by [`InferBuilder::send`].
+#[must_use = "the request is not sent until `.send()` is called"]
+pub struct InferBuilder<'a> {
+    client: &'a mut Client,
+    model: String,
+    data: Vec<u8>,
+    num_samples: u32,
+    num_features: u32,
+    deadline_ms: u32,
+    trace: bool,
+}
+
+impl InferBuilder<'_> {
+    /// The feature block: a row-major `num_samples × num_features`
+    /// slab of `u8` features. Required — [`InferBuilder::send`] on a
+    /// builder without samples earns the server's shape rejection.
+    pub fn samples(mut self, data: &[u8], num_samples: u32, num_features: u32) -> Self {
+        self.data = data.to_vec();
+        self.num_samples = num_samples;
+        self.num_features = num_features;
+        self
+    }
+
+    /// Per-request deadline in milliseconds (`0` = none, the
+    /// default). A request still queued when its deadline passes is
+    /// answered with [`Status::DeadlineExceeded`].
+    pub fn deadline_ms(mut self, deadline_ms: u32) -> Self {
+        self.deadline_ms = deadline_ms;
+        self
+    }
+
+    /// Server-side tracing for this request (default `true`). Opting
+    /// out decodes the request with a
+    /// [`spn_telemetry::SpanCtx::NONE`] context, so its spans stay
+    /// off the server's per-request timeline.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Encode, send, and block for the reply. Returns one
+    /// log-likelihood per sample, in order.
+    pub fn send(self) -> Result<Vec<f64>, ClientError> {
+        let req = InferRequest {
+            model: self.model,
+            deadline_ms: self.deadline_ms,
+            num_samples: self.num_samples,
+            num_features: self.num_features,
+            data: self.data,
+            trace: self.trace,
+            // Trace contexts are server-side; the wire carries only
+            // the opt-in bit.
+            ctx: SpanCtx::NONE,
+        };
+        let response = self
+            .client
+            .round_trip(&Frame::request(Opcode::Infer, req.encode()))?;
+        decode_results(&response.payload).map_err(ClientError::Wire)
     }
 }

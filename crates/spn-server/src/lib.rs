@@ -40,7 +40,7 @@
 //!     vec![ModelSpec::new("NIPS10", scheduler(), 10, 2)],
 //! )?;
 //! let mut client = Client::connect(server.local_addr())?;
-//! let lls = client.infer("NIPS10", &[0u8; 10], 1, 10)?;
+//! let lls = client.request("NIPS10").samples(&[0u8; 10], 1, 10).send()?;
 //! println!("log-likelihood: {}", lls[0]);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -53,7 +53,7 @@ pub mod protocol;
 pub mod server;
 
 pub use batcher::{BatchPolicy, Batcher, Reply};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, InferBuilder};
 pub use loadgen::{run_load, synthetic_samples, LoadConfig, LoadReport};
 pub use metrics::{HistogramSummary, ServerMetrics, ServerMetricsSnapshot};
 pub use protocol::{Frame, InferRequest, Opcode, Status, WireError};

@@ -141,13 +141,12 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
                             .wrapping_add(req as u64),
                     );
                     let r0 = Instant::now();
-                    match client.infer_with_deadline(
-                        &cfg.model,
-                        &data,
-                        cfg.samples_per_request,
-                        cfg.num_features,
-                        cfg.deadline_ms,
-                    ) {
+                    match client
+                        .request(&cfg.model)
+                        .samples(&data, cfg.samples_per_request, cfg.num_features)
+                        .deadline_ms(cfg.deadline_ms)
+                        .send()
+                    {
                         Ok(lls) => {
                             stats.ok += 1;
                             stats.ok_samples += lls.len() as u64;

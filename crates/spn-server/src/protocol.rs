@@ -260,8 +260,15 @@ pub struct InferRequest {
     pub num_features: u32,
     /// Row-major `num_samples × num_features` block.
     pub data: Vec<u8>,
+    /// Trace opt-in carried in the payload's trailing flags byte.
+    /// When `true` (the default the client builder uses),
+    /// [`InferRequest::decode`] mints a fresh [`SpanCtx`] — the
+    /// server-side birth of a trace — so the request's spans land on
+    /// the server timeline. When `false` the request decodes with
+    /// [`SpanCtx::NONE`] and its spans stay unattributed.
+    pub trace: bool,
     /// Request-scoped trace context. [`InferRequest::decode`] mints a
-    /// fresh one per request (the server-side birth of a trace); it is
+    /// fresh one per request if `trace` is set; the context itself is
     /// *not* carried on the wire, so clients building a request leave
     /// it [`SpanCtx::NONE`].
     pub ctx: SpanCtx,
@@ -278,6 +285,7 @@ impl InferRequest {
         p.extend_from_slice(&self.num_samples.to_le_bytes());
         p.extend_from_slice(&self.num_features.to_le_bytes());
         p.extend_from_slice(&self.data);
+        p.push(self.trace as u8); // trailing flags byte, bit 0 = trace
         p
     }
 
@@ -318,18 +326,32 @@ impl InferRequest {
             return Err(format!("feature block of {expect} bytes exceeds cap"));
         }
         let got = (p.len() - at) as u64;
-        if got != expect {
+        // The feature block is followed by exactly one flags byte; an
+        // exact-length check (rather than ≥) keeps shape lies — a
+        // header promising more or fewer samples than were sent —
+        // detectable instead of silently shifting the flags byte.
+        if got != expect + 1 {
             return Err(format!(
-                "feature block is {got} bytes, header promises {num_samples}×{num_features} = {expect}"
+                "payload is {got} bytes, header promises {num_samples}×{num_features} = {expect} plus a flags byte"
             ));
         }
+        let flags = p[p.len() - 1];
+        if flags > 1 {
+            return Err(format!("unknown flags byte {flags:#04x}"));
+        }
+        let trace = flags & 1 != 0;
         Ok(InferRequest {
             model,
             deadline_ms,
             num_samples,
             num_features,
-            data: p[at..].to_vec(),
-            ctx: SpanCtx::mint(),
+            data: p[at..p.len() - 1].to_vec(),
+            trace,
+            ctx: if trace {
+                SpanCtx::mint()
+            } else {
+                SpanCtx::NONE
+            },
         })
     }
 }
@@ -418,6 +440,7 @@ mod tests {
             num_samples: 3,
             num_features: 2,
             data: vec![0, 1, 2, 3, 4, 5],
+            trace: true,
             ctx: SpanCtx::NONE,
         };
         let mut got = InferRequest::decode(&req.encode()).unwrap();
@@ -429,6 +452,39 @@ mod tests {
     }
 
     #[test]
+    fn trace_opt_out_decodes_to_a_none_context() {
+        let req = InferRequest {
+            model: "NIPS10".into(),
+            deadline_ms: 0,
+            num_samples: 1,
+            num_features: 2,
+            data: vec![7, 8],
+            trace: false,
+            ctx: SpanCtx::NONE,
+        };
+        let got = InferRequest::decode(&req.encode()).unwrap();
+        assert!(!got.trace);
+        assert_eq!(got.ctx, SpanCtx::NONE, "opt-out requests get no trace");
+        assert_eq!(got.data, req.data, "flags byte is not part of the data");
+    }
+
+    #[test]
+    fn unknown_flag_bits_are_rejected() {
+        let req = InferRequest {
+            model: "m".into(),
+            deadline_ms: 0,
+            num_samples: 1,
+            num_features: 1,
+            data: vec![0],
+            trace: true,
+            ctx: SpanCtx::NONE,
+        };
+        let mut bytes = req.encode();
+        *bytes.last_mut().unwrap() = 0x82;
+        assert!(InferRequest::decode(&bytes).is_err());
+    }
+
+    #[test]
     fn infer_request_shape_lies_are_caught() {
         let mut req = InferRequest {
             model: "m".into(),
@@ -436,6 +492,7 @@ mod tests {
             num_samples: 2,
             num_features: 3,
             data: vec![0; 6],
+            trace: true,
             ctx: SpanCtx::NONE,
         };
         req.data.pop(); // now 5 bytes for a promised 6

@@ -30,10 +30,10 @@ use crate::protocol::{
     parse_header, write_frame, Frame, InferRequest, Opcode, Status, WireError, HEADER_LEN,
 };
 use parking_lot::{Condvar, Mutex};
-use spn_runtime::{JobOptions, Scheduler};
+use spn_runtime::{JobOptions, PlanCache, Scheduler};
 use spn_telemetry::{
-    BatcherTelemetry, ModelTelemetry, SpanCtx, SpanKind, TelemetrySnapshot, TraceCollector,
-    TELEMETRY_SCHEMA_VERSION,
+    BatcherTelemetry, ModelTelemetry, PlanTelemetry, SpanCtx, SpanKind, TelemetrySnapshot,
+    TraceCollector, TELEMETRY_SCHEMA_VERSION,
 };
 use std::collections::BTreeMap;
 use std::io::{self, Read};
@@ -106,6 +106,20 @@ impl ModelSpec {
             domain,
             opts: JobOptions::default(),
         }
+    }
+
+    /// Replace the per-batch job options. The main use is routing a
+    /// model's batches to the compiled-plan host fast path:
+    ///
+    /// ```ignore
+    /// spec.with_opts(JobOptions::builder().backend(ExecBackend::HostPlan).build()?)
+    /// ```
+    ///
+    /// which requires the model's scheduler to have been built from a
+    /// device carrying its SPN (`VirtualDevice::with_model`).
+    pub fn with_opts(mut self, opts: JobOptions) -> ModelSpec {
+        self.opts = opts;
+        self
     }
 }
 
@@ -583,7 +597,11 @@ fn handle_infer(shared: &SharedState, payload: &[u8]) -> (Frame, SpanCtx) {
 /// Build the unified telemetry document the `Stats` opcode serves:
 /// the serving section plus one scheduler/batcher section per model
 /// (models in `BTreeMap` name order; serde handles all escaping, so
-/// arbitrary model names are safe).
+/// arbitrary model names are safe), plus one aggregate `plan` section
+/// over the distinct plan caches behind those schedulers. Schedulers
+/// built with [`spn_runtime::Scheduler::with_cache`] may share one
+/// cache, so caches are de-duplicated by identity before summing —
+/// a shared cache is counted once, not once per model.
 fn telemetry_snapshot(shared: &SharedState) -> TelemetrySnapshot {
     let models = shared
         .models
@@ -600,9 +618,30 @@ fn telemetry_snapshot(shared: &SharedState) -> TelemetrySnapshot {
             )
         })
         .collect();
+    let mut seen: Vec<*const PlanCache> = Vec::new();
+    let mut plan = PlanTelemetry {
+        cached_plans: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        invalidations: 0,
+    };
+    for handle in shared.models.values() {
+        let cache = handle.scheduler.plan_cache();
+        let id = Arc::as_ptr(cache);
+        if seen.contains(&id) {
+            continue;
+        }
+        seen.push(id);
+        let t = cache.telemetry();
+        plan.cached_plans += t.cached_plans;
+        plan.cache_hits += t.cache_hits;
+        plan.cache_misses += t.cache_misses;
+        plan.invalidations += t.invalidations;
+    }
     TelemetrySnapshot {
         schema: TELEMETRY_SCHEMA_VERSION,
         server: Some(shared.metrics.snapshot()),
         models,
+        plan: Some(plan),
     }
 }

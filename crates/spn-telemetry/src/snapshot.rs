@@ -19,7 +19,9 @@ use sim_core::HistogramSummary;
 use std::collections::BTreeMap;
 
 /// Version stamp of the [`TelemetrySnapshot`] JSON schema.
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+/// Version 2 added the optional top-level `plan` section
+/// ([`PlanTelemetry`]).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
 
 /// Point-in-time counters of one scheduler (`spn-runtime`'s
 /// `MetricsRegistry`). Field order = JSON key order.
@@ -92,6 +94,20 @@ pub struct BatcherTelemetry {
     pub queued_samples: u64,
 }
 
+/// Point-in-time counters of a compiled-plan cache (`spn-runtime`'s
+/// `PlanCache`). Field order = JSON key order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanTelemetry {
+    /// Compiled plans currently cached.
+    pub cached_plans: u64,
+    /// Lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Lookups that had to compile.
+    pub cache_misses: u64,
+    /// Plans evicted by explicit invalidation.
+    pub invalidations: u64,
+}
+
 /// Everything known about one served model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelTelemetry {
@@ -111,6 +127,9 @@ pub struct TelemetrySnapshot {
     pub server: Option<ServingTelemetry>,
     /// Per-model telemetry, keyed by model name (sorted).
     pub models: BTreeMap<String, ModelTelemetry>,
+    /// Compiled-plan cache counters; `null` when no plan cache is in
+    /// play (e.g. a device-only deployment).
+    pub plan: Option<PlanTelemetry>,
 }
 
 impl SchedulerTelemetry {
@@ -135,6 +154,7 @@ impl TelemetrySnapshot {
             schema: TELEMETRY_SCHEMA_VERSION,
             server: None,
             models: BTreeMap::new(),
+            plan: None,
         }
     }
 

@@ -17,6 +17,12 @@ pub enum SpanKind {
     Execute,
     /// Device→host DMA transfer (runtime layer).
     D2H,
+    /// An SPN being compiled into a flat inference plan (runtime
+    /// layer, once per model per plan cache).
+    PlanCompile,
+    /// A block evaluated on the host through a compiled plan instead
+    /// of the device (runtime layer).
+    PlanExec,
     /// A request waiting in the micro-batcher queue (server layer).
     RequestQueued,
     /// The batcher closing a window and forming a job (server layer).
@@ -32,6 +38,8 @@ impl SpanKind {
             SpanKind::H2D => "h2d",
             SpanKind::Execute => "execute",
             SpanKind::D2H => "d2h",
+            SpanKind::PlanCompile => "plan-compile",
+            SpanKind::PlanExec => "plan-exec",
             SpanKind::RequestQueued => "request-queued",
             SpanKind::BatchFormed => "batch-formed",
             SpanKind::ReplyWritten => "reply-written",
@@ -108,7 +116,10 @@ mod tests {
     fn kinds_map_to_layers() {
         assert_eq!(SpanKind::Execute.category(), "runtime");
         assert_eq!(SpanKind::BatchFormed.category(), "server");
+        assert_eq!(SpanKind::PlanCompile.category(), "runtime");
+        assert_eq!(SpanKind::PlanExec.category(), "runtime");
         assert!(!SpanKind::H2D.is_server());
+        assert!(!SpanKind::PlanExec.is_server());
         assert!(SpanKind::ReplyWritten.is_server());
     }
 

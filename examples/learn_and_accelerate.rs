@@ -9,7 +9,7 @@
 
 use spn_arith::{CfpFormat, ErrorStats, F64Format, LnsFormat, PositFormat, SpnNumber};
 use spn_core::{
-    generate_bag_of_words, learn_spn, to_text, BagOfWordsConfig, Evaluator, LearnParams,
+    generate_bag_of_words, learn_spn, to_text, BagOfWordsConfig, Evaluator, LearnParams, Query,
 };
 use spn_hw::{
     datapath_cost, design_cost, ArithCosts, DatapathProgram, OpLatencies, PipelineSchedule,
@@ -35,8 +35,11 @@ fn main() {
     println!("learned SPN: {:?}", spn.stats());
 
     let mut ev = Evaluator::new(&spn);
-    let mean_ll: f64 =
-        test.rows().map(|r| ev.log_likelihood_bytes(r)).sum::<f64>() / test.num_samples() as f64;
+    let mean_ll: f64 = test
+        .rows()
+        .map(|r| ev.eval_bytes(&Query::Complete, r))
+        .sum::<f64>()
+        / test.num_samples() as f64;
     println!("held-out mean log-likelihood: {mean_ll:.3}");
 
     // Export: this is the artifact the hardware generator consumes.

@@ -10,10 +10,10 @@
 //! ```
 
 use spn_arith::{AnyFormat, CfpFormat};
-use spn_core::{Evaluator, NipsBenchmark};
+use spn_core::{Evaluator, NipsBenchmark, Query};
 use spn_hw::{AcceleratorConfig, DatapathProgram};
 use spn_runtime::perf::{simulate, PerfConfig};
-use spn_runtime::{RuntimeConfig, SpnRuntime, VirtualDevice};
+use spn_runtime::{JobOptions, RuntimeConfig, SpnRuntime, VirtualDevice};
 use std::sync::Arc;
 
 fn main() {
@@ -70,7 +70,10 @@ fn main() {
             .expect("valid runtime config"),
     );
     let t0 = std::time::Instant::now();
-    let probs = rt.infer(&data).expect("inference succeeds");
+    let probs = rt
+        .run(&data, JobOptions::default())
+        .expect("inference succeeds")
+        .values;
     let host_secs = t0.elapsed().as_secs_f64();
     if let Some(metrics) = rt.metrics_snapshot() {
         println!(
@@ -85,7 +88,7 @@ fn main() {
     let mut ev = Evaluator::new(&spn);
     let mut max_rel: f64 = 0.0;
     for (row, &p) in data.rows().zip(&probs) {
-        let reference = ev.log_likelihood_bytes(row).exp();
+        let reference = ev.eval_bytes(&Query::Complete, row).exp();
         max_rel = max_rel.max(((p - reference) / reference).abs());
     }
     println!(

@@ -5,7 +5,7 @@
 //! cargo run --release -p examples --bin quickstart
 //! ```
 
-use spn_core::{from_text, to_text, Evaluator, Leaf, SpnBuilder};
+use spn_core::{from_text, to_text, Evaluator, Leaf, Query, SpnBuilder};
 
 fn main() {
     // A tiny weather model over two byte variables:
@@ -35,18 +35,20 @@ fn main() {
     println!("joint probabilities:");
     for sky in 0..2u8 {
         for ground in 0..2u8 {
-            let p = ev.log_likelihood_bytes(&[sky, ground]).exp();
+            let p = ev.eval_bytes(&Query::Complete, &[sky, ground]).exp();
             println!("  P(sky={sky}, ground={ground}) = {p:.4}");
         }
     }
 
     // 2. Marginal: what is P(ground = wet), summing out the sky? This is
     // the "handling uncertainty" capability the paper motivates SPNs with.
-    let p_wet = ev.log_marginal(&[None, Some(1.0)]).exp();
+    let (q_wet, row_wet) = Query::marginal_from_evidence(&[None, Some(1.0)]);
+    let p_wet = ev.eval(&q_wet, &row_wet).exp();
     println!("\nP(ground=wet) marginalizing sky = {p_wet:.4}");
 
     // 3. MPE: most probable explanation given the ground is wet.
-    let mpe = ev.mpe(&[None, Some(1.0)]);
+    let (q_mpe, row_mpe) = Query::mpe_from_evidence(&[None, Some(1.0)]);
+    let (_, mpe) = ev.eval_mpe(&q_mpe, &row_mpe);
     println!("most probable sky given wet ground: {:?}", mpe[0]);
 
     // Textual interchange (SPFlow-compatible): serialize and re-parse.
@@ -54,8 +56,8 @@ fn main() {
     println!("\ntextual form:\n{text}");
     let back = from_text(&text, "weather-reparsed", Some(2)).expect("round-trip parses");
     let mut ev2 = Evaluator::new(&back);
-    let a = ev.log_likelihood_bytes(&[1, 1]);
-    let b2 = ev2.log_likelihood_bytes(&[1, 1]);
+    let a = ev.eval_bytes(&Query::Complete, &[1, 1]);
+    let b2 = ev2.eval_bytes(&Query::Complete, &[1, 1]);
     assert_eq!(a, b2, "round-trip preserves semantics");
     println!("round-trip OK: log P(1,1) = {a:.6} in both");
 }

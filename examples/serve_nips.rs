@@ -15,7 +15,7 @@
 use spn_arith::AnyFormat;
 use spn_core::NipsBenchmark;
 use spn_hw::{AcceleratorConfig, DatapathProgram};
-use spn_runtime::{RuntimeConfig, Scheduler, SpnRuntime, VirtualDevice};
+use spn_runtime::{JobOptions, RuntimeConfig, Scheduler, SpnRuntime, VirtualDevice};
 use spn_server::{run_load, BatchPolicy, Client, LoadConfig, ModelSpec, ServerConfig, SpnServer};
 use std::sync::Arc;
 use std::time::Duration;
@@ -77,15 +77,18 @@ fn main() {
             .build()
             .unwrap(),
     )
-    .infer(&dataset)
+    .run(&dataset, JobOptions::default())
     .expect("direct inference")
+    .values
     .iter()
     .map(|p| p.ln())
     .collect();
 
     let mut client = Client::connect(addr).expect("client connects");
     let served = client
-        .infer(bench.name(), dataset.raw(), 64, nf)
+        .request(bench.name())
+        .samples(dataset.raw(), 64, nf)
+        .send()
         .expect("served inference");
     let identical = served
         .iter()

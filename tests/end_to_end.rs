@@ -6,9 +6,9 @@
 //! in multiple arithmetic formats (spn-arith).
 
 use spn_arith::AnyFormat;
-use spn_core::{Evaluator, NipsBenchmark};
+use spn_core::{Evaluator, NipsBenchmark, Query};
 use spn_hw::{AcceleratorConfig, DatapathProgram};
-use spn_runtime::{RuntimeConfig, SpnRuntime, VirtualDevice};
+use spn_runtime::{JobOptions, RuntimeConfig, SpnRuntime, VirtualDevice};
 use std::sync::Arc;
 
 fn run_pipeline(
@@ -35,11 +35,14 @@ fn run_pipeline(
             .expect("valid config"),
     );
     let data = bench.dataset(samples, 0xFEED);
-    let got = rt.infer(&data).expect("pipeline runs");
+    let got = rt
+        .run(&data, JobOptions::default())
+        .expect("pipeline runs")
+        .values;
     let mut ev = Evaluator::new(&spn);
     let want: Vec<f64> = data
         .rows()
-        .map(|r| ev.log_likelihood_bytes(r).exp())
+        .map(|r| ev.eval_bytes(&Query::Complete, r).exp())
         .collect();
     (got, want)
 }
@@ -101,7 +104,7 @@ fn runtime_reports_shape_mismatch_cleanly() {
     ));
     let rt = SpnRuntime::new(device, RuntimeConfig::default());
     let wrong = NipsBenchmark::Nips40.dataset(8, 1);
-    assert!(rt.infer(&wrong).is_err());
+    assert!(rt.run(&wrong, JobOptions::default()).is_err());
 }
 
 #[test]
@@ -127,7 +130,7 @@ fn device_memory_restored_after_big_run() {
             .unwrap(),
     );
     let data = NipsBenchmark::Nips20.dataset(20_000, 5);
-    rt.infer(&data).unwrap();
+    rt.run(&data, JobOptions::default()).unwrap();
     for (c, b) in before.iter().enumerate() {
         assert_eq!(device.memory().free_bytes(c as u32).unwrap(), *b);
     }
@@ -160,7 +163,7 @@ fn fault_injection_is_caught_by_verification() {
             .unwrap(),
     );
     let data = bench.dataset(2_000, 4);
-    match rt.infer(&data) {
+    match rt.run(&data, JobOptions::default()) {
         Err(RuntimeError::VerificationFailed {
             index,
             got,
@@ -193,7 +196,7 @@ fn fault_free_device_passes_full_verification() {
             .unwrap(),
     );
     let data = bench.dataset(2_000, 4);
-    assert!(rt.infer(&data).is_ok());
+    assert!(rt.run(&data, JobOptions::default()).is_ok());
 }
 
 #[test]
@@ -226,7 +229,7 @@ fn sparse_verification_has_bounded_cost_and_still_catches_dense_faults() {
     );
     let data = bench.dataset(5_000, 8);
     assert!(matches!(
-        rt.infer(&data),
+        rt.run(&data, JobOptions::default()),
         Err(RuntimeError::VerificationFailed { .. })
     ));
 }

@@ -4,9 +4,10 @@
 use spn_arith::AnyFormat;
 use spn_core::{
     from_text, generate_bag_of_words, learn_spn, to_text, BagOfWordsConfig, Evaluator, LearnParams,
+    Query,
 };
 use spn_hw::{AcceleratorConfig, DatapathProgram, OpLatencies, PipelineSchedule};
-use spn_runtime::{RuntimeConfig, SpnRuntime, VirtualDevice};
+use spn_runtime::{JobOptions, RuntimeConfig, SpnRuntime, VirtualDevice};
 use std::sync::Arc;
 
 fn training_config(features: usize) -> BagOfWordsConfig {
@@ -41,10 +42,10 @@ fn learned_model_runs_on_the_accelerator() {
     let rt = SpnRuntime::new(device, RuntimeConfig::default());
 
     let test = generate_bag_of_words(&BagOfWordsConfig { seed: 77, ..cfg }, 500);
-    let accel = rt.infer(&test).unwrap();
+    let accel = rt.run(&test, JobOptions::default()).unwrap().values;
     let mut ev = Evaluator::new(&spn);
     for (row, &p) in test.rows().zip(&accel) {
-        let reference = ev.log_likelihood_bytes(row).exp();
+        let reference = ev.eval_bytes(&Query::Complete, row).exp();
         assert!(
             ((p - reference) / reference).abs() < 1e-4,
             "accelerated {p} vs reference {reference}"
@@ -62,8 +63,11 @@ fn learned_model_beats_uniform_on_held_out_data() {
     let (train, test) = all.split_at(3000);
     let spn = learn_spn(&train, &LearnParams::default(), "gen").unwrap();
     let mut ev = Evaluator::new(&spn);
-    let mean_ll: f64 =
-        test.rows().map(|r| ev.log_likelihood_bytes(r)).sum::<f64>() / test.num_samples() as f64;
+    let mean_ll: f64 = test
+        .rows()
+        .map(|r| ev.eval_bytes(&Query::Complete, r))
+        .sum::<f64>()
+        / test.num_samples() as f64;
     let uniform = -(6.0 * (16f64).ln());
     assert!(
         mean_ll > uniform + 1.0,

@@ -10,8 +10,8 @@
 use spn_runtime::{JobOutcome, MetricsRegistry, MetricsSnapshot};
 use spn_server::{HistogramSummary, ServerMetrics};
 use spn_telemetry::{
-    BatcherTelemetry, ModelTelemetry, SchedulerTelemetry, ServingTelemetry, TelemetrySnapshot,
-    TELEMETRY_SCHEMA_VERSION,
+    BatcherTelemetry, ModelTelemetry, PlanTelemetry, SchedulerTelemetry, ServingTelemetry,
+    TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION,
 };
 use std::time::Duration;
 
@@ -180,11 +180,17 @@ fn telemetry_snapshot_golden_json() {
         )]
         .into_iter()
         .collect(),
+        plan: Some(PlanTelemetry {
+            cached_plans: 1,
+            cache_hits: 3,
+            cache_misses: 1,
+            invalidations: 0,
+        }),
     };
 
     let golden = "\
 {
-  \"schema\": 1,
+  \"schema\": 2,
   \"server\": {
     \"requests_total\": 4,
     \"samples_total\": 32,
@@ -244,6 +250,12 @@ fn telemetry_snapshot_golden_json() {
         \"queued_samples\": 7
       }
     }
+  },
+  \"plan\": {
+    \"cached_plans\": 1,
+    \"cache_hits\": 3,
+    \"cache_misses\": 1,
+    \"invalidations\": 0
   }
 }
 ";

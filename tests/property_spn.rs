@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use spn_arith::F64Format;
-use spn_core::{from_text, to_text, Evaluator, RandomSpnConfig};
+use spn_core::{from_text, to_text, Evaluator, Query, RandomSpnConfig};
 use spn_hw::DatapathProgram;
 
 /// Strategy: a random-but-valid SPN configuration, small enough that
@@ -51,7 +51,7 @@ proptest! {
         let mut ev = Evaluator::new(&spn);
         let total: f64 = all_samples(cfg.num_vars, cfg.domain)
             .iter()
-            .map(|s| ev.log_likelihood_bytes(s).exp())
+            .map(|s| ev.eval_bytes(&Query::Complete, s).exp())
             .sum();
         prop_assert!((total - 1.0).abs() < 1e-9, "mass {total}");
     }
@@ -62,19 +62,21 @@ proptest! {
     fn marginalization_consistency(cfg in spn_config()) {
         let spn = spn_core::random_spn(&cfg, "prop").unwrap();
         let mut ev = Evaluator::new(&spn);
-        let all = ev.log_marginal(&vec![None; cfg.num_vars]).exp();
+        let (q_all, row_all) = Query::marginal_from_evidence(&vec![None; cfg.num_vars]);
+        let all = ev.eval(&q_all, &row_all).exp();
         prop_assert!((all - 1.0).abs() < 1e-9);
 
         if cfg.num_vars >= 2 {
             // Fix variables 1.. to 0, marginalize variable 0.
             let mut evidence: Vec<Option<f64>> = vec![Some(0.0); cfg.num_vars];
             evidence[0] = None;
-            let marginal = ev.log_marginal(&evidence).exp();
+            let (q, row) = Query::marginal_from_evidence(&evidence);
+            let marginal = ev.eval(&q, &row).exp();
             let explicit: f64 = (0..cfg.domain as u8)
                 .map(|v| {
                     let mut s = vec![0u8; cfg.num_vars];
                     s[0] = v;
-                    ev.log_likelihood_bytes(&s).exp()
+                    ev.eval_bytes(&Query::Complete, &s).exp()
                 })
                 .sum();
             prop_assert!((marginal - explicit).abs() < 1e-12);
@@ -91,7 +93,7 @@ proptest! {
         let mut e1 = Evaluator::new(&spn);
         let mut e2 = Evaluator::new(&back);
         for s in all_samples(cfg.num_vars, cfg.domain) {
-            prop_assert_eq!(e1.log_likelihood_bytes(&s), e2.log_likelihood_bytes(&s));
+            prop_assert_eq!(e1.eval_bytes(&Query::Complete, &s), e2.eval_bytes(&Query::Complete, &s));
         }
     }
 
@@ -103,7 +105,7 @@ proptest! {
         let mut ev = Evaluator::new(&spn);
         for s in all_samples(cfg.num_vars, cfg.domain) {
             let hw = prog.execute(&F64Format, &s);
-            let reference = ev.log_likelihood_bytes(&s).exp();
+            let reference = ev.eval_bytes(&Query::Complete, &s).exp();
             let err = (hw - reference).abs();
             prop_assert!(
                 err <= reference * 1e-12 + 1e-300,
@@ -158,7 +160,7 @@ proptest! {
                 .into_iter()
                 .map(|v| v.clamp(0.0, 255.0) as u8)
                 .collect();
-            let ll = ev.log_likelihood_bytes(&bytes);
+            let ll = ev.eval_bytes(&Query::Complete, &bytes);
             prop_assert!(ll.is_finite(), "sampled point scored {ll}");
         }
     }
@@ -177,8 +179,8 @@ proptest! {
         let mut e1 = Evaluator::new(&spn);
         let mut e2 = Evaluator::new(&pruned);
         for s in all_samples(cfg.num_vars, cfg.domain).into_iter().take(8) {
-            let a = e1.log_likelihood_bytes(&s);
-            let b = e2.log_likelihood_bytes(&s);
+            let a = e1.eval_bytes(&Query::Complete, &s);
+            let b = e2.eval_bytes(&Query::Complete, &s);
             prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
     }
@@ -192,9 +194,10 @@ proptest! {
         let v = (fixed as usize % cfg.domain) as f64;
         let mut evidence: Vec<Option<f64>> = vec![None; cfg.num_vars];
         evidence[0] = Some(v);
-        let assignment = ev.mpe(&evidence);
+        let (q, row) = Query::mpe_from_evidence(&evidence);
+        let (_, assignment) = ev.eval_mpe(&q, &row);
         prop_assert_eq!(assignment[0], v);
-        let p = ev.log_likelihood(&assignment);
+        let p = ev.eval(&Query::Complete, &assignment);
         prop_assert!(p.is_finite(), "MPE assignment has zero probability");
     }
 }

@@ -69,8 +69,8 @@ fn two_concurrent_jobs_match_sequential_path_bitwise() {
     let rt = SpnRuntime::new(make_device(bench, 4, None), config);
     let big_data = bench.dataset(30_000, 11);
     let small_data = bench.dataset(300, 22);
-    let seq_big = rt.infer(&big_data).unwrap();
-    let seq_small = rt.infer(&small_data).unwrap();
+    let seq_big = rt.run(&big_data, JobOptions::default()).unwrap().values;
+    let seq_small = rt.run(&small_data, JobOptions::default()).unwrap().values;
 
     // Concurrent run: submit the big job, then the small one behind it.
     let device = make_device(bench, 4, None);
@@ -193,7 +193,7 @@ fn failed_job_does_not_poison_concurrent_jobs() {
     let data = bench.dataset(2_000, 44);
     // Fault-free reference for the surviving job.
     let rt = SpnRuntime::new(make_device(bench, 2, None), config);
-    let want = rt.infer(&data).unwrap();
+    let want = rt.run(&data, JobOptions::default()).unwrap().values;
 
     let doomed_opts = JobOptions::builder().max_retries(0).build().unwrap();
     let hardy_opts = JobOptions::builder()
@@ -283,4 +283,86 @@ fn invalid_configs_are_errors_not_panics() {
     assert!(matches!(err, RuntimeError::InvalidConfig { .. }));
     // The error chain is introspectable (std::error::Error).
     let _ = std::error::Error::source(&err);
+}
+
+/// The compiled-plan host backend, end to end through the scheduler:
+/// two schedulers sharing one `PlanCache` compile the model once, a
+/// `HostPlan` job's results are bit-identical to the tree-walk oracle,
+/// its execution is traced as `plan-exec` spans, and it moves zero
+/// bytes over the (virtual) PCIe link.
+#[test]
+fn host_plan_jobs_share_the_cache_and_skip_the_device() {
+    use spn_core::Evaluator;
+    use spn_telemetry::SpanKind;
+
+    let bench = NipsBenchmark::Nips10;
+    let spn = Arc::new(bench.build_spn());
+    let config = RuntimeConfig::builder()
+        .block_samples(512)
+        .threads_per_pe(1)
+        .build()
+        .unwrap();
+    let cache = Arc::new(PlanCache::new());
+    let trace = Arc::new(TraceCollector::new());
+
+    let mk = |trace: Option<Arc<TraceCollector>>| {
+        let prog = spn_hw::DatapathProgram::compile(&spn);
+        let device = Arc::new(
+            VirtualDevice::new(
+                prog,
+                AnyFormat::paper_default(),
+                spn_hw::AcceleratorConfig::paper_default(),
+                2,
+                16 << 20,
+            )
+            .with_model(Arc::clone(&spn)),
+        );
+        Scheduler::with_cache(device, config, trace, Arc::clone(&cache)).unwrap()
+    };
+
+    let first = mk(Some(Arc::clone(&trace)));
+    let second = mk(None);
+    // One structure, two schedulers: compiled exactly once.
+    let t = cache.telemetry();
+    assert_eq!((t.cache_misses, t.cache_hits), (1, 1));
+    assert_eq!(t.cached_plans, 1);
+
+    let data = Arc::new(bench.dataset(2_000, 3));
+    let opts = JobOptions::builder()
+        .backend(ExecBackend::HostPlan)
+        .build()
+        .unwrap();
+    let got = first
+        .submit(Arc::clone(&data), opts)
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    // Bit-identical to the oracle (results are probabilities, matching
+    // the device convention).
+    let mut ev = Evaluator::new(&spn);
+    for (row, &p) in data.rows().zip(&got) {
+        let want = ev.eval_bytes(&Query::Complete, row).exp();
+        assert_eq!(p.to_bits(), want.to_bits());
+    }
+
+    // Host jobs never touch the PCIe link or the device datapath...
+    let m = first.metrics_snapshot();
+    assert_eq!((m.h2d_bytes, m.d2h_bytes), (0, 0));
+    assert_eq!(m.jobs_completed, 1);
+    // ...but their execution is on the trace timeline.
+    let spans = trace.spans();
+    assert!(
+        spans.iter().any(|s| s.kind == SpanKind::PlanExec),
+        "host blocks record plan-exec spans"
+    );
+    assert!(
+        spans.iter().any(|s| s.kind == SpanKind::PlanCompile),
+        "the eager compile records a plan-compile span"
+    );
+    assert!(
+        !spans.iter().any(|s| s.kind == SpanKind::Execute),
+        "no device execute spans for a HostPlan job"
+    );
+    drop(second);
 }

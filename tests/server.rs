@@ -5,7 +5,7 @@
 use spn_arith::AnyFormat;
 use spn_core::NipsBenchmark;
 use spn_hw::{AcceleratorConfig, DatapathProgram};
-use spn_runtime::{RuntimeConfig, Scheduler, SpnRuntime, VirtualDevice};
+use spn_runtime::{JobOptions, RuntimeConfig, Scheduler, SpnRuntime, VirtualDevice};
 use spn_server::{
     protocol, BatchPolicy, Client, ClientError, LoadConfig, ModelSpec, ServerConfig, SpnServer,
     Status,
@@ -85,8 +85,9 @@ fn loopback_is_bit_identical_to_direct_runtime_under_four_clients() {
         RuntimeConfig::builder().block_samples(512).build().unwrap(),
     );
     let expected: Vec<f64> = runtime
-        .infer(&dataset)
+        .run(&dataset, JobOptions::default())
         .unwrap()
+        .values
         .iter()
         .map(|p| p.ln())
         .collect();
@@ -120,7 +121,9 @@ fn loopback_is_bit_identical_to_direct_runtime_under_four_clients() {
                     block.extend_from_slice(dataset.row(base + at + r));
                 }
                 let lls = client
-                    .infer(NipsBenchmark::Nips10.name(), &block, n as u32, nf)
+                    .request(NipsBenchmark::Nips10.name())
+                    .samples(&block, n as u32, nf)
+                    .send()
                     .unwrap();
                 assert_eq!(lls.len(), n);
                 got.extend(lls);
@@ -249,7 +252,10 @@ fn deadline_expires_in_the_batch_queue() {
     let mut client = Client::connect(server.local_addr()).unwrap();
     let data = vec![0u8; bench.num_vars()];
     let err = client
-        .infer_with_deadline(bench.name(), &data, 1, bench.num_vars() as u32, 1)
+        .request(bench.name())
+        .samples(&data, 1, bench.num_vars() as u32)
+        .deadline_ms(1)
+        .send()
         .unwrap_err();
     match err {
         ClientError::Rejected { status, .. } => assert_eq!(status, Status::DeadlineExceeded),
@@ -270,7 +276,9 @@ fn server_busy_does_not_affect_other_connections() {
 
     let mut big = Client::connect(server.local_addr()).unwrap();
     let err = big
-        .infer(bench.name(), &vec![0u8; 8 * bench.num_vars()], 8, nf)
+        .request(bench.name())
+        .samples(&vec![0u8; 8 * bench.num_vars()], 8, nf)
+        .send()
         .unwrap_err();
     match err {
         ClientError::Rejected { status, .. } => assert_eq!(status, Status::ServerBusy),
@@ -280,7 +288,9 @@ fn server_busy_does_not_affect_other_connections() {
     // A small request on a different connection sails through.
     let mut small = Client::connect(server.local_addr()).unwrap();
     let lls = small
-        .infer(bench.name(), &vec![0u8; 2 * bench.num_vars()], 2, nf)
+        .request(bench.name())
+        .samples(&vec![0u8; 2 * bench.num_vars()], 2, nf)
+        .send()
         .unwrap();
     assert_eq!(lls.len(), 2);
     // And the rejected connection is also still alive.
@@ -295,11 +305,21 @@ fn unknown_model_and_shape_mismatch_statuses() {
     let server = start_server(bench, BatchPolicy::default(), 1 << 20);
     let mut client = Client::connect(server.local_addr()).unwrap();
 
-    match client.infer("NOPE", &[0u8; 5], 1, 5).unwrap_err() {
+    match client
+        .request("NOPE")
+        .samples(&[0u8; 5], 1, 5)
+        .send()
+        .unwrap_err()
+    {
         ClientError::Rejected { status, .. } => assert_eq!(status, Status::UnknownModel),
         other => panic!("expected UnknownModel, got {other:?}"),
     }
-    match client.infer(bench.name(), &[0u8; 5], 1, 5).unwrap_err() {
+    match client
+        .request(bench.name())
+        .samples(&[0u8; 5], 1, 5)
+        .send()
+        .unwrap_err()
+    {
         ClientError::Rejected { status, .. } => assert_eq!(status, Status::ShapeMismatch),
         other => panic!("expected ShapeMismatch, got {other:?}"),
     }
@@ -324,21 +344,30 @@ fn out_of_domain_feature_bytes_are_rejected_not_fatal() {
     let mut vandal = Client::connect(server.local_addr()).unwrap();
     let mut bad = vec![0u8; bench.num_vars()];
     bad[3] = 5; // outside domain 0..2
-    match vandal.infer(bench.name(), &bad, 1, nf).unwrap_err() {
+    match vandal
+        .request(bench.name())
+        .samples(&bad, 1, nf)
+        .send()
+        .unwrap_err()
+    {
         ClientError::Rejected { status, .. } => assert_eq!(status, Status::Malformed),
         other => panic!("expected Malformed, got {other:?}"),
     }
 
     // The vandal's own connection survives (typed error, not a close)…
     let lls = vandal
-        .infer(bench.name(), &vec![1u8; bench.num_vars()], 1, nf)
+        .request(bench.name())
+        .samples(&vec![1u8; bench.num_vars()], 1, nf)
+        .send()
         .unwrap();
     assert_eq!(lls.len(), 1);
     // …and so does everyone else: the batcher worker never saw the
     // bad bytes, so the model queue still drains.
     let mut civilian = Client::connect(server.local_addr()).unwrap();
     let lls = civilian
-        .infer(bench.name(), &vec![0u8; 4 * bench.num_vars()], 4, nf)
+        .request(bench.name())
+        .samples(&vec![0u8; 4 * bench.num_vars()], 4, nf)
+        .send()
         .unwrap();
     assert_eq!(lls.len(), 4);
     assert!(server.metrics_snapshot().rejected_malformed >= 1);
@@ -424,7 +453,9 @@ fn malformed_frames_are_contained_per_connection() {
     let reply = protocol::read_frame(sloppy.stream_mut()).unwrap();
     assert_eq!(reply.status, Status::Malformed);
     let lls = sloppy
-        .infer(bench.name(), &vec![0u8; bench.num_vars()], 1, nf)
+        .request(bench.name())
+        .samples(&vec![0u8; bench.num_vars()], 1, nf)
+        .send()
         .unwrap();
     assert_eq!(lls.len(), 1);
 
@@ -458,12 +489,9 @@ fn disconnect_mid_request_is_survived() {
     let mut client = Client::connect(server.local_addr()).unwrap();
     client.ping().unwrap();
     let lls = client
-        .infer(
-            bench.name(),
-            &vec![0u8; bench.num_vars()],
-            1,
-            bench.num_vars() as u32,
-        )
+        .request(bench.name())
+        .samples(&vec![0u8; bench.num_vars()], 1, bench.num_vars() as u32)
+        .send()
         .unwrap();
     assert_eq!(lls.len(), 1);
 }
@@ -477,12 +505,14 @@ fn stats_opcode_returns_parsable_json() {
     let mut client = Client::connect(server.local_addr()).unwrap();
     let nf = bench.num_vars() as u32;
     client
-        .infer(bench.name(), &vec![0u8; 3 * bench.num_vars()], 3, nf)
+        .request(bench.name())
+        .samples(&vec![0u8; 3 * bench.num_vars()], 3, nf)
+        .send()
         .unwrap();
 
     let json = client.stats().unwrap();
     let v: serde_json::Value = serde_json::from_str(&json).expect("stats JSON parses");
-    assert_eq!(v["schema"], 1u64);
+    assert_eq!(v["schema"], 2u64);
     assert_eq!(v["server"]["requests_total"], 1u64);
     assert_eq!(v["server"]["samples_total"], 3u64);
     assert_eq!(v["server"]["inflight_samples"], 0u64);
@@ -533,7 +563,9 @@ fn trace_ids_propagate_from_wire_to_device_spans() {
 
     let mut client = Client::connect(server.local_addr()).unwrap();
     let lls = client
-        .infer(bench.name(), &vec![0u8; 2 * bench.num_vars()], 2, nf)
+        .request(bench.name())
+        .samples(&vec![0u8; 2 * bench.num_vars()], 2, nf)
+        .send()
         .unwrap();
     assert_eq!(lls.len(), 2);
 
@@ -607,7 +639,9 @@ fn shutdown_drains_admitted_requests_then_refuses_new_ones() {
     // Client A's request parks in the queue for ~120 ms.
     let worker = std::thread::spawn(move || {
         let mut a = Client::connect(addr).unwrap();
-        a.infer(NipsBenchmark::Nips10.name(), &[0u8; 10 * 10], 10, nf)
+        a.request(NipsBenchmark::Nips10.name())
+            .samples(&[0u8; 10 * 10], 10, nf)
+            .send()
     });
     std::thread::sleep(Duration::from_millis(30));
 
@@ -622,7 +656,7 @@ fn shutdown_drains_admitted_requests_then_refuses_new_ones() {
     // New inference on B's still-open connection is refused (either
     // with a typed status or a close, depending on when the
     // connection thread observes the flag — both are refusals).
-    match b.infer(bench.name(), &[0u8; 10], 1, nf) {
+    match b.request(bench.name()).samples(&[0u8; 10], 1, nf).send() {
         Err(ClientError::Rejected { status, .. }) => assert_eq!(status, Status::ShuttingDown),
         Err(ClientError::Io(_)) | Err(ClientError::Wire(_)) => {}
         Ok(_) => panic!("inference accepted after shutdown"),
@@ -631,4 +665,70 @@ fn shutdown_drains_admitted_requests_then_refuses_new_ones() {
     server.shutdown(); // idempotent with the drop below
     let snap = server.metrics_snapshot();
     assert_eq!(snap.inflight_samples, 0, "drain left samples in flight");
+}
+
+/// A model served through the compiled-plan host backend: the
+/// scheduler's device carries its SPN, `ModelSpec` routes every batch
+/// to `ExecBackend::HostPlan`, the wire results are bit-identical to
+/// the tree-walk oracle, and the stats document's `plan` section
+/// reports the (eager) compile and cached plan.
+#[test]
+fn host_plan_backend_serves_bit_exact_results_over_the_wire() {
+    use spn_core::{Evaluator, Query};
+    use spn_runtime::{ExecBackend, PlanCache};
+
+    let bench = NipsBenchmark::Nips10;
+    let nf = bench.num_vars() as u32;
+    let spn = Arc::new(bench.build_spn());
+
+    let prog = DatapathProgram::compile(&spn);
+    let device = Arc::new(
+        VirtualDevice::new(
+            prog,
+            AnyFormat::paper_default(),
+            AcceleratorConfig::paper_default(),
+            2,
+            64 << 20,
+        )
+        .with_model(Arc::clone(&spn)),
+    );
+    let config = RuntimeConfig::builder()
+        .block_samples(512)
+        .threads_per_pe(2)
+        .build()
+        .unwrap();
+    let cache = Arc::new(PlanCache::new());
+    let scheduler =
+        Arc::new(Scheduler::with_cache(device, config, None, Arc::clone(&cache)).unwrap());
+
+    let spec = ModelSpec::new(bench.name(), scheduler, nf, 256).with_opts(
+        JobOptions::builder()
+            .backend(ExecBackend::HostPlan)
+            .build()
+            .unwrap(),
+    );
+    let mut server = SpnServer::serve(ServerConfig::default(), vec![spec]).unwrap();
+
+    let dataset = bench.dataset(96, 21);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let served = client
+        .request(bench.name())
+        .samples(dataset.raw(), 96, nf)
+        .send()
+        .unwrap();
+
+    let mut ev = Evaluator::new(&spn);
+    for (row, &ll) in dataset.rows().zip(&served) {
+        // The server replies with ln(p); the host backend stores the
+        // oracle's exp(ll), so the round trip is ln(exp(ll)).
+        let want = ev.eval_bytes(&Query::Complete, row).exp().ln();
+        assert_eq!(ll.to_bits(), want.to_bits());
+    }
+
+    let snap = client.telemetry().unwrap();
+    let plan = snap.plan.expect("stats document has a plan section");
+    assert_eq!(plan.cached_plans, 1);
+    assert_eq!(plan.cache_misses, 1, "the eager compile at construction");
+
+    server.shutdown();
 }
