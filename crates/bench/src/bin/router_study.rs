@@ -1,0 +1,263 @@
+//! Router scaling study — the acceptance record for the cluster
+//! front-end: aggregate inference throughput behind one `spn-router`
+//! as the backend count sweeps 1 → 4. Writes the committed
+//! `BENCH_router.json` at the repo root (plus the usual `results/`
+//! copy).
+//!
+//! Methodology: every backend is an in-process `spn-server` over a
+//! *paced* virtual device — 1 PE whose launch path sleeps a fixed
+//! per-sample budget while holding the PE, exactly like a real
+//! accelerator occupies its datapath. Pacing makes each backend's
+//! capacity a known constant (1/pacing samples/s) that is independent
+//! of host CPU contention, so the sweep measures what the router
+//! actually adds: placement and fan-out across independent devices.
+//! The offered load is a fixed-duration, closed-loop stream over M
+//! model shards (all the same underlying SPN), every feature block a
+//! pure function of the run seed via `request_seed` — each point in
+//! the sweep replays the identical request stream.
+
+use bench::{write_json, Table};
+use serde::Serialize;
+use spn_arith::AnyFormat;
+use spn_core::NipsBenchmark;
+use spn_hw::{AcceleratorConfig, DatapathProgram};
+use spn_router::{HealthPolicy, RouterConfig, SpnRouter};
+use spn_runtime::{RuntimeConfig, Scheduler, VirtualDevice};
+use spn_server::{
+    request_seed, synthetic_samples, BatchPolicy, Client, ModelSpec, ServerConfig, SpnServer,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Modelled device time per sample. 100 µs ⇒ each backend caps out at
+/// 10 000 samples/s, far below what the host could push through one
+/// unpaced simulator — so N backends genuinely multiply capacity.
+const PACING_US: u64 = 100;
+/// Model shards spread over the ring (all the same NIPS10 SPN).
+const SHARDS: usize = 16;
+/// Samples per request.
+const SAMPLES_PER_REQUEST: u32 = 16;
+/// Load window per sweep point.
+const LOAD_SECS: f64 = 2.5;
+/// Replicas per shard (capped at the backend count).
+const REPLICATION: usize = 2;
+const SEED: u64 = 7;
+
+#[derive(Serialize)]
+struct Point {
+    backends: usize,
+    ok_requests: u64,
+    rejected_requests: u64,
+    samples: u64,
+    elapsed_s: f64,
+    samples_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+#[derive(Serialize)]
+struct Study {
+    methodology: &'static str,
+    pacing_us_per_sample: u64,
+    shards: usize,
+    samples_per_request: u32,
+    load_secs: f64,
+    replication: usize,
+    seed: u64,
+    points: Vec<Point>,
+}
+
+fn shard_names() -> Vec<String> {
+    (0..SHARDS).map(|i| format!("shard-{i:02}")).collect()
+}
+
+/// One backend: a 1-PE paced device, one scheduler, every shard name
+/// registered onto it.
+fn start_backend(bench: NipsBenchmark) -> SpnServer {
+    let prog = DatapathProgram::compile(&bench.build_spn());
+    let device = Arc::new(
+        VirtualDevice::new(
+            prog,
+            AnyFormat::paper_default(),
+            AcceleratorConfig::paper_default(),
+            1,
+            64 << 20,
+        )
+        .with_pacing(Duration::from_micros(PACING_US)),
+    );
+    let config = RuntimeConfig::builder()
+        .block_samples(512)
+        .threads_per_pe(1)
+        .verify_fraction(0.0)
+        .build()
+        .unwrap();
+    let scheduler = Arc::new(Scheduler::new(device, config).unwrap());
+    let nf = bench.num_vars() as u32;
+    let specs = shard_names()
+        .into_iter()
+        .map(|name| ModelSpec::new(&name, Arc::clone(&scheduler), nf, 256))
+        .collect();
+    SpnServer::serve(
+        ServerConfig {
+            batch: BatchPolicy {
+                max_batch_samples: 4096,
+                max_batch_delay: Duration::from_micros(200),
+            },
+            ..ServerConfig::default()
+        },
+        specs,
+    )
+    .unwrap()
+}
+
+/// Fixed-duration closed-loop load: one client thread per shard, each
+/// replaying its seeded request stream against `addr` until the
+/// window closes. Returns (ok, rejected, samples, elapsed).
+fn timed_load(addr: std::net::SocketAddr, nf: u32, secs: f64) -> (u64, u64, u64, f64) {
+    let ok = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let samples = Arc::new(AtomicU64::new(0));
+    let mut threads = Vec::new();
+    let t0 = Instant::now();
+    let deadline = t0 + Duration::from_secs_f64(secs);
+    for (conn, model) in shard_names().into_iter().enumerate() {
+        let ok = Arc::clone(&ok);
+        let rejected = Arc::clone(&rejected);
+        let samples = Arc::clone(&samples);
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect to router");
+            let mut req = 0u64;
+            while Instant::now() < deadline {
+                let block = synthetic_samples(
+                    SAMPLES_PER_REQUEST,
+                    nf,
+                    255,
+                    request_seed(SEED, conn as u64, req),
+                );
+                match client
+                    .request(&model)
+                    .samples(&block, SAMPLES_PER_REQUEST, nf)
+                    .send()
+                {
+                    Ok(lls) => {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                        samples.fetch_add(lls.len() as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                req += 1;
+            }
+        }));
+    }
+    for t in threads {
+        t.join().expect("load worker");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    (
+        ok.load(Ordering::Relaxed),
+        rejected.load(Ordering::Relaxed),
+        samples.load(Ordering::Relaxed),
+        elapsed,
+    )
+}
+
+fn sweep_point(bench: NipsBenchmark, n: usize) -> Point {
+    let servers: Vec<SpnServer> = (0..n).map(|_| start_backend(bench)).collect();
+    let router = SpnRouter::start(RouterConfig {
+        backends: servers.iter().map(|s| s.local_addr().to_string()).collect(),
+        replication: REPLICATION,
+        health: HealthPolicy::default(),
+        ..RouterConfig::default()
+    })
+    .unwrap();
+
+    let (ok, rej, samples, elapsed) =
+        timed_load(router.local_addr(), bench.num_vars() as u32, LOAD_SECS);
+    drop(router);
+    for mut s in servers {
+        s.shutdown();
+    }
+    Point {
+        backends: n,
+        ok_requests: ok,
+        rejected_requests: rej,
+        samples,
+        elapsed_s: elapsed,
+        samples_per_sec: samples as f64 / elapsed,
+        speedup_vs_1: 0.0, // filled by the caller
+    }
+}
+
+fn main() {
+    let bench = NipsBenchmark::Nips10;
+    println!(
+        "Router scaling study: {SHARDS} shards of {}, {} µs/sample pacing, \
+         {LOAD_SECS} s per point\n",
+        bench.name(),
+        PACING_US
+    );
+
+    let mut points = Vec::new();
+    for n in 1..=4usize {
+        let mut p = sweep_point(bench, n);
+        let base = points
+            .first()
+            .map(|b: &Point| b.samples_per_sec)
+            .unwrap_or(p.samples_per_sec);
+        p.speedup_vs_1 = p.samples_per_sec / base;
+        eprintln!(
+            "  N={}: {} ok / {} rejected, {:.0} samples/s ({:.2}x)",
+            n, p.ok_requests, p.rejected_requests, p.samples_per_sec, p.speedup_vs_1
+        );
+        points.push(p);
+    }
+
+    let mut table = Table::new(vec![
+        "backends",
+        "ok requests",
+        "rejected",
+        "samples/s",
+        "speedup vs 1",
+    ]);
+    for p in &points {
+        table.row(vec![
+            p.backends.to_string(),
+            p.ok_requests.to_string(),
+            p.rejected_requests.to_string(),
+            format!("{:.0}", p.samples_per_sec),
+            format!("{:.2}x", p.speedup_vs_1),
+        ]);
+    }
+    table.print();
+
+    let at4 = points.last().map(|p| p.speedup_vs_1).unwrap_or(0.0);
+    let study = Study {
+        methodology: "fixed-duration closed-loop load (1 client per shard) through \
+                      spn-router over N in-process spn-server backends, each a 1-PE \
+                      virtual device paced at a fixed per-sample budget so backend \
+                      capacity is a known constant; identical seeded request stream \
+                      (request_seed) at every point; replication capped at backend count",
+        pacing_us_per_sample: PACING_US,
+        shards: SHARDS,
+        samples_per_request: SAMPLES_PER_REQUEST,
+        load_secs: LOAD_SECS,
+        replication: REPLICATION,
+        seed: SEED,
+        points,
+    };
+    write_json("router_study", &study);
+    match serde_json::to_string_pretty(&study) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write("BENCH_router.json", s) {
+                eprintln!("note: cannot write BENCH_router.json: {e}");
+            } else {
+                eprintln!("[written BENCH_router.json]");
+            }
+        }
+        Err(e) => eprintln!("note: cannot serialize study: {e}"),
+    }
+
+    println!("\nspeedup at N=4: {at4:.2}x (target >= 2.5x)");
+}

@@ -13,6 +13,7 @@ use spn_hw::{
     datapath_cost, design_cost, emit_verilog, ArithCosts, DatapathProgram, OpLatencies,
     PipelineSchedule, PlatformCosts,
 };
+use spn_router::{RouterConfig, SpnRouter};
 use spn_runtime::perf::{simulate, PerfConfig};
 use spn_runtime::prelude::*;
 use spn_server::{run_load, BatchPolicy, LoadConfig, ModelSpec, ServerConfig, SpnServer};
@@ -94,7 +95,16 @@ COMMANDS:
              [--connections C] [--requests N] [--batch K] [--deadline-ms D]
              [--seed S] [--stats true] [--shutdown true]
              Closed-loop load generation against a running server;
-             reports samples/s and p50/p95/p99 latency.
+             reports samples/s and p50/p95/p99 latency. Works
+             unchanged against a router (`spn route`) address.
+  route      --backends HOST:PORT,HOST:PORT,... [--port P] [--replication K]
+             [--max-inflight N] [--health-interval-ms MS] [--health-timeout-ms MS]
+             [--rpc-timeout-ms MS] [--port-file FILE] [--trace FILE.json]
+             Cluster front-end over N running spn-server backends:
+             consistent-hash model placement on K replicas, active
+             health checks, automatic failover. Speaks the same wire
+             protocol as serve; runs until a client sends Shutdown
+             (backends are left running).
 ";
 
 /// Dispatch a command line (without the program name).
@@ -111,6 +121,7 @@ pub fn run(tokens: Vec<String>) -> Result<CmdResult, CmdError> {
         Some("emit") => cmd_emit(&args),
         Some("serve") => cmd_serve(&args),
         Some("load") => cmd_load(&args),
+        Some("route") => cmd_route(&args),
         Some(other) => Err(CmdError(format!("unknown command '{other}'\n\n{USAGE}"))),
         None => Ok(CmdResult::text(USAGE.to_string())),
     }
@@ -591,6 +602,87 @@ fn cmd_serve(args: &Args) -> Result<CmdResult, CmdError> {
     Ok(CmdResult { stdout: out, files })
 }
 
+/// Run the cluster front-end over already-running backends until a
+/// client sends the `Shutdown` opcode. Like `serve`, the chosen port
+/// is written to `--port-file` while the router runs.
+fn cmd_route(args: &Args) -> Result<CmdResult, CmdError> {
+    args.check_known(&[
+        "backends",
+        "port",
+        "replication",
+        "max-inflight",
+        "health-interval-ms",
+        "health-timeout-ms",
+        "rpc-timeout-ms",
+        "port-file",
+        "trace",
+    ])?;
+    let backends: Vec<String> = args
+        .require("backends")?
+        .split(',')
+        .map(|b| b.trim().to_string())
+        .filter(|b| !b.is_empty())
+        .collect();
+    let trace = args.get("trace").map(|_| Arc::new(TraceCollector::new()));
+    let config = RouterConfig {
+        addr: format!("127.0.0.1:{}", args.get_or("port", 0u16)?),
+        backends,
+        replication: args.get_or("replication", 2usize)?,
+        max_inflight_per_backend: args.get_or("max-inflight", 1024u64)?,
+        health: spn_router::HealthPolicy {
+            interval: std::time::Duration::from_millis(args.get_or("health-interval-ms", 250u64)?),
+            timeout: std::time::Duration::from_millis(args.get_or("health-timeout-ms", 500u64)?),
+            ..spn_router::HealthPolicy::default()
+        },
+        rpc_timeout: Some(std::time::Duration::from_millis(
+            args.get_or("rpc-timeout-ms", 30_000u64)?,
+        )),
+        trace: trace.clone(),
+        ..RouterConfig::default()
+    };
+    let mut router =
+        SpnRouter::start(config).map_err(|e| CmdError(format!("cannot route: {e}")))?;
+    let addr = router.local_addr();
+    if let Some(path) = args.get("port-file") {
+        std::fs::write(path, addr.port().to_string())
+            .map_err(|e| CmdError(format!("cannot write {path}: {e}")))?;
+    }
+    eprintln!(
+        "spn route: listening on {addr} over {} backend(s) (send the Shutdown opcode to stop)",
+        router.backends().len()
+    );
+
+    router.wait_for_shutdown();
+    router.shutdown();
+    let telemetry = router.telemetry_snapshot();
+    let snap = telemetry.router.as_ref().expect("router section is set");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "routed {} requests ({} failovers); rejected: {} malformed, \
+         {} no-backend, {} by-backend",
+        snap.requests_total,
+        snap.failovers_total,
+        snap.rejected_malformed,
+        snap.rejected_no_backend,
+        snap.rejected_by_backend,
+    );
+    for (id, b) in &snap.backends {
+        let _ = writeln!(
+            out,
+            "  backend {id}: {} ({} requests, {} failures, {} transitions)",
+            b.state, b.requests_total, b.failures_total, b.health_transitions
+        );
+    }
+    let _ = write!(out, "router telemetry: {}", telemetry.to_json());
+    let mut files = Vec::new();
+    if let (Some(path), Some(collector)) = (args.get("trace"), &trace) {
+        let _ = writeln!(out, "wrote {} trace spans to {path}", collector.len());
+        files.push((path.to_string(), collector.to_chrome_json()));
+    }
+    Ok(CmdResult { stdout: out, files })
+}
+
 /// Offer closed-loop load to a running server and report throughput
 /// and latency percentiles.
 fn cmd_load(args: &Args) -> Result<CmdResult, CmdError> {
@@ -710,7 +802,7 @@ mod tests {
         )
         .unwrap();
         assert!(r.stdout.contains("3/3 jobs ok"), "stdout: {}", r.stdout);
-        assert!(r.stdout.contains("\"schema\": 2"));
+        assert!(r.stdout.contains("\"schema\": 3"));
         assert!(r.stdout.contains("\"jobs_completed\": 3"));
         assert!(r.stdout.contains("\"blocks_executed\": 15")); // 3 x ceil(300/64)
         assert!(r.stdout.contains("\"block_retries\": 0"));
@@ -727,7 +819,7 @@ mod tests {
         assert_eq!(r.files.len(), 1);
         assert_eq!(r.files[0].0, "/tmp/spn_metrics.json");
         let snap: serde_json::Value = serde_json::from_str(&r.files[0].1).unwrap();
-        assert_eq!(snap["schema"], 2);
+        assert_eq!(snap["schema"], 3);
         assert!(snap["server"].is_null(), "no serving layer in accelerate");
         let sched = &snap["models"]["NIPS10"]["scheduler"];
         assert_eq!(sched["jobs_completed"], 2);
@@ -850,6 +942,95 @@ mod tests {
         assert!(err.0.contains("unknown benchmark"));
     }
 
+    #[test]
+    fn route_requires_backends() {
+        let err = run_tokens("route").unwrap_err();
+        assert!(err.0.contains("backends"), "got: {}", err.0);
+        let err = run_tokens("route --backends ,").unwrap_err();
+        assert!(err.0.contains("no backends"), "got: {}", err.0);
+    }
+
+    /// Cluster path through the CLI layer: two `serve` backends, one
+    /// `route` front-end over them, `load` pointed at the router, then
+    /// shutdowns front to back.
+    #[test]
+    fn route_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("spn_cli_route_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut backend_ports = Vec::new();
+        let mut serves = Vec::new();
+        for i in 0..2 {
+            let pf = dir.join(format!("backend{i}.port"));
+            let _ = std::fs::remove_file(&pf);
+            let pf_str = pf.display().to_string();
+            serves.push(std::thread::spawn(move || {
+                run_tokens(&format!(
+                    "serve --benchmarks NIPS10 --pes 1 --threads 1 --block 256 \
+                     --batch-delay-us 500 --port-file {pf_str}"
+                ))
+            }));
+            backend_ports.push(pf);
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while backend_ports.iter().any(|p| !p.exists()) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "backends never came up"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let backends = backend_ports
+            .iter()
+            .map(|p| format!("127.0.0.1:{}", std::fs::read_to_string(p).unwrap().trim()))
+            .collect::<Vec<_>>()
+            .join(",");
+
+        let router_pf = dir.join("router.port");
+        let _ = std::fs::remove_file(&router_pf);
+        let rpf = router_pf.display().to_string();
+        let route = std::thread::spawn(move || {
+            run_tokens(&format!(
+                "route --backends {backends} --replication 2 --port-file {rpf}"
+            ))
+        });
+        while !router_pf.exists() {
+            assert!(std::time::Instant::now() < deadline, "router never came up");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let out = run_tokens(&format!(
+            "load --port-file {} --benchmark NIPS10 --connections 2 \
+             --requests 4 --batch 8 --stats true --shutdown true",
+            router_pf.display()
+        ))
+        .unwrap();
+        assert!(
+            out.stdout.contains("8 ok / 0 rejected"),
+            "got: {}",
+            out.stdout
+        );
+        // --stats against the router returns the router's document.
+        assert!(out.stdout.contains("\"router\""), "got: {}", out.stdout);
+
+        let summary = route.join().unwrap().unwrap();
+        assert!(
+            summary.stdout.contains("routed 8 requests"),
+            "got: {}",
+            summary.stdout
+        );
+
+        // The backends are still up; shut them down directly.
+        for pf in &backend_ports {
+            let port: u16 = std::fs::read_to_string(pf).unwrap().trim().parse().unwrap();
+            let mut client =
+                spn_server::Client::connect(("127.0.0.1", port)).expect("backend still up");
+            client.shutdown_server().unwrap();
+        }
+        for s in serves {
+            s.join().unwrap().unwrap();
+        }
+    }
+
     /// End-to-end through the *CLI layer*: `serve` in a background
     /// thread (port published via `--port-file`), `load` against it,
     /// then a client-initiated shutdown lets `serve` return its
@@ -893,7 +1074,7 @@ mod tests {
             "got: {}",
             summary.stdout
         );
-        assert!(summary.stdout.contains("\"schema\": 2"));
+        assert!(summary.stdout.contains("\"schema\": 3"));
         // --trace produced one Chrome-trace export with both serving-
         // and device-layer spans.
         assert_eq!(summary.files.len(), 1);

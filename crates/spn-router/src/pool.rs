@@ -1,0 +1,196 @@
+//! The backend pool: one entry per `spn-server`, each with reusable
+//! connections, an in-flight bound and a health cell.
+//!
+//! Connections are plain blocking [`Client`]s checked out for one
+//! round trip and returned on success — the protocol is strictly
+//! request/response per connection, so a checked-out connection is
+//! exclusively owned and no framing interleaves. A connection that
+//! saw any error is dropped, not returned: the stream may no longer
+//! be frame-aligned, and dialing fresh is cheap next to an inference.
+
+use crate::health::{HealthCell, HealthPolicy};
+use parking_lot::Mutex;
+use spn_server::client::{Client, ClientError};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One routed backend.
+pub struct Backend {
+    /// The id the operator supplied (`host:port`); ring placement and
+    /// telemetry key.
+    pub id: String,
+    /// Resolved socket address.
+    pub addr: SocketAddr,
+    /// Health cell shared by the prober and the forwarding path.
+    pub health: HealthCell,
+    idle: Mutex<Vec<Client>>,
+    inflight: AtomicU64,
+    requests_total: AtomicU64,
+    failures_total: AtomicU64,
+}
+
+/// A connection checked out of a backend's pool; remembers whether it
+/// was pooled (and might therefore be stale) or freshly dialed.
+pub struct Checkout {
+    /// The connection itself.
+    pub client: Client,
+    /// `true` when the connection came from the idle pool. A
+    /// [`ClientError::ConnectionClosed`] on a pooled connection is
+    /// expected churn (the backend closed an idle socket), so the
+    /// caller retries once on a fresh dial before blaming the backend.
+    pub pooled: bool,
+}
+
+impl Backend {
+    /// Resolve `id` (`host:port`) into a backend entry.
+    pub fn resolve(id: &str, policy: &HealthPolicy) -> Result<Backend, String> {
+        let addr = id
+            .to_socket_addrs()
+            .map_err(|e| format!("backend '{id}': {e}"))?
+            .next()
+            .ok_or_else(|| format!("backend '{id}' resolves to no address"))?;
+        Ok(Backend {
+            id: id.to_string(),
+            addr,
+            health: HealthCell::new(policy),
+            idle: Mutex::new(Vec::new()),
+            inflight: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            failures_total: AtomicU64::new(0),
+        })
+    }
+
+    /// Check out a connection: pooled if available, else a fresh dial
+    /// bounded by `connect_timeout`; either way the i/o timeout is
+    /// (re)applied.
+    pub fn checkout(
+        &self,
+        connect_timeout: Duration,
+        io_timeout: Option<Duration>,
+    ) -> Result<Checkout, ClientError> {
+        if let Some(mut client) = self.idle.lock().pop() {
+            client.set_io_timeout(io_timeout)?;
+            return Ok(Checkout {
+                client,
+                pooled: true,
+            });
+        }
+        self.dial(connect_timeout, io_timeout)
+    }
+
+    /// Always dial a fresh connection (used for the pooled-retry path
+    /// and by the health prober).
+    pub fn dial(
+        &self,
+        connect_timeout: Duration,
+        io_timeout: Option<Duration>,
+    ) -> Result<Checkout, ClientError> {
+        let mut client = Client::connect_timeout(self.addr, connect_timeout)?;
+        client.set_io_timeout(io_timeout)?;
+        Ok(Checkout {
+            client,
+            pooled: false,
+        })
+    }
+
+    /// Return a healthy connection for reuse.
+    pub fn checkin(&self, client: Client) {
+        self.idle.lock().push(client);
+    }
+
+    /// Drop every pooled connection (e.g. after the backend went
+    /// down, so recovery starts from fresh dials).
+    pub fn drain_pool(&self) {
+        self.idle.lock().clear();
+    }
+
+    /// Requests currently in flight against this backend.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Try to reserve an in-flight slot under `bound`; the returned
+    /// guard releases it. `None` when the backend is at capacity.
+    pub fn reserve(&self, bound: u64) -> Option<InflightGuard<'_>> {
+        let prev = self.inflight.fetch_add(1, Ordering::Relaxed);
+        if prev >= bound {
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(InflightGuard { backend: self })
+    }
+
+    /// Count one successful round trip.
+    pub fn record_request(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one failed forwarding attempt.
+    pub fn record_failure(&self) {
+        self.failures_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Successful round trips so far.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Failed forwarding attempts so far.
+    pub fn failures_total(&self) -> u64 {
+        self.failures_total.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII release of a reserved in-flight slot.
+pub struct InflightGuard<'a> {
+    backend: &'a Backend,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.backend.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend() -> Backend {
+        // Resolution only; nothing listens here.
+        Backend::resolve("127.0.0.1:1", &HealthPolicy::default()).unwrap()
+    }
+
+    #[test]
+    fn unresolvable_backend_is_a_config_error() {
+        assert!(Backend::resolve("not an address", &HealthPolicy::default()).is_err());
+    }
+
+    #[test]
+    fn inflight_bound_is_enforced_and_released() {
+        let b = backend();
+        let g1 = b.reserve(2).unwrap();
+        let _g2 = b.reserve(2).unwrap();
+        assert!(b.reserve(2).is_none(), "third slot refused at bound 2");
+        assert_eq!(b.inflight(), 2);
+        drop(g1);
+        assert_eq!(b.inflight(), 1);
+        assert!(b.reserve(2).is_some());
+    }
+
+    #[test]
+    fn dial_failure_is_fast_and_typed() {
+        let b = backend();
+        let err = b
+            .dial(Duration::from_millis(200), None)
+            .err()
+            .expect("nothing listens on port 1");
+        // Refused or closed depending on the platform's failure shape;
+        // either way it is not a protocol error.
+        assert!(matches!(
+            err,
+            ClientError::Io(_) | ClientError::ConnectionClosed
+        ));
+    }
+}

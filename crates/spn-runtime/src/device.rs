@@ -16,6 +16,7 @@ use spn_arith::AnyFormat;
 use spn_core::Spn;
 use spn_hw::{AcceleratorConfig, AcceleratorCore, DatapathProgram, Reg, RegisterFile, SynthConfig};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Transient-fault injection: each result independently suffers a
 /// single-bit flip with `flip_probability`, and each launch
@@ -110,6 +111,10 @@ pub struct VirtualDevice {
     /// The SPN the datapath program was compiled from, when the
     /// builder attached it ([`VirtualDevice::with_model`]).
     model: Option<Arc<Spn>>,
+    /// Per-sample service time modelled by sleeping inside `launch`
+    /// (see [`VirtualDevice::with_pacing`]); `None` = run as fast as
+    /// the host can emulate.
+    pacing: Option<Duration>,
 }
 
 impl VirtualDevice {
@@ -153,7 +158,21 @@ impl VirtualDevice {
             faults: None,
             fault_rng: Mutex::new(SplitMix64::new(0)),
             model: None,
+            pacing: None,
         }
+    }
+
+    /// Model a fixed per-sample service time: every `launch` sleeps
+    /// `num_samples × per_sample` while holding the PE, so the PE
+    /// behaves like real hardware with a fixed sample rate instead of
+    /// running as fast as the host can emulate. The host CPU is idle
+    /// during the sleep — N paced devices on one core genuinely
+    /// overlap, the way N accelerator cards would. This is what the
+    /// cluster scaling study uses to make backend count (not host
+    /// core count) the resource under test.
+    pub fn with_pacing(mut self, per_sample: Duration) -> Self {
+        self.pacing = Some(per_sample);
+        self
     }
 
     /// Enable transient-fault injection (testing/chaos mode).
@@ -306,6 +325,11 @@ impl VirtualDevice {
             let data = &mem[start..start + in_bytes as usize];
             inst.core.run_job(data)
         };
+        // Paced execution: occupy the PE (lock held) for the modelled
+        // hardware time, per sample so batching cannot compress it.
+        if let Some(per_sample) = self.pacing {
+            std::thread::sleep(per_sample.mul_f64(num_samples as f64));
+        }
         // Transient faults: flip one mantissa bit of unlucky results.
         if let Some(f) = self.faults {
             let mut rng = self.fault_rng.lock();
@@ -379,6 +403,30 @@ mod tests {
             let rel = ((got - reference) / reference).abs();
             assert!(rel < 1e-4, "sample {i}: {got} vs {reference}");
         }
+    }
+
+    #[test]
+    fn paced_launch_occupies_the_pe_for_the_modelled_time() {
+        let bench = NipsBenchmark::Nips10;
+        let prog = DatapathProgram::compile(&bench.build_spn());
+        let dev = VirtualDevice::new(
+            prog,
+            AnyFormat::Cfp(CfpFormat::paper_default()),
+            AcceleratorConfig::paper_default(),
+            1,
+            16 * MIB,
+        )
+        .with_pacing(Duration::from_micros(500));
+        let data = bench.dataset(16, 3);
+        let inb = dev.memory().alloc(0, data.raw().len() as u64).unwrap();
+        let outb = dev.memory().alloc(0, 16 * 8).unwrap();
+        dev.copy_to_device(inb, data.raw()).unwrap();
+        let t0 = std::time::Instant::now();
+        dev.launch(0, inb, outb, 16).unwrap();
+        // 16 samples × 500 µs = 8 ms of modelled hardware time.
+        assert!(t0.elapsed() >= Duration::from_millis(8));
+        // Results are still produced normally.
+        assert_eq!(dev.copy_from_device(outb).unwrap().len(), 128);
     }
 
     #[test]

@@ -10,12 +10,19 @@ use crate::protocol::{
 };
 use spn_telemetry::{SpanCtx, TelemetrySnapshot};
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Client-side failure.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Transport failed.
+    /// The peer closed (or reset) the connection mid-exchange. The
+    /// request may or may not have been processed; since inference is
+    /// idempotent the caller can [`Client::reconnect`] and retry —
+    /// the router's failover path depends on telling this apart from
+    /// a protocol violation.
+    ConnectionClosed,
+    /// Transport failed for a reason other than the peer going away.
     Io(io::Error),
     /// The server's bytes were not a valid frame.
     Wire(String),
@@ -31,6 +38,7 @@ pub enum ClientError {
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ClientError::ConnectionClosed => write!(f, "connection closed by peer"),
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Wire(m) => write!(f, "protocol error: {m}"),
             ClientError::Rejected { status, message } => {
@@ -41,15 +49,32 @@ impl std::fmt::Display for ClientError {
 }
 impl std::error::Error for ClientError {}
 
+/// Whether an `io::Error` means "the peer went away" (as opposed to a
+/// local or transient transport problem).
+fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotConnected
+    )
+}
+
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        if is_disconnect(&e) {
+            ClientError::ConnectionClosed
+        } else {
+            ClientError::Io(e)
+        }
     }
 }
 impl From<WireError> for ClientError {
     fn from(e: WireError) -> Self {
         match e {
-            WireError::Io(e) => ClientError::Io(e),
+            WireError::Io(e) => ClientError::from(e),
             WireError::Malformed(m) => ClientError::Wire(m),
         }
     }
@@ -58,6 +83,10 @@ impl From<WireError> for ClientError {
 /// A blocking connection to an [`crate::SpnServer`].
 pub struct Client {
     stream: TcpStream,
+    /// The resolved peer address, kept so [`Client::reconnect`] can
+    /// re-dial after a [`ClientError::ConnectionClosed`].
+    addr: SocketAddr,
+    io_timeout: Option<Duration>,
 }
 
 impl Client {
@@ -66,7 +95,57 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        let addr = stream.peer_addr()?;
+        Ok(Client {
+            stream,
+            addr,
+            io_timeout: None,
+        })
+    }
+
+    /// Connect with a bound on how long the TCP dial may block —
+    /// what a health checker or failover path wants, since a dead
+    /// host would otherwise stall the caller for the kernel's full
+    /// connect timeout.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            addr,
+            io_timeout: None,
+        })
+    }
+
+    /// The peer address this client dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Bound every subsequent read/write on the connection (`None`
+    /// removes the bound). A request that overruns surfaces as
+    /// [`ClientError::Io`] with a timeout kind, letting callers treat
+    /// a wedged backend like a dead one.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)?;
+        self.io_timeout = timeout;
+        Ok(())
+    }
+
+    /// Drop the current connection and dial the same address again,
+    /// preserving the configured i/o timeout. The recovery move after
+    /// [`ClientError::ConnectionClosed`].
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        let stream = match self.io_timeout {
+            Some(t) => TcpStream::connect_timeout(&self.addr, t)?,
+            None => TcpStream::connect(self.addr)?,
+        };
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.io_timeout)?;
+        stream.set_write_timeout(self.io_timeout)?;
+        self.stream = stream;
+        Ok(())
     }
 
     fn round_trip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
@@ -116,40 +195,6 @@ impl Client {
             deadline_ms: 0,
             trace: true,
         }
-    }
-
-    /// Run inference: `data` is a row-major
-    /// `num_samples × num_features` block of `u8` features. Returns
-    /// one log-likelihood per sample, in order.
-    #[deprecated(note = "use `request(model).samples(data, n, f).send()` instead")]
-    pub fn infer(
-        &mut self,
-        model: &str,
-        data: &[u8],
-        num_samples: u32,
-        num_features: u32,
-    ) -> Result<Vec<f64>, ClientError> {
-        self.request(model)
-            .samples(data, num_samples, num_features)
-            .send()
-    }
-
-    /// Like `infer` with a per-request deadline in milliseconds
-    /// (`0` = none). A request still queued when its deadline passes
-    /// is answered with [`Status::DeadlineExceeded`].
-    #[deprecated(note = "use `request(model).samples(data, n, f).deadline_ms(ms).send()` instead")]
-    pub fn infer_with_deadline(
-        &mut self,
-        model: &str,
-        data: &[u8],
-        num_samples: u32,
-        num_features: u32,
-        deadline_ms: u32,
-    ) -> Result<Vec<f64>, ClientError> {
-        self.request(model)
-            .samples(data, num_samples, num_features)
-            .deadline_ms(deadline_ms)
-            .send()
     }
 
     /// Fetch the server's metrics document (JSON).

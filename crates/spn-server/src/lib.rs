@@ -25,6 +25,8 @@
 //!   [`spn_telemetry::TelemetrySnapshot`] JSON document behind the
 //!   `Stats` opcode;
 //! * [`client`] — a blocking wire client;
+//! * [`conn`] — shutdown-aware polled reads, shared with the
+//!   `spn-router` cluster front-end's frame loop;
 //! * [`loadgen`] — closed-loop load generation shared by the CLI, the
 //!   benchmark and the tests.
 //!
@@ -47,6 +49,7 @@
 
 pub mod batcher;
 pub mod client;
+pub mod conn;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
@@ -54,7 +57,8 @@ pub mod server;
 
 pub use batcher::{BatchPolicy, Batcher, Reply};
 pub use client::{Client, ClientError, InferBuilder};
-pub use loadgen::{run_load, synthetic_samples, LoadConfig, LoadReport};
+pub use conn::{read_full, ReadOutcome};
+pub use loadgen::{request_seed, run_load, synthetic_samples, LoadConfig, LoadReport};
 pub use metrics::{HistogramSummary, ServerMetrics, ServerMetricsSnapshot};
 pub use protocol::{Frame, InferRequest, Opcode, Status, WireError};
 pub use server::{ModelSpec, ServerConfig, ServerError, SpnServer};

@@ -25,6 +25,7 @@
 //! joined.
 
 use crate::batcher::{BatchPolicy, Batcher, Reply};
+use crate::conn::{read_full, ReadOutcome};
 use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
 use crate::protocol::{
     parse_header, write_frame, Frame, InferRequest, Opcode, Status, WireError, HEADER_LEN,
@@ -36,7 +37,7 @@ use spn_telemetry::{
     TraceCollector, TELEMETRY_SCHEMA_VERSION,
 };
 use std::collections::BTreeMap;
-use std::io::{self, Read};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -380,60 +381,12 @@ fn accept_loop(
     }
 }
 
-/// Outcome of a polled blocking read.
-enum ReadOutcome {
-    /// Buffer filled.
-    Full,
-    /// Clean EOF at a frame boundary.
-    Eof,
-    /// Shutdown observed while waiting.
-    Shutdown,
-}
-
-/// `read_exact` with a read-timeout poll so the thread can observe
-/// shutdown between retries. A clean EOF is only "clean" before the
-/// first byte of the buffer; a torn read mid-buffer is an error.
-fn read_full(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    shared: &SharedState,
-) -> io::Result<ReadOutcome> {
-    let mut at = 0usize;
-    while at < buf.len() {
-        if shared.is_shutting_down() {
-            return Ok(ReadOutcome::Shutdown);
-        }
-        match stream.read(&mut buf[at..]) {
-            Ok(0) => {
-                return if at == 0 {
-                    Ok(ReadOutcome::Eof)
-                } else {
-                    Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "connection closed mid-frame",
-                    ))
-                };
-            }
-            Ok(n) => at += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(ReadOutcome::Full)
-}
-
 fn serve_connection(mut stream: TcpStream, shared: &SharedState) -> io::Result<()> {
     stream.set_read_timeout(Some(shared.read_poll))?;
     stream.set_nodelay(true)?;
     loop {
         let mut header = [0u8; HEADER_LEN];
-        match read_full(&mut stream, &mut header, shared)? {
+        match read_full(&mut stream, &mut header, || shared.is_shutting_down())? {
             ReadOutcome::Eof | ReadOutcome::Shutdown => return Ok(()),
             ReadOutcome::Full => {}
         }
@@ -453,7 +406,7 @@ fn serve_connection(mut stream: TcpStream, shared: &SharedState) -> io::Result<(
             Err(WireError::Io(e)) => return Err(e),
         };
         let mut payload = vec![0u8; len as usize];
-        match read_full(&mut stream, &mut payload, shared)? {
+        match read_full(&mut stream, &mut payload, || shared.is_shutting_down())? {
             ReadOutcome::Full => {}
             // Mid-frame EOF or shutdown: abandon the connection.
             ReadOutcome::Eof | ReadOutcome::Shutdown => return Ok(()),
@@ -643,5 +596,6 @@ fn telemetry_snapshot(shared: &SharedState) -> TelemetrySnapshot {
         server: Some(shared.metrics.snapshot()),
         models,
         plan: Some(plan),
+        router: None,
     }
 }

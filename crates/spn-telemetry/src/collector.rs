@@ -93,17 +93,18 @@ impl TraceCollector {
 
     /// Export as Chrome trace-event JSON. Runtime spans land on
     /// `pid 0` with one track per PE; server spans land on `pid 1`
-    /// with one track per request, so a request's queue wait and reply
-    /// line up above the device work that served it.
+    /// and router spans on `pid 2`, each with one track per request,
+    /// so a request's routing, queue wait and reply line up above the
+    /// device work that served it.
     pub fn to_chrome_json(&self) -> String {
         let events: Vec<ChromeEvent> = self
             .spans
             .lock()
             .iter()
             .map(|s| {
-                let (pid, tid, name) = if s.kind.is_server() {
+                let (pid, tid, name) = if s.kind.is_server() || s.kind.is_router() {
                     (
-                        1,
+                        if s.kind.is_router() { 2 } else { 1 },
                         s.ctx.trace_id.0 as u32,
                         format!("{} req{}", s.kind.label(), s.ctx.trace_id),
                     )

@@ -32,7 +32,7 @@ pub use ctx::{SpanCtx, TraceId};
 pub use histogram::AtomicHistogram;
 pub use sim_core::HistogramSummary;
 pub use snapshot::{
-    BatcherTelemetry, ModelTelemetry, PlanTelemetry, SchedulerTelemetry, ServingTelemetry,
-    TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION,
+    BackendTelemetry, BatcherTelemetry, ModelTelemetry, PlanTelemetry, RouterTelemetry,
+    SchedulerTelemetry, ServingTelemetry, TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION,
 };
 pub use span::{chrome_trace_json, ChromeArgs, ChromeEvent, SpanKind};

@@ -20,8 +20,9 @@ use std::collections::BTreeMap;
 
 /// Version stamp of the [`TelemetrySnapshot`] JSON schema.
 /// Version 2 added the optional top-level `plan` section
-/// ([`PlanTelemetry`]).
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
+/// ([`PlanTelemetry`]); version 3 added the optional top-level
+/// `router` section ([`RouterTelemetry`]).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 3;
 
 /// Point-in-time counters of one scheduler (`spn-runtime`'s
 /// `MetricsRegistry`). Field order = JSON key order.
@@ -108,6 +109,47 @@ pub struct PlanTelemetry {
     pub invalidations: u64,
 }
 
+/// Point-in-time counters of one routed backend, as the cluster
+/// front-end (`spn-router`) sees it. Field order = JSON key order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendTelemetry {
+    /// Health state: `"up"`, `"degraded"` or `"down"`.
+    pub state: String,
+    /// Requests forwarded to this backend (successful round trips).
+    pub requests_total: u64,
+    /// Forwarding attempts that failed (connect/deadline/closed
+    /// connection) and moved on to the next replica.
+    pub failures_total: u64,
+    /// Requests currently in flight against this backend.
+    pub inflight: u64,
+    /// Health-state transitions observed since startup.
+    pub health_transitions: u64,
+}
+
+/// Point-in-time counters of the cluster front-end (`spn-router`).
+/// Field order = JSON key order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterTelemetry {
+    /// Inference requests answered `Ok` through some backend.
+    pub requests_total: u64,
+    /// Requests that succeeded only after failing over to another
+    /// replica.
+    pub failovers_total: u64,
+    /// Requests rejected at the router: unparsable frame or payload.
+    pub rejected_malformed: u64,
+    /// Requests rejected at the router: every replica unavailable.
+    pub rejected_no_backend: u64,
+    /// Requests rejected by the chosen backend (typed status passed
+    /// through to the client).
+    pub rejected_by_backend: u64,
+    /// Health-state transitions across all backends.
+    pub health_transitions_total: u64,
+    /// Distribution of end-to-end routed-request latency (seconds).
+    pub e2e_seconds: HistogramSummary,
+    /// Per-backend counters, keyed by backend id (sorted).
+    pub backends: BTreeMap<String, BackendTelemetry>,
+}
+
 /// Everything known about one served model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelTelemetry {
@@ -130,6 +172,9 @@ pub struct TelemetrySnapshot {
     /// Compiled-plan cache counters; `null` when no plan cache is in
     /// play (e.g. a device-only deployment).
     pub plan: Option<PlanTelemetry>,
+    /// Cluster front-end counters; `null` outside a router context.
+    /// Absent in pre-v3 documents (tolerated as `None` on parse).
+    pub router: Option<RouterTelemetry>,
 }
 
 impl SchedulerTelemetry {
@@ -155,6 +200,7 @@ impl TelemetrySnapshot {
             server: None,
             models: BTreeMap::new(),
             plan: None,
+            router: None,
         }
     }
 

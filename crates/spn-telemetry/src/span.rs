@@ -29,6 +29,12 @@ pub enum SpanKind {
     BatchFormed,
     /// The reply frame being written back to the client (server layer).
     ReplyWritten,
+    /// The cluster front-end choosing a backend replica for a request
+    /// (router layer): ring lookup plus health filtering.
+    RoutePick,
+    /// One forwarded request/response round trip to a backend,
+    /// including any failover retries (router layer).
+    BackendRpc,
 }
 
 impl SpanKind {
@@ -43,13 +49,17 @@ impl SpanKind {
             SpanKind::RequestQueued => "request-queued",
             SpanKind::BatchFormed => "batch-formed",
             SpanKind::ReplyWritten => "reply-written",
+            SpanKind::RoutePick => "route-pick",
+            SpanKind::BackendRpc => "backend-rpc",
         }
     }
 
     /// The stack layer that records this kind — the exported event's
     /// category, and the process row it lands on in Perfetto.
     pub fn category(self) -> &'static str {
-        if self.is_server() {
+        if self.is_router() {
+            "router"
+        } else if self.is_server() {
             "server"
         } else {
             "runtime"
@@ -62,6 +72,11 @@ impl SpanKind {
             self,
             SpanKind::RequestQueued | SpanKind::BatchFormed | SpanKind::ReplyWritten
         )
+    }
+
+    /// True for the router-layer kinds (the cluster front-end).
+    pub fn is_router(self) -> bool {
+        matches!(self, SpanKind::RoutePick | SpanKind::BackendRpc)
     }
 }
 
@@ -92,7 +107,7 @@ pub struct ChromeEvent {
     pub ts: f64,
     /// Duration, in microseconds.
     pub dur: f64,
-    /// Process row (0 = runtime, 1 = server).
+    /// Process row (0 = runtime, 1 = server, 2 = router).
     pub pid: u32,
     /// Thread row within the process.
     pub tid: u32,
@@ -118,9 +133,14 @@ mod tests {
         assert_eq!(SpanKind::BatchFormed.category(), "server");
         assert_eq!(SpanKind::PlanCompile.category(), "runtime");
         assert_eq!(SpanKind::PlanExec.category(), "runtime");
+        assert_eq!(SpanKind::RoutePick.category(), "router");
+        assert_eq!(SpanKind::BackendRpc.category(), "router");
         assert!(!SpanKind::H2D.is_server());
         assert!(!SpanKind::PlanExec.is_server());
         assert!(SpanKind::ReplyWritten.is_server());
+        assert!(SpanKind::RoutePick.is_router());
+        assert!(!SpanKind::RoutePick.is_server());
+        assert!(!SpanKind::ReplyWritten.is_router());
     }
 
     #[test]

@@ -186,11 +186,12 @@ fn telemetry_snapshot_golden_json() {
             cache_misses: 1,
             invalidations: 0,
         }),
+        router: None,
     };
 
     let golden = "\
 {
-  \"schema\": 2,
+  \"schema\": 3,
   \"server\": {
     \"requests_total\": 4,
     \"samples_total\": 32,
@@ -256,7 +257,8 @@ fn telemetry_snapshot_golden_json() {
     \"cache_hits\": 3,
     \"cache_misses\": 1,
     \"invalidations\": 0
-  }
+  },
+  \"router\": null
 }
 ";
     assert_eq!(snap.to_json(), golden);

@@ -1,0 +1,438 @@
+//! Integration tests for the cluster front-end: client → router →
+//! consistent-hash placement → backend pool → `spn-server` → back.
+//!
+//! The backends here are real in-process `SpnServer`s over
+//! deterministic virtual devices, so routed results can be compared
+//! bit-for-bit against a direct `SpnRuntime` run.
+
+use spn_arith::AnyFormat;
+use spn_core::NipsBenchmark;
+use spn_hw::{AcceleratorConfig, DatapathProgram};
+use spn_router::{HealthPolicy, RouterConfig, SpnRouter};
+use spn_runtime::{JobOptions, RuntimeConfig, Scheduler, SpnRuntime, VirtualDevice};
+use spn_server::{
+    protocol, BatchPolicy, Client, ModelSpec, Opcode, ServerConfig, SpnServer, Status,
+};
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn make_device(bench: NipsBenchmark) -> Arc<VirtualDevice> {
+    let prog = DatapathProgram::compile(&bench.build_spn());
+    Arc::new(VirtualDevice::new(
+        prog,
+        AnyFormat::paper_default(),
+        AcceleratorConfig::paper_default(),
+        2,
+        64 << 20,
+    ))
+}
+
+fn make_scheduler(bench: NipsBenchmark) -> Arc<Scheduler> {
+    let config = RuntimeConfig::builder()
+        .block_samples(512)
+        .threads_per_pe(2)
+        .build()
+        .unwrap();
+    Arc::new(Scheduler::new(make_device(bench), config).unwrap())
+}
+
+/// One backend server at an OS-chosen port.
+fn start_backend(bench: NipsBenchmark) -> SpnServer {
+    start_backend_at(bench, "127.0.0.1:0")
+}
+
+fn start_backend_at(bench: NipsBenchmark, addr: &str) -> SpnServer {
+    let spec = ModelSpec::new(
+        bench.name(),
+        make_scheduler(bench),
+        bench.num_vars() as u32,
+        256,
+    );
+    SpnServer::serve(
+        ServerConfig {
+            addr: addr.to_string(),
+            batch: BatchPolicy {
+                max_batch_samples: 4096,
+                max_batch_delay: Duration::from_millis(2),
+            },
+            ..ServerConfig::default()
+        },
+        vec![spec],
+    )
+    .unwrap()
+}
+
+/// A health policy fast enough for tests: a dead backend is `Down`
+/// within ~100 ms and re-admitted within ~100 ms of coming back.
+fn fast_health() -> HealthPolicy {
+    HealthPolicy {
+        interval: Duration::from_millis(25),
+        timeout: Duration::from_millis(250),
+        fail_threshold: 2,
+        recover_threshold: 2,
+    }
+}
+
+fn start_router(backends: &[&SpnServer], replication: usize) -> SpnRouter {
+    SpnRouter::start(RouterConfig {
+        backends: backends
+            .iter()
+            .map(|s| s.local_addr().to_string())
+            .collect(),
+        replication,
+        health: fast_health(),
+        ..RouterConfig::default()
+    })
+    .unwrap()
+}
+
+/// Ground truth: direct `SpnRuntime` log-likelihoods for the dataset.
+fn direct_lls(bench: NipsBenchmark, dataset: &spn_core::Dataset) -> Vec<f64> {
+    let runtime = SpnRuntime::new(
+        make_device(bench),
+        RuntimeConfig::builder().block_samples(512).build().unwrap(),
+    );
+    runtime
+        .run(dataset, JobOptions::default())
+        .unwrap()
+        .values
+        .iter()
+        .map(|p| p.ln())
+        .collect()
+}
+
+/// Acceptance: results routed through a 3-backend cluster are
+/// *bit-identical* to a direct `SpnRuntime` run — the router forwards
+/// payload bytes verbatim and never re-encodes what a backend computed.
+#[test]
+fn routed_results_are_bit_identical_to_direct_runtime() {
+    let bench = NipsBenchmark::Nips10;
+    let nf = bench.num_vars() as u32;
+    let dataset = bench.dataset(96, 11);
+    let expected = direct_lls(bench, &dataset);
+
+    let b0 = start_backend(bench);
+    let b1 = start_backend(bench);
+    let b2 = start_backend(bench);
+    let router = start_router(&[&b0, &b1, &b2], 2);
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    let mut at = 0usize;
+    let chunks = [5usize, 17, 1, 9]; // ragged on purpose
+    let mut got = Vec::new();
+    let mut requests = 0u64;
+    while at < 96 {
+        let n = chunks[got.len() % chunks.len()].min(96 - at);
+        let mut block = Vec::with_capacity(n * nf as usize);
+        for r in 0..n {
+            block.extend_from_slice(dataset.row(at + r));
+        }
+        let lls = client
+            .request(bench.name())
+            .samples(&block, n as u32, nf)
+            .send()
+            .unwrap();
+        got.extend(lls);
+        requests += 1;
+        at += n;
+    }
+    for (i, (ll, want)) in got.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            ll.to_bits(),
+            want.to_bits(),
+            "row {i} differs through the router: {ll} vs {want}"
+        );
+    }
+
+    let snap = router.telemetry_snapshot();
+    let r = snap.router.expect("router telemetry present");
+    assert_eq!(r.requests_total, requests);
+    assert_eq!(r.rejected_malformed + r.rejected_no_backend, 0);
+    // The placement spread the model's traffic onto its replica set.
+    let served: u64 = r.backends.values().map(|b| b.requests_total).sum();
+    assert_eq!(served, requests);
+}
+
+/// Acceptance: killing one replica mid-load is invisible to clients —
+/// every request still gets its (bit-exact) answer via failover, with
+/// zero client-visible errors.
+#[test]
+fn killing_one_replica_under_load_loses_no_requests() {
+    let bench = NipsBenchmark::Nips10;
+    let nf = bench.num_vars() as u32;
+    let dataset = Arc::new(bench.dataset(32, 5));
+    let expected = Arc::new(direct_lls(bench, &dataset));
+
+    let mut servers = [
+        start_backend(bench),
+        start_backend(bench),
+        start_backend(bench),
+    ];
+    let refs: Vec<&SpnServer> = servers.iter().collect();
+    let router = start_router(&refs, 2);
+    let addr = router.local_addr();
+
+    // Kill the model's *primary* replica, so post-kill requests that
+    // still prefer it must fail over to the surviving replica.
+    let victim = router.replicas(bench.name())[0];
+
+    const WORKERS: usize = 2;
+    const REQUESTS: usize = 60;
+    const ROWS: usize = 4;
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut threads = Vec::new();
+    for w in 0..WORKERS {
+        let dataset = Arc::clone(&dataset);
+        let expected = Arc::clone(&expected);
+        let done = Arc::clone(&done);
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            for i in 0..REQUESTS {
+                let base = ((w * REQUESTS + i) * ROWS) % (32 - ROWS);
+                let mut block = Vec::with_capacity(ROWS * nf as usize);
+                for r in 0..ROWS {
+                    block.extend_from_slice(dataset.row(base + r));
+                }
+                let lls = client
+                    .request(NipsBenchmark::Nips10.name())
+                    .samples(&block, ROWS as u32, nf)
+                    .send()
+                    .unwrap_or_else(|e| panic!("request {i} of worker {w} failed: {e}"));
+                for (r, ll) in lls.iter().enumerate() {
+                    assert_eq!(
+                        ll.to_bits(),
+                        expected[base + r].to_bits(),
+                        "failover changed an answer"
+                    );
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    // Let the cluster serve a while, then kill the primary mid-load.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while done.load(Ordering::Relaxed) < WORKERS * REQUESTS / 6 {
+        assert!(Instant::now() < deadline, "load never got going");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    servers[victim].shutdown();
+
+    for t in threads {
+        t.join().expect("worker saw a client-visible error");
+    }
+
+    let snap = router.telemetry_snapshot();
+    let r = snap.router.expect("router telemetry present");
+    assert_eq!(
+        r.requests_total,
+        (WORKERS * REQUESTS) as u64,
+        "every request was answered Ok"
+    );
+    assert!(
+        r.failovers_total >= 1,
+        "the kill should have forced at least one failover"
+    );
+    assert_eq!(r.rejected_no_backend, 0);
+}
+
+/// Satellite: malformed and truncated SPN1 frames at the *router*
+/// boundary are answered with typed `Malformed` errors (or survived,
+/// for a mid-frame disconnect) and never reach a backend.
+#[test]
+fn malformed_frames_at_the_router_boundary() {
+    let bench = NipsBenchmark::Nips10;
+    let nf = bench.num_vars() as u32;
+    let backend = start_backend(bench);
+    let router = start_router(&[&backend], 1);
+    let addr = router.local_addr();
+
+    fn header(magic: &[u8; 4], version: u8, opcode: u8, status: u8, len: u32) -> Vec<u8> {
+        let mut h = Vec::with_capacity(12);
+        h.extend_from_slice(magic);
+        h.push(version);
+        h.push(opcode);
+        h.push(status);
+        h.push(0);
+        h.extend_from_slice(&len.to_le_bytes());
+        h
+    }
+
+    // Header-level garbage: the stream is no longer frame-aligned, so
+    // the router answers `Malformed` once and closes the connection.
+    let cases: &[(&str, Vec<u8>)] = &[
+        ("bad magic", header(b"NOPE", 1, 2, 0, 0)),
+        ("bad version", header(&protocol::MAGIC, 99, 2, 0, 0)),
+        ("unknown opcode", header(&protocol::MAGIC, 1, 200, 0, 0)),
+        ("unknown status", header(&protocol::MAGIC, 1, 2, 200, 0)),
+        (
+            "oversized length",
+            header(&protocol::MAGIC, 1, 2, 0, protocol::MAX_PAYLOAD + 1),
+        ),
+    ];
+    for (what, bytes) in cases {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(bytes).unwrap();
+        let reply = protocol::read_frame(&mut s)
+            .unwrap_or_else(|e| panic!("{what}: no error frame, got {e:?}"));
+        assert_eq!(reply.status, Status::Malformed, "{what}");
+    }
+
+    // Payload-level garbage inside a well-formed frame: typed error,
+    // and the *same connection* stays usable.
+    let mut sloppy = TcpStream::connect(addr).unwrap();
+    let bogus = protocol::Frame::request(Opcode::Infer, vec![1, 2, 3]);
+    protocol::write_frame(&mut sloppy, &bogus).unwrap();
+    let reply = protocol::read_frame(&mut sloppy).unwrap();
+    assert_eq!(reply.status, Status::Malformed);
+    protocol::write_frame(&mut sloppy, &protocol::Frame::request(Opcode::Ping, vec![])).unwrap();
+    let pong = protocol::read_frame(&mut sloppy).unwrap();
+    assert_eq!(pong.status, Status::Ok);
+
+    // Truncated frame: promise 1000 payload bytes, send 10, vanish.
+    {
+        let mut torn = TcpStream::connect(addr).unwrap();
+        torn.write_all(&header(&protocol::MAGIC, 1, Opcode::Infer as u8, 0, 1000))
+            .unwrap();
+        torn.write_all(&[0u8; 10]).unwrap();
+    } // drop = disconnect
+
+    // The router survived all of it and still routes real work…
+    let mut client = Client::connect(addr).unwrap();
+    let lls = client
+        .request(bench.name())
+        .samples(&vec![0u8; bench.num_vars()], 1, nf)
+        .send()
+        .unwrap();
+    assert_eq!(lls.len(), 1);
+
+    // …the garbage was counted at the router…
+    let r = router.telemetry_snapshot().router.unwrap();
+    assert!(
+        r.rejected_malformed > cases.len() as u64,
+        "router counted {} malformed rejections",
+        r.rejected_malformed
+    );
+    // …and none of it ever reached the backend.
+    assert_eq!(backend.metrics_snapshot().rejected_malformed, 0);
+}
+
+/// Health lifecycle: a dead backend is demoted to `Down` (and routed
+/// around), then re-admitted automatically once it comes back up.
+#[test]
+fn dead_backend_is_demoted_and_readmitted_when_it_returns() {
+    let bench = NipsBenchmark::Nips10;
+    let nf = bench.num_vars() as u32;
+    let live = start_backend(bench);
+
+    // Reserve a port for the "flaky" backend, then leave it dark.
+    let flaky_addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+
+    let router = SpnRouter::start(RouterConfig {
+        backends: vec![live.local_addr().to_string(), flaky_addr.clone()],
+        replication: 2,
+        health: fast_health(),
+        ..RouterConfig::default()
+    })
+    .unwrap();
+
+    let state_of = |router: &SpnRouter, id: &str| -> String {
+        router.telemetry_snapshot().router.unwrap().backends[id]
+            .state
+            .clone()
+    };
+    let wait_for_state = |router: &SpnRouter, id: &str, want: &str| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while state_of(router, id) != want {
+            assert!(
+                Instant::now() < deadline,
+                "backend {id} never became {want} (is {})",
+                state_of(router, id)
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    };
+
+    // (1) The dark backend is probed down…
+    wait_for_state(&router, &flaky_addr, "down");
+
+    // …while requests keep flowing through the live replica.
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    for _ in 0..4 {
+        let lls = client
+            .request(bench.name())
+            .samples(&vec![0u8; bench.num_vars()], 1, nf)
+            .send()
+            .unwrap();
+        assert_eq!(lls.len(), 1);
+    }
+
+    // (2) The backend comes back at its advertised address and is
+    // re-admitted after `recover_threshold` clean probes.
+    let revived = start_backend_at(bench, &flaky_addr);
+    wait_for_state(&router, &flaky_addr, "up");
+
+    let r = router.telemetry_snapshot().router.unwrap();
+    assert!(
+        r.backends[&flaky_addr].health_transitions >= 2,
+        "expected demotion + re-admission transitions"
+    );
+    assert!(r.health_transitions_total >= 2);
+
+    // The revived backend actually serves when routed to.
+    for _ in 0..4 {
+        let lls = client
+            .request(bench.name())
+            .samples(&vec![0u8; bench.num_vars()], 1, nf)
+            .send()
+            .unwrap();
+        assert_eq!(lls.len(), 1);
+    }
+    drop(revived);
+}
+
+/// The router's `Stats` opcode returns the versioned telemetry
+/// document with a populated `router` section — through both the raw
+/// JSON and the typed client path.
+#[test]
+fn router_stats_over_the_wire() {
+    let bench = NipsBenchmark::Nips10;
+    let nf = bench.num_vars() as u32;
+    let b0 = start_backend(bench);
+    let b1 = start_backend(bench);
+    let router = start_router(&[&b0, &b1], 2);
+
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    client
+        .request(bench.name())
+        .samples(&vec![0u8; 3 * bench.num_vars()], 3, nf)
+        .send()
+        .unwrap();
+
+    let json = client.stats().unwrap();
+    let v: serde_json::Value = serde_json::from_str(&json).expect("stats JSON parses");
+    assert_eq!(v["schema"], 3u64);
+    assert!(v["server"].is_null(), "serving section lives on backends");
+    assert_eq!(v["router"]["requests_total"], 1u64);
+    assert_eq!(v["router"]["rejected_no_backend"], 0u64);
+    assert_eq!(
+        v["router"]["backends"].as_object_slice().map(|s| s.len()),
+        Some(2)
+    );
+    assert!(v["router"]["e2e_seconds"]["count"].as_u64() == Some(1));
+
+    // Typed path: the same document through `TelemetrySnapshot`.
+    let snap = client.telemetry().unwrap();
+    let r = snap.router.expect("typed router section");
+    assert_eq!(r.requests_total, 1);
+    assert_eq!(r.backends.len(), 2);
+    for b in r.backends.values() {
+        assert_eq!(b.state, "up");
+    }
+}

@@ -512,7 +512,7 @@ fn stats_opcode_returns_parsable_json() {
 
     let json = client.stats().unwrap();
     let v: serde_json::Value = serde_json::from_str(&json).expect("stats JSON parses");
-    assert_eq!(v["schema"], 2u64);
+    assert_eq!(v["schema"], 3u64);
     assert_eq!(v["server"]["requests_total"], 1u64);
     assert_eq!(v["server"]["samples_total"], 3u64);
     assert_eq!(v["server"]["inflight_samples"], 0u64);
@@ -658,7 +658,9 @@ fn shutdown_drains_admitted_requests_then_refuses_new_ones() {
     // connection thread observes the flag — both are refusals).
     match b.request(bench.name()).samples(&[0u8; 10], 1, nf).send() {
         Err(ClientError::Rejected { status, .. }) => assert_eq!(status, Status::ShuttingDown),
-        Err(ClientError::Io(_)) | Err(ClientError::Wire(_)) => {}
+        Err(ClientError::Io(_))
+        | Err(ClientError::Wire(_))
+        | Err(ClientError::ConnectionClosed) => {}
         Ok(_) => panic!("inference accepted after shutdown"),
     }
 
