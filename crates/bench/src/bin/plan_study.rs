@@ -2,17 +2,25 @@
 //! plan compiler: per-sample latency of the tree-walking [`Evaluator`]
 //! oracle against the batched [`PlanExecutor`] across batch sizes, on
 //! the NIPS models. Writes the committed `BENCH_plan.json` at the repo
-//! root (plus the usual `results/` copy).
+//! root (a provenance-stamped `RunRecord`), plus the usual `results/`
+//! copy; `--quick` shrinks the sweep for CI, `--out PATH` redirects
+//! the artifact and `--runs DIR` appends to a run store.
 //!
 //! Methodology: each (path, batch) cell is timed over enough
 //! repetitions to exceed a fixed wall-clock budget and the *best*
 //! per-sample time is kept — minimum-of-N is robust against scheduler
 //! noise, and both paths get identical data and identical treatment.
+//!
+//! `spn bench diff` compares only the `speedup` column across runs:
+//! the ratio cancels the host's absolute speed, so it is the one
+//! number here that is comparable across machines.
 
-use bench::{write_json, Table};
+use bench::{jobj, write_study_record, StudyArgs, Table};
 use serde::Serialize;
+use serde_json::Value;
 use spn_core::{CompiledPlan, Dataset, Evaluator, NipsBenchmark, PlanExecutor, Query, Spn};
-use std::time::Instant;
+use spn_telemetry::{RunKind, RunRecord};
+use std::time::{Duration, Instant};
 
 #[derive(Serialize)]
 struct Point {
@@ -23,22 +31,12 @@ struct Point {
     speedup: f64,
 }
 
-#[derive(Serialize)]
-struct Study {
-    /// What the numbers are: best-of-N per-sample inference latency,
-    /// complete-evidence query, single thread.
-    methodology: &'static str,
-    compile_micros: Vec<(String, f64)>,
-    points: Vec<Point>,
-}
-
 /// Best per-sample nanoseconds over repeated timed runs of `f`
 /// (which evaluates `batch` samples per call).
-fn best_ns_per_sample(batch: usize, mut f: impl FnMut()) -> f64 {
+fn best_ns_per_sample(batch: usize, budget: Duration, mut f: impl FnMut()) -> f64 {
     // Warm up caches and lazy allocations.
     f();
     let mut best = f64::INFINITY;
-    let budget = std::time::Duration::from_millis(120);
     let t_all = Instant::now();
     while t_all.elapsed() < budget {
         let t0 = Instant::now();
@@ -51,12 +49,18 @@ fn best_ns_per_sample(batch: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn measure(spn: &Spn, plan: &CompiledPlan, data: &Dataset, batch: usize) -> (f64, f64) {
+fn measure(
+    spn: &Spn,
+    plan: &CompiledPlan,
+    data: &Dataset,
+    batch: usize,
+    budget: Duration,
+) -> (f64, f64) {
     let slab = &data.raw()[..batch * data.num_features()];
     let nf = data.num_features();
 
     let mut ev = Evaluator::new(spn);
-    let tree = best_ns_per_sample(batch, || {
+    let tree = best_ns_per_sample(batch, budget, || {
         let mut acc = 0.0;
         for row in slab.chunks_exact(nf) {
             acc += ev.eval_bytes(&Query::Complete, row);
@@ -66,7 +70,7 @@ fn measure(spn: &Spn, plan: &CompiledPlan, data: &Dataset, batch: usize) -> (f64
 
     let mut ex = PlanExecutor::new(plan);
     let mut out = Vec::with_capacity(batch);
-    let fast = best_ns_per_sample(batch, || {
+    let fast = best_ns_per_sample(batch, budget, || {
         out.clear();
         ex.eval_batch_raw(&Query::Complete, slab, nf, &mut out);
         std::hint::black_box(out.last().copied());
@@ -75,14 +79,28 @@ fn measure(spn: &Spn, plan: &CompiledPlan, data: &Dataset, batch: usize) -> (f64
 }
 
 fn main() {
-    let batches = [1usize, 8, 64, 256, 4096];
-    let models = [
-        NipsBenchmark::Nips10,
-        NipsBenchmark::Nips20,
-        NipsBenchmark::Nips30,
-        NipsBenchmark::Nips40,
-        NipsBenchmark::Nips80,
-    ];
+    let args = StudyArgs::parse();
+    // Quick mode (CI's perf-gate candidate): a subset of models and
+    // batch sizes on a shorter budget. The diff matches points by
+    // (model, batch) label, so a subset diffs cleanly against the
+    // full committed baseline.
+    let batches: &[usize] = if args.quick {
+        &[1, 64, 4096]
+    } else {
+        &[1, 8, 64, 256, 4096]
+    };
+    let models: &[NipsBenchmark] = if args.quick {
+        &[NipsBenchmark::Nips10, NipsBenchmark::Nips20]
+    } else {
+        &[
+            NipsBenchmark::Nips10,
+            NipsBenchmark::Nips20,
+            NipsBenchmark::Nips30,
+            NipsBenchmark::Nips40,
+            NipsBenchmark::Nips80,
+        ]
+    };
+    let budget = Duration::from_millis(if args.quick { 40 } else { 120 });
 
     println!("Compiled plan vs tree-walk oracle (complete-evidence query)\n");
     let mut table = Table::new(vec![
@@ -95,7 +113,7 @@ fn main() {
 
     let mut compile_micros = Vec::new();
     let mut points = Vec::new();
-    for bench in models {
+    for &bench in models {
         let spn = bench.build_spn();
         let data = bench.dataset(4096, 42);
 
@@ -103,8 +121,8 @@ fn main() {
         let plan = CompiledPlan::compile(&spn);
         compile_micros.push((bench.name().to_string(), t0.elapsed().as_secs_f64() * 1e6));
 
-        for batch in batches {
-            let (tree, fast) = measure(&spn, &plan, &data, batch);
+        for &batch in batches {
+            let (tree, fast) = measure(&spn, &plan, &data, batch, budget);
             let speedup = tree / fast;
             table.row(vec![
                 bench.name().to_string(),
@@ -130,23 +148,40 @@ fn main() {
         .map(|p| p.speedup)
         .fold(f64::INFINITY, f64::min);
 
-    let study = Study {
-        methodology: "best-of-N per-sample latency over a 120ms budget per cell; \
-                      single thread; identical data; Query::Complete",
-        compile_micros,
-        points,
-    };
-    write_json("plan_study", &study);
-    match serde_json::to_string_pretty(&study) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write("BENCH_plan.json", s) {
-                eprintln!("note: cannot write BENCH_plan.json: {e}");
-            } else {
-                eprintln!("[written BENCH_plan.json]");
-            }
-        }
-        Err(e) => eprintln!("note: cannot serialize study: {e}"),
-    }
+    let config = jobj(vec![
+        (
+            "methodology",
+            Value::String(
+                "best-of-N per-sample latency over a fixed budget per cell; \
+                 single thread; identical data; Query::Complete"
+                    .to_string(),
+            ),
+        ),
+        (
+            "budget_ms_per_cell",
+            (budget.as_millis() as u64).serialize(),
+        ),
+        ("batches", batches.serialize()),
+        (
+            "models",
+            models
+                .iter()
+                .map(|m| m.name().to_string())
+                .collect::<Vec<_>>()
+                .serialize(),
+        ),
+        ("quick", Value::Bool(args.quick)),
+    ]);
+    let metrics = jobj(vec![
+        ("compile_micros", compile_micros.serialize()),
+        ("points", points.serialize()),
+    ]);
+    let record = RunRecord::new("plan_study", RunKind::Bench, config, metrics);
+    write_study_record(
+        &record,
+        args.out.as_deref().unwrap_or("BENCH_plan.json"),
+        args.runs.as_deref(),
+    );
 
     println!("\nworst speedup at batch >= 64: {worst_big_batch:.2}x (target >= 3x)");
 }

@@ -16,8 +16,9 @@
 //! pure function of the run seed via `request_seed` — each point in
 //! the sweep replays the identical request stream.
 
-use bench::{write_json, Table};
+use bench::{jobj, write_study_record, StudyArgs, Table};
 use serde::Serialize;
+use serde_json::Value;
 use spn_arith::AnyFormat;
 use spn_core::NipsBenchmark;
 use spn_hw::{AcceleratorConfig, DatapathProgram};
@@ -26,6 +27,7 @@ use spn_runtime::{RuntimeConfig, Scheduler, VirtualDevice};
 use spn_server::{
     request_seed, synthetic_samples, BatchPolicy, Client, ModelSpec, ServerConfig, SpnServer,
 };
+use spn_telemetry::{RunKind, RunRecord};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -53,18 +55,6 @@ struct Point {
     elapsed_s: f64,
     samples_per_sec: f64,
     speedup_vs_1: f64,
-}
-
-#[derive(Serialize)]
-struct Study {
-    methodology: &'static str,
-    pacing_us_per_sample: u64,
-    shards: usize,
-    samples_per_request: u32,
-    load_secs: f64,
-    replication: usize,
-    seed: u64,
-    points: Vec<Point>,
 }
 
 fn shard_names() -> Vec<String> {
@@ -163,7 +153,7 @@ fn timed_load(addr: std::net::SocketAddr, nf: u32, secs: f64) -> (u64, u64, u64,
     )
 }
 
-fn sweep_point(bench: NipsBenchmark, n: usize) -> Point {
+fn sweep_point(bench: NipsBenchmark, n: usize, load_secs: f64) -> Point {
     let servers: Vec<SpnServer> = (0..n).map(|_| start_backend(bench)).collect();
     let router = SpnRouter::start(RouterConfig {
         backends: servers.iter().map(|s| s.local_addr().to_string()).collect(),
@@ -174,7 +164,7 @@ fn sweep_point(bench: NipsBenchmark, n: usize) -> Point {
     .unwrap();
 
     let (ok, rej, samples, elapsed) =
-        timed_load(router.local_addr(), bench.num_vars() as u32, LOAD_SECS);
+        timed_load(router.local_addr(), bench.num_vars() as u32, load_secs);
     drop(router);
     for mut s in servers {
         s.shutdown();
@@ -191,17 +181,24 @@ fn sweep_point(bench: NipsBenchmark, n: usize) -> Point {
 }
 
 fn main() {
+    let args = StudyArgs::parse();
     let bench = NipsBenchmark::Nips10;
+    // Quick mode (CI's perf-gate candidate): sweep 1 -> 2 backends on
+    // a shorter window. `speedup_vs_1` and the pacing-pinned
+    // `samples_per_sec` stay comparable with the full baseline; the
+    // diff matches points by their `backends` label.
+    let max_backends = if args.quick { 2 } else { 4 };
+    let load_secs = if args.quick { 1.0 } else { LOAD_SECS };
     println!(
         "Router scaling study: {SHARDS} shards of {}, {} µs/sample pacing, \
-         {LOAD_SECS} s per point\n",
+         {load_secs} s per point\n",
         bench.name(),
         PACING_US
     );
 
     let mut points = Vec::new();
-    for n in 1..=4usize {
-        let mut p = sweep_point(bench, n);
+    for n in 1..=max_backends {
+        let mut p = sweep_point(bench, n, load_secs);
         let base = points
             .first()
             .map(|b: &Point| b.samples_per_sec)
@@ -232,32 +229,35 @@ fn main() {
     }
     table.print();
 
-    let at4 = points.last().map(|p| p.speedup_vs_1).unwrap_or(0.0);
-    let study = Study {
-        methodology: "fixed-duration closed-loop load (1 client per shard) through \
-                      spn-router over N in-process spn-server backends, each a 1-PE \
-                      virtual device paced at a fixed per-sample budget so backend \
-                      capacity is a known constant; identical seeded request stream \
-                      (request_seed) at every point; replication capped at backend count",
-        pacing_us_per_sample: PACING_US,
-        shards: SHARDS,
-        samples_per_request: SAMPLES_PER_REQUEST,
-        load_secs: LOAD_SECS,
-        replication: REPLICATION,
-        seed: SEED,
-        points,
-    };
-    write_json("router_study", &study);
-    match serde_json::to_string_pretty(&study) {
-        Ok(s) => {
-            if let Err(e) = std::fs::write("BENCH_router.json", s) {
-                eprintln!("note: cannot write BENCH_router.json: {e}");
-            } else {
-                eprintln!("[written BENCH_router.json]");
-            }
-        }
-        Err(e) => eprintln!("note: cannot serialize study: {e}"),
-    }
+    let at_max = points.last().map(|p| p.speedup_vs_1).unwrap_or(0.0);
+    let config = jobj(vec![
+        (
+            "methodology",
+            Value::String(
+                "fixed-duration closed-loop load (1 client per shard) through \
+                 spn-router over N in-process spn-server backends, each a 1-PE \
+                 virtual device paced at a fixed per-sample budget so backend \
+                 capacity is a known constant; identical seeded request stream \
+                 (request_seed) at every point; replication capped at backend count"
+                    .to_string(),
+            ),
+        ),
+        ("pacing_us_per_sample", PACING_US.serialize()),
+        ("shards", SHARDS.serialize()),
+        ("samples_per_request", SAMPLES_PER_REQUEST.serialize()),
+        ("load_secs", load_secs.serialize()),
+        ("replication", REPLICATION.serialize()),
+        ("seed", SEED.serialize()),
+        ("max_backends", max_backends.serialize()),
+        ("quick", Value::Bool(args.quick)),
+    ]);
+    let metrics = jobj(vec![("points", points.serialize())]);
+    let record = RunRecord::new("router_study", RunKind::Bench, config, metrics);
+    write_study_record(
+        &record,
+        args.out.as_deref().unwrap_or("BENCH_router.json"),
+        args.runs.as_deref(),
+    );
 
-    println!("\nspeedup at N=4: {at4:.2}x (target >= 2.5x)");
+    println!("\nspeedup at N={max_backends}: {at_max:.2}x (target >= 2.5x at N=4)");
 }

@@ -1,0 +1,372 @@
+//! The run differ behind `spn bench diff` and the CI perf gate.
+//!
+//! Compares the `metrics` subtrees of two [`RunRecord`]s and flags
+//! metrics that moved in the *bad* direction by more than a tolerance.
+//! Only metrics that are meaningful across hosts are compared:
+//! throughput figures (`samples_per_sec`, pinned by the study's pacing)
+//! and dimensionless speedups are higher-better; latency percentiles
+//! are lower-better. Everything else in the tree — raw nanosecond
+//! timings, counts, configuration echoes — is ignored, because a
+//! different machine moves those without any code change.
+//!
+//! Arrays of measurement points are matched by their label keys
+//! (`model`, `batch`, `backends`, `name`), not by position, so a
+//! candidate that measured a *subset* of the baseline's points (CI's
+//! quick mode) still diffs cleanly: points missing from the candidate
+//! are reported but are only regressions under
+//! [`DiffOptions::require_complete`].
+
+use serde_json::Value;
+use spn_telemetry::RunRecord;
+use std::fmt::Write as _;
+
+/// Metrics where a larger value is an improvement.
+const HIGHER_BETTER: &[&str] = &["samples_per_sec", "speedup", "speedup_vs_1"];
+
+/// Metrics where a smaller value is an improvement.
+const LOWER_BETTER: &[&str] = &["p50_ms", "p95_ms", "p99_ms", "max_ms"];
+
+/// Keys that *label* a measurement point inside an array; array
+/// elements are matched across runs by the values of these keys.
+const LABEL_KEYS: &[&str] = &["model", "batch", "backends", "name"];
+
+/// Knobs for a diff.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Fractional change in the bad direction beyond which a metric is
+    /// a regression. The default (0.30) is deliberately generous: the
+    /// CI gate runs on shared machines and must only trip on real
+    /// cliffs, not scheduler noise.
+    pub tolerance: f64,
+    /// Treat baseline points absent from the candidate as regressions.
+    /// Off by default so quick-mode candidates can cover a subset.
+    pub require_complete: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            tolerance: 0.30,
+            require_complete: false,
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Where in the metrics tree, e.g. `points[backends=4].samples_per_sec`.
+    pub path: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// `(candidate - baseline) / |baseline|`.
+    pub delta_frac: f64,
+    /// Whether larger is an improvement for this metric.
+    pub higher_is_better: bool,
+    /// Whether the move exceeds tolerance in the bad direction.
+    pub regression: bool,
+}
+
+/// The result of diffing two runs.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Every metric compared, in tree order.
+    pub deltas: Vec<MetricDelta>,
+    /// Paths present in the baseline but absent from the candidate.
+    pub missing: Vec<String>,
+    /// Whether missing paths count as regressions.
+    pub missing_is_regression: bool,
+    /// The tolerance the verdict used.
+    pub tolerance: f64,
+}
+
+impl DiffReport {
+    /// Whether the candidate regressed past tolerance anywhere.
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.regression)
+            || (self.missing_is_regression && !self.missing.is_empty())
+    }
+
+    /// The regressed deltas.
+    pub fn regressions(&self) -> impl Iterator<Item = &MetricDelta> {
+        self.deltas.iter().filter(|d| d.regression)
+    }
+
+    /// Human-readable report, one line per compared metric.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let verdict = if d.regression { "REGRESSION" } else { "ok" };
+            let direction = if d.higher_is_better { "↑" } else { "↓" };
+            let _ = writeln!(
+                out,
+                "{verdict:>10}  {path}  {base:.4} -> {cand:.4}  ({delta:+.1}% {direction} better)",
+                path = d.path,
+                base = d.baseline,
+                cand = d.candidate,
+                delta = d.delta_frac * 100.0,
+            );
+        }
+        for path in &self.missing {
+            let verdict = if self.missing_is_regression {
+                "REGRESSION"
+            } else {
+                "missing"
+            };
+            let _ = writeln!(out, "{verdict:>10}  {path}  (not in candidate)");
+        }
+        let n_reg = self.regressions().count()
+            + if self.missing_is_regression {
+                self.missing.len()
+            } else {
+                0
+            };
+        let _ = writeln!(
+            out,
+            "compared {} metric(s), {} missing, tolerance {:.0}%: {}",
+            self.deltas.len(),
+            self.missing.len(),
+            self.tolerance * 100.0,
+            if n_reg == 0 {
+                "no regressions".to_string()
+            } else {
+                format!("{n_reg} regression(s)")
+            }
+        );
+        out
+    }
+}
+
+/// Diff the metrics subtrees of two run records.
+pub fn diff_records(baseline: &RunRecord, candidate: &RunRecord, opts: DiffOptions) -> DiffReport {
+    diff_values(&baseline.metrics, &candidate.metrics, opts)
+}
+
+/// Diff two metrics trees directly.
+pub fn diff_values(baseline: &Value, candidate: &Value, opts: DiffOptions) -> DiffReport {
+    let mut report = DiffReport {
+        tolerance: opts.tolerance,
+        missing_is_regression: opts.require_complete,
+        ..DiffReport::default()
+    };
+    walk(baseline, Some(candidate), "", &opts, &mut report);
+    report
+}
+
+fn walk(base: &Value, cand: Option<&Value>, path: &str, opts: &DiffOptions, out: &mut DiffReport) {
+    match base {
+        Value::Object(entries) => {
+            for (key, bval) in entries {
+                let child = join(path, key);
+                match bval {
+                    Value::Number(n) if is_metric(key) => {
+                        let cnum = cand.and_then(|c| c.get(key)).and_then(Value::as_f64);
+                        match cnum {
+                            Some(cv) => compare(&child, n.as_f64(), cv, key, opts, out),
+                            None => out.missing.push(child),
+                        }
+                    }
+                    Value::Object(_) | Value::Array(_) => {
+                        walk(bval, cand.and_then(|c| c.get(key)), &child, opts, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Value::Array(items) => {
+            for bitem in items {
+                let label = item_label(bitem);
+                let child = match &label {
+                    Some(l) => format!("{path}[{l}]"),
+                    None => format!("{path}[]"),
+                };
+                let citem = cand.and_then(|c| match (c.as_array(), &label) {
+                    (Some(citems), Some(_)) => citems.iter().find(|ci| item_label(ci) == label),
+                    _ => None,
+                });
+                match citem {
+                    Some(ci) => walk(bitem, Some(ci), &child, opts, out),
+                    None if contains_metric(bitem) => out.missing.push(child),
+                    None => {}
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn compare(path: &str, base: f64, cand: f64, key: &str, opts: &DiffOptions, out: &mut DiffReport) {
+    let higher_is_better = HIGHER_BETTER.contains(&key);
+    let delta_frac = if base.abs() > f64::EPSILON {
+        (cand - base) / base.abs()
+    } else if cand.abs() > f64::EPSILON {
+        // Baseline zero, candidate not: an infinite relative move;
+        // regression iff the move is in the bad direction.
+        if cand > 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        0.0
+    };
+    let regression = if higher_is_better {
+        delta_frac < -opts.tolerance
+    } else {
+        delta_frac > opts.tolerance
+    };
+    out.deltas.push(MetricDelta {
+        path: path.to_string(),
+        baseline: base,
+        candidate: cand,
+        delta_frac,
+        higher_is_better,
+        regression,
+    });
+}
+
+/// Whether `key` names a metric the differ compares.
+fn is_metric(key: &str) -> bool {
+    HIGHER_BETTER.contains(&key) || LOWER_BETTER.contains(&key)
+}
+
+/// The label of an array element: its `LABEL_KEYS` values rendered as
+/// `key=value` pairs, in `LABEL_KEYS` order.
+fn item_label(item: &Value) -> Option<String> {
+    let mut parts = Vec::new();
+    for key in LABEL_KEYS {
+        if let Some(v) = item.get(key) {
+            match v {
+                Value::String(s) => parts.push(format!("{key}={s}")),
+                Value::Number(n) => parts.push(format!("{key}={}", n.as_f64())),
+                _ => {}
+            }
+        }
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join(","))
+    }
+}
+
+/// Whether the subtree holds at least one comparable metric — arrays
+/// of pure labels/config shouldn't produce "missing" noise.
+fn contains_metric(v: &Value) -> bool {
+    match v {
+        Value::Object(entries) => entries
+            .iter()
+            .any(|(k, v)| (is_metric(k) && matches!(v, Value::Number(_))) || contains_metric(v)),
+        Value::Array(items) => items.iter().any(contains_metric),
+        _ => false,
+    }
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(text: &str) -> Value {
+        serde_json::from_str(text).unwrap()
+    }
+
+    #[test]
+    fn identical_trees_have_no_regressions() {
+        let tree = v(r#"{"points": [{"backends": 1, "samples_per_sec": 100.0},
+                                    {"backends": 4, "samples_per_sec": 390.0, "speedup_vs_1": 3.9}]}"#);
+        let report = diff_values(&tree, &tree, DiffOptions::default());
+        assert!(!report.has_regressions());
+        assert_eq!(report.deltas.len(), 3);
+        assert!(report.missing.is_empty());
+        assert!(report.deltas.iter().all(|d| d.delta_frac == 0.0));
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_is_a_regression() {
+        let base = v(r#"{"samples_per_sec": 100.0, "p99_ms": 10.0}"#);
+        let ok = v(r#"{"samples_per_sec": 75.0, "p99_ms": 12.0}"#);
+        let report = diff_values(&base, &ok, DiffOptions::default());
+        assert!(!report.has_regressions(), "{}", report.render());
+
+        let bad = v(r#"{"samples_per_sec": 49.0, "p99_ms": 10.0}"#);
+        let report = diff_values(&base, &bad, DiffOptions::default());
+        assert!(report.has_regressions());
+        let reg: Vec<_> = report.regressions().collect();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].path, "samples_per_sec");
+        assert!(reg[0].higher_is_better);
+    }
+
+    #[test]
+    fn latency_rise_beyond_tolerance_is_a_regression() {
+        let base = v(r#"{"p99_ms": 10.0}"#);
+        let bad = v(r#"{"p99_ms": 14.0}"#);
+        let report = diff_values(&base, &bad, DiffOptions::default());
+        assert!(report.has_regressions());
+        // Throughput *gains* and latency *drops* are never regressions.
+        let good = v(r#"{"p99_ms": 1.0}"#);
+        assert!(!diff_values(&base, &good, DiffOptions::default()).has_regressions());
+    }
+
+    #[test]
+    fn points_match_by_label_not_position() {
+        let base = v(r#"{"points": [{"backends": 1, "samples_per_sec": 100.0},
+                                    {"backends": 4, "samples_per_sec": 400.0}]}"#);
+        // Candidate lists the points in reverse order; backends=4
+        // regressed, backends=1 didn't.
+        let cand = v(r#"{"points": [{"backends": 4, "samples_per_sec": 100.0},
+                                    {"backends": 1, "samples_per_sec": 100.0}]}"#);
+        let report = diff_values(&base, &cand, DiffOptions::default());
+        let reg: Vec<_> = report.regressions().collect();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg[0].path, "points[backends=4].samples_per_sec");
+    }
+
+    #[test]
+    fn subset_candidates_are_clean_unless_completeness_required() {
+        let base = v(r#"{"points": [{"model": "a", "batch": 1, "speedup": 2.0},
+                                    {"model": "b", "batch": 8, "speedup": 3.0}]}"#);
+        let cand = v(r#"{"points": [{"model": "a", "batch": 1, "speedup": 2.0}]}"#);
+        let report = diff_values(&base, &cand, DiffOptions::default());
+        assert!(!report.has_regressions());
+        assert_eq!(report.missing, vec!["points[model=b,batch=8]".to_string()]);
+
+        let strict = diff_values(
+            &base,
+            &cand,
+            DiffOptions {
+                require_complete: true,
+                ..DiffOptions::default()
+            },
+        );
+        assert!(strict.has_regressions());
+    }
+
+    #[test]
+    fn non_portable_numbers_are_ignored() {
+        let base = v(r#"{"ns_per_sample": 100.0, "requests": 5, "samples_per_sec": 10.0}"#);
+        let cand = v(r#"{"ns_per_sample": 900.0, "requests": 1, "samples_per_sec": 10.0}"#);
+        let report = diff_values(&base, &cand, DiffOptions::default());
+        assert_eq!(report.deltas.len(), 1);
+        assert!(!report.has_regressions());
+    }
+
+    #[test]
+    fn render_mentions_the_verdict() {
+        let base = v(r#"{"samples_per_sec": 100.0}"#);
+        let bad = v(r#"{"samples_per_sec": 10.0}"#);
+        let text = diff_values(&base, &bad, DiffOptions::default()).render();
+        assert!(text.contains("REGRESSION"), "{text}");
+        assert!(text.contains("1 regression(s)"), "{text}");
+    }
+}

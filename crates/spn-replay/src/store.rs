@@ -1,0 +1,239 @@
+//! The durable run store: an append-only directory of
+//! [`RunRecord`] JSON files.
+//!
+//! Every bench, loadgen and replay run appends one record; nothing
+//! ever rewrites or deletes one. That makes `runs/` a usable history:
+//! `spn bench diff` can compare any two files in it, and CI can diff a
+//! fresh candidate against a committed baseline without coordination.
+//!
+//! Filenames are `<name>-<seq>.json` with a monotonically increasing,
+//! zero-padded sequence per name, so lexicographic order within a name
+//! is append order and [`RunStore::latest`] is a simple directory scan.
+
+use spn_telemetry::RunRecord;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Failure loading a run record from the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The file could not be read (or the store directory created).
+    Io(io::Error),
+    /// The file is not a valid `RunRecord` document.
+    Parse { path: PathBuf, message: String },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "run store I/O error: {e}"),
+            StoreError::Parse { path, message } => {
+                write!(f, "{}: not a valid run record: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// An append-only directory of [`RunRecord`] files.
+#[derive(Debug, Clone)]
+pub struct RunStore {
+    dir: PathBuf,
+}
+
+impl RunStore {
+    /// Open (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<RunStore, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(RunStore { dir })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Append `record`, returning the path of the new file. Existing
+    /// files are never overwritten: the next free sequence number for
+    /// the record's name is claimed with a create-new open, so two
+    /// concurrent appends of the same name both land (one of them
+    /// retries onto the next slot).
+    pub fn append(&self, record: &RunRecord) -> Result<PathBuf, StoreError> {
+        let name = sanitize_name(&record.name);
+        let json = record.to_json();
+        let mut seq = self.next_seq(&name)?;
+        loop {
+            let path = self.dir.join(format!("{name}-{seq:04}.json"));
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    use io::Write as _;
+                    file.write_all(json.as_bytes())?;
+                    return Ok(path);
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    seq += 1;
+                }
+                Err(e) => return Err(StoreError::Io(e)),
+            }
+        }
+    }
+
+    /// Load a run record from `path` (any path — not necessarily
+    /// inside this store, so baselines committed elsewhere diff too).
+    pub fn load(path: impl AsRef<Path>) -> Result<RunRecord, StoreError> {
+        let path = path.as_ref();
+        let text = fs::read_to_string(path)?;
+        RunRecord::from_json(&text).map_err(|e| StoreError::Parse {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })
+    }
+
+    /// All record files in the store, sorted by filename (append
+    /// order within each name).
+    pub fn list(&self) -> Result<Vec<PathBuf>, StoreError> {
+        let mut paths = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "json") {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        Ok(paths)
+    }
+
+    /// The most recently appended record with the given name, if any.
+    pub fn latest(&self, name: &str) -> Result<Option<PathBuf>, StoreError> {
+        let prefix = format!("{}-", sanitize_name(name));
+        Ok(self.list()?.into_iter().rfind(|p| {
+            p.file_name()
+                .and_then(|f| f.to_str())
+                .is_some_and(|f| f.starts_with(&prefix))
+        }))
+    }
+
+    fn next_seq(&self, name: &str) -> Result<u64, StoreError> {
+        let prefix = format!("{name}-");
+        let mut next = 0u64;
+        for path in self.list()? {
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Some(seq) = stem.strip_prefix(&prefix) else {
+                continue;
+            };
+            if let Ok(n) = seq.parse::<u64>() {
+                next = next.max(n + 1);
+            }
+        }
+        Ok(next)
+    }
+}
+
+/// Filenames come from run names; keep them portable.
+fn sanitize_name(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "run".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Number, Value};
+    use spn_telemetry::RunKind;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("spn-replay-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(name: &str) -> RunRecord {
+        RunRecord::new(
+            name,
+            RunKind::Bench,
+            Value::Object(vec![("seed".to_string(), Value::Number(Number::U64(7)))]),
+            Value::Object(vec![(
+                "samples_per_sec".to_string(),
+                Value::Number(Number::F64(100.0)),
+            )]),
+        )
+    }
+
+    #[test]
+    fn append_assigns_sequences_and_round_trips() {
+        let dir = temp_dir("seq");
+        let store = RunStore::open(&dir).unwrap();
+        let p0 = store.append(&record("plan")).unwrap();
+        let p1 = store.append(&record("plan")).unwrap();
+        let p2 = store.append(&record("router")).unwrap();
+        assert_eq!(p0.file_name().unwrap(), "plan-0000.json");
+        assert_eq!(p1.file_name().unwrap(), "plan-0001.json");
+        assert_eq!(p2.file_name().unwrap(), "router-0000.json");
+
+        let loaded = RunStore::load(&p1).unwrap();
+        assert_eq!(loaded.name, "plan");
+        assert_eq!(loaded.config.get("seed").and_then(Value::as_u64), Some(7));
+
+        assert_eq!(store.latest("plan").unwrap(), Some(p1));
+        assert_eq!(store.latest("router").unwrap(), Some(p2));
+        assert_eq!(store.latest("absent").unwrap(), None);
+        assert_eq!(store.list().unwrap().len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn names_are_sanitized_for_filenames() {
+        let dir = temp_dir("sanitize");
+        let store = RunStore::open(&dir).unwrap();
+        let path = store.append(&record("router scaling/4")).unwrap();
+        assert_eq!(path.file_name().unwrap(), "router-scaling-4-0000.json");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_rejects_garbage_with_typed_error() {
+        let dir = temp_dir("garbage");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad-0000.json");
+        fs::write(&path, "{ not json").unwrap();
+        match RunStore::load(&path) {
+            Err(StoreError::Parse { .. }) => {}
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match RunStore::load(dir.join("missing.json")) {
+            Err(StoreError::Io(_)) => {}
+            other => panic!("expected io error, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

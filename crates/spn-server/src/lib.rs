@@ -58,7 +58,10 @@ pub mod server;
 pub use batcher::{BatchPolicy, Batcher, Reply};
 pub use client::{Client, ClientError, InferBuilder};
 pub use conn::{read_full, ReadOutcome};
-pub use loadgen::{request_seed, run_load, synthetic_samples, LoadConfig, LoadReport};
+pub use loadgen::{
+    request_seed, run_load, run_load_observed, synthetic_samples, LoadConfig, LoadObserver,
+    LoadReport, RequestEvent,
+};
 pub use metrics::{HistogramSummary, ServerMetrics, ServerMetricsSnapshot};
 pub use protocol::{Frame, InferRequest, Opcode, Status, WireError};
 pub use server::{ModelSpec, ServerConfig, ServerError, SpnServer};

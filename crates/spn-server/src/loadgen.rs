@@ -130,8 +130,55 @@ pub fn request_seed(run_seed: u64, conn: u64, req: u64) -> u64 {
         .wrapping_add(req)
 }
 
+/// One issued request, as seen by a [`LoadObserver`]: everything a
+/// trace recorder needs to make the request reproducible (the seed
+/// regenerates the payload; the reply is there to digest).
+#[derive(Debug)]
+pub struct RequestEvent<'a> {
+    /// Connection index within the run (`0..connections`).
+    pub conn: u32,
+    /// Request index on that connection.
+    pub req: u64,
+    /// Nanoseconds between the run's start and the moment this
+    /// request was issued (its open-loop arrival offset).
+    pub arrival_ns: u64,
+    /// Model name on the wire.
+    pub model: &'a str,
+    /// Samples in the request.
+    pub num_samples: u32,
+    /// Features per sample.
+    pub num_features: u32,
+    /// Feature domain the payload was drawn from.
+    pub domain: u8,
+    /// The per-request seed ([`request_seed`]) that regenerates the
+    /// payload bit-for-bit.
+    pub seed: u64,
+    /// The payload bytes as sent.
+    pub payload: &'a [u8],
+    /// The server's log-likelihoods, or `None` if it rejected the
+    /// request.
+    pub reply: Option<&'a [f64]>,
+}
+
+/// Observes every request a load run issues — the hook the trace
+/// recorder (`spn-replay`) hangs off the loadgen path. Called from
+/// every worker thread, so implementations synchronise internally.
+pub trait LoadObserver: Send + Sync {
+    /// One request was issued and answered (or rejected).
+    fn on_request(&self, event: &RequestEvent<'_>);
+}
+
 /// Run the load described by `cfg` and aggregate a report.
 pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
+    run_load_observed(cfg, None)
+}
+
+/// [`run_load`], reporting every issued request to `observer` (the
+/// recorder hook — see [`LoadObserver`]).
+pub fn run_load_observed(
+    cfg: &LoadConfig,
+    observer: Option<Arc<dyn LoadObserver>>,
+) -> Result<LoadReport, ClientError> {
     assert!(cfg.connections > 0, "need at least one connection");
     let latency = Arc::new(AtomicHistogram::latency());
     let t0 = Instant::now();
@@ -139,34 +186,53 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
     for conn in 0..cfg.connections {
         let cfg = cfg.clone();
         let latency = Arc::clone(&latency);
+        let observer = observer.clone();
         workers.push(thread::spawn(
             move || -> Result<WorkerStats, ClientError> {
                 let mut client = Client::connect(cfg.addr)?;
                 let mut stats = WorkerStats::default();
                 for req in 0..cfg.requests_per_connection {
+                    let seed = request_seed(cfg.seed, conn as u64, req as u64);
                     let data = synthetic_samples(
                         cfg.samples_per_request,
                         cfg.num_features,
                         cfg.domain,
-                        request_seed(cfg.seed, conn as u64, req as u64),
+                        seed,
                     );
+                    let arrival_ns = t0.elapsed().as_nanos() as u64;
                     let r0 = Instant::now();
-                    match client
+                    let outcome = client
                         .request(&cfg.model)
                         .samples(&data, cfg.samples_per_request, cfg.num_features)
                         .deadline_ms(cfg.deadline_ms)
-                        .send()
-                    {
+                        .send();
+                    let reply = match outcome {
                         Ok(lls) => {
                             stats.ok += 1;
                             stats.ok_samples += lls.len() as u64;
                             latency.record_duration(r0.elapsed());
+                            Some(lls)
                         }
                         Err(ClientError::Rejected { .. }) => {
                             stats.rejected += 1;
                             latency.record_duration(r0.elapsed());
+                            None
                         }
                         Err(e) => return Err(e),
+                    };
+                    if let Some(obs) = &observer {
+                        obs.on_request(&RequestEvent {
+                            conn: conn as u32,
+                            req: req as u64,
+                            arrival_ns,
+                            model: &cfg.model,
+                            num_samples: cfg.samples_per_request,
+                            num_features: cfg.num_features,
+                            domain: cfg.domain,
+                            seed,
+                            payload: &data,
+                            reply: reply.as_deref(),
+                        });
                     }
                 }
                 Ok(stats)

@@ -1,11 +1,16 @@
 //! Property-based tests over the systems substrates: the device memory
-//! allocator, the DES kernel's causality, the job splitter, and the
-//! performance simulation's monotonicity properties.
+//! allocator, the DES kernel's causality, the job splitter, the
+//! performance simulation's monotonicity properties, the `.spntrace`
+//! format's round-trip/rejection guarantees, and the consistent-hash
+//! ring's placement laws.
 
 use proptest::prelude::*;
 use sim_core::{Engine, Model, Scheduler, SimDuration, SimTime, Timeline};
+use spn_replay::{scaled_arrival_ns, Trace, TraceRecord};
+use spn_router::HashRing;
 use spn_runtime::perf::{simulate, PerfConfig};
 use spn_runtime::{split_into_blocks, DeviceMemoryManager};
+use std::collections::HashMap;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -217,5 +222,167 @@ proptest! {
         if t.as_ps() > 1_000_000 {
             prop_assert!(err < 1e-5, "err {err}");
         }
+    }
+}
+
+/// An arbitrary *valid* trace: per-connection arrivals are built as
+/// cumulative sums, so they are monotone by construction — exactly the
+/// invariant a recorder produces.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    // Nested so no tuple exceeds the shim's 6-element strategies; the
+    // (bool, u64) pair stands in for an optional reply digest.
+    let record = (
+        (
+            0u32..4,             // connection
+            0u64..1_000_000_000, // inter-arrival delta on that connection
+            0usize..3,           // model name index
+        ),
+        (
+            1u32..=64,   // samples
+            1u32..=64,   // features
+            any::<u8>(), // domain
+        ),
+        (
+            any::<u64>(),                  // per-request seed
+            any::<u64>(),                  // payload digest
+            (any::<bool>(), any::<u64>()), // reply digest (present?, value)
+        ),
+    );
+    (any::<u64>(), prop::collection::vec(record, 0..40)).prop_map(|(run_seed, raw)| {
+        let models = ["NIPS10", "shard-07", "a-rather-long-model-name"];
+        let mut clock: HashMap<u32, u64> = HashMap::new();
+        let records = raw
+            .into_iter()
+            .map(
+                |((conn, delta, mi), (ns, nf, domain), (seed, pd, (has_rd, rd)))| {
+                    let arrival = clock.entry(conn).or_insert(0);
+                    *arrival += delta;
+                    TraceRecord {
+                        arrival_ns: *arrival,
+                        conn,
+                        model: models[mi].to_string(),
+                        num_samples: ns,
+                        num_features: nf,
+                        domain,
+                        seed,
+                        payload_digest: pd,
+                        reply_digest: has_rd.then_some(rd),
+                    }
+                },
+            )
+            .collect();
+        Trace { run_seed, records }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `.spntrace` encode/decode is the identity on arbitrary valid
+    /// traces.
+    #[test]
+    fn trace_round_trips(trace in arb_trace()) {
+        let bytes = trace.encode().unwrap();
+        prop_assert_eq!(Trace::decode(&bytes).unwrap(), trace);
+    }
+
+    /// Any strict prefix of an encoded trace decodes to a typed error
+    /// — truncation is detected, never panics, never a partial trace.
+    #[test]
+    fn truncated_trace_is_rejected(trace in arb_trace(), cut in any::<usize>()) {
+        let bytes = trace.encode().unwrap();
+        let cut = cut % bytes.len(); // 0..len, always a strict prefix
+        prop_assert!(Trace::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Any single corrupted byte decodes to a typed error: the whole
+    /// file is checksummed and the digest is bijective per byte.
+    #[test]
+    fn corrupted_trace_is_rejected(
+        trace in arb_trace(),
+        at in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let mut bytes = trace.encode().unwrap();
+        let at = at % bytes.len();
+        bytes[at] ^= flip;
+        prop_assert!(Trace::decode(&bytes).is_err());
+    }
+
+    /// Speed scaling preserves arrival order for any speed: the replay
+    /// timeline is a monotone map of the recorded one.
+    #[test]
+    fn speed_scaling_is_monotone(
+        mut arrivals in prop::collection::vec(0u64..u64::MAX / 2, 1..100),
+        speed in 0.05f64..32.0,
+    ) {
+        arrivals.sort_unstable();
+        let scaled: Vec<u64> = arrivals.iter().map(|&a| scaled_arrival_ns(a, speed)).collect();
+        prop_assert!(scaled.windows(2).all(|w| w[0] <= w[1]), "order broken at speed {speed}");
+        // Speed 1.0 is the identity.
+        for &a in &arrivals {
+            prop_assert_eq!(scaled_arrival_ns(a, 1.0), a);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replica sets are always distinct backends, capped at the
+    /// backend count, and every index is in range — for any backend
+    /// names, any model name, any requested K.
+    #[test]
+    fn ring_replicas_always_distinct(
+        n in 1usize..9,
+        salt in any::<u64>(),
+        model in "[ -~]{0,24}",
+        k in 1usize..12,
+    ) {
+        // Distinct-by-construction backend names, varied by the salt.
+        let backends: Vec<String> = (0..n).map(|i| format!("node-{salt:x}-{i:02}:9000")).collect();
+        let ring = HashRing::new(&backends);
+        let replicas = ring.replicas(&model, k);
+        prop_assert_eq!(replicas.len(), k.min(backends.len()));
+        let mut sorted = replicas.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), replicas.len(), "duplicate replica");
+        prop_assert!(replicas.iter().all(|&i| i < backends.len()));
+    }
+
+    /// Consistent hashing's contraction law: adding one backend moves
+    /// at most ~1/(N+1) of shard primaries (generous 2.5x bound plus
+    /// small-sample slack) — a scale-out never reshuffles the cluster.
+    #[test]
+    fn ring_adding_a_backend_moves_few_placements(n in 2usize..9, salt in any::<u64>()) {
+        let mut backends: Vec<String> =
+            (0..n).map(|i| format!("node-{salt:x}-{i:02}:9000")).collect();
+        let added = backends.pop().unwrap();
+        let n = backends.len();
+
+        let before = HashRing::new(&backends);
+        backends.push(added.clone());
+        let after = HashRing::new(&backends);
+
+        const MODELS: usize = 128;
+        let mut moved = 0usize;
+        for i in 0..MODELS {
+            let model = format!("shard-{i:03}");
+            // Compare by *name*: the added backend is appended, so
+            // surviving indices are stable.
+            let p0 = before.replicas(&model, 1)[0];
+            let p1 = after.replicas(&model, 1)[0];
+            if p0 != p1 {
+                // A placement may only change onto the new backend.
+                prop_assert_eq!(&backends[p1], &added, "model moved between old backends");
+                moved += 1;
+            }
+        }
+        let bound = (2.5 * MODELS as f64 / (n as f64 + 1.0)).ceil() as usize + 8;
+        prop_assert!(
+            moved <= bound,
+            "{moved}/{MODELS} placements moved adding 1 backend to {n} (bound {bound})"
+        );
     }
 }

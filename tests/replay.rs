@@ -1,0 +1,234 @@
+//! Integration tests for the record/replay harness: a seeded loadgen
+//! run against a real in-process server becomes a `.spntrace`, the
+//! open-loop replayer re-issues it, and the replies are bit-identical
+//! to the recording — including through a router failover with one
+//! replica killed mid-replay.
+
+use spn_arith::AnyFormat;
+use spn_core::NipsBenchmark;
+use spn_hw::{AcceleratorConfig, DatapathProgram};
+use spn_replay::{record_load, replay, Burst, ReplayConfig, RunStore, Trace};
+use spn_router::{HealthPolicy, RouterConfig, SpnRouter};
+use spn_runtime::{RuntimeConfig, Scheduler, VirtualDevice};
+use spn_server::{BatchPolicy, LoadConfig, ModelSpec, ServerConfig, SpnServer};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn make_scheduler(bench: NipsBenchmark) -> Arc<Scheduler> {
+    let prog = DatapathProgram::compile(&bench.build_spn());
+    let device = Arc::new(VirtualDevice::new(
+        prog,
+        AnyFormat::paper_default(),
+        AcceleratorConfig::paper_default(),
+        2,
+        64 << 20,
+    ));
+    let config = RuntimeConfig::builder()
+        .block_samples(512)
+        .threads_per_pe(2)
+        .build()
+        .unwrap();
+    Arc::new(Scheduler::new(device, config).unwrap())
+}
+
+fn start_backend(bench: NipsBenchmark) -> SpnServer {
+    let spec = ModelSpec::new(
+        bench.name(),
+        make_scheduler(bench),
+        bench.num_vars() as u32,
+        256,
+    );
+    SpnServer::serve(
+        ServerConfig {
+            batch: BatchPolicy {
+                max_batch_samples: 4096,
+                max_batch_delay: Duration::from_millis(2),
+            },
+            ..ServerConfig::default()
+        },
+        vec![spec],
+    )
+    .unwrap()
+}
+
+fn load_config(addr: std::net::SocketAddr, bench: NipsBenchmark) -> LoadConfig {
+    LoadConfig {
+        addr,
+        model: bench.name().to_string(),
+        num_features: bench.num_vars() as u32,
+        domain: 255,
+        connections: 2,
+        requests_per_connection: 12,
+        samples_per_request: 4,
+        deadline_ms: 0,
+        seed: 42,
+    }
+}
+
+/// The tentpole acceptance: record a seeded run, replay it twice, and
+/// both replays answer bit-identically to the recording — same reply
+/// digests, every request accounted for.
+#[test]
+fn recorded_trace_replays_bit_identically_twice() {
+    let bench = NipsBenchmark::Nips10;
+    let server = start_backend(bench);
+    let cfg = load_config(server.local_addr(), bench);
+
+    let (report, trace) = record_load(&cfg).expect("record run");
+    assert_eq!(report.ok_requests, 24);
+    assert_eq!(trace.records.len(), 24);
+    assert!(
+        trace.records.iter().all(|r| r.reply_digest.is_some()),
+        "every recorded request got an Ok reply to digest"
+    );
+
+    // The trace round-trips through its binary file format.
+    let dir = std::env::temp_dir().join(format!("spn-replay-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.spntrace");
+    trace.write_file(&path).unwrap();
+    let trace = Trace::read_file(&path).unwrap();
+
+    // Replay twice, fast (the recorded gaps are closed-loop tiny
+    // anyway; x4 just keeps the test snappy).
+    let mut rcfg = ReplayConfig::new(server.local_addr());
+    rcfg.speed = 4.0;
+    let first = replay(&trace, &rcfg).expect("first replay");
+    let second = replay(&trace, &rcfg).expect("second replay");
+
+    for rep in [&first, &second] {
+        assert!(rep.is_faithful(), "not faithful: {}", rep.summary());
+        assert_eq!(rep.total_requests, 24);
+        assert_eq!(rep.ok_requests, 24, "{}", rep.summary());
+        assert_eq!(rep.digests_checked, 24);
+        assert_eq!(rep.digest_mismatches, 0);
+        assert_eq!(rep.payload_mismatches, 0);
+    }
+    // Byte-identical replies across replays, request by request.
+    assert_eq!(first.reply_digests, second.reply_digests);
+    // ...and identical to the recording itself.
+    for (rec, got) in trace.records.iter().zip(&first.reply_digests) {
+        assert_eq!(rec.reply_digest, *got);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Burst injection compresses arrivals without losing requests, and
+/// the replies stay bit-identical — a traffic spike changes *when*
+/// load arrives, never *what* is computed.
+#[test]
+fn burst_replay_is_still_bit_identical() {
+    let bench = NipsBenchmark::Nips10;
+    let server = start_backend(bench);
+    let (_, trace) = record_load(&load_config(server.local_addr(), bench)).unwrap();
+
+    let mut cfg = ReplayConfig::new(server.local_addr());
+    cfg.speed = 2.0;
+    cfg.burst = Some(Burst {
+        start_ms: 0,
+        len_ms: 10_000, // swallow the whole (short) trace into one spike
+    });
+    let rep = replay(&trace, &cfg).expect("burst replay");
+    assert!(rep.is_faithful(), "{}", rep.summary());
+    assert_eq!(rep.ok_requests, rep.total_requests, "{}", rep.summary());
+    assert_eq!(rep.digest_mismatches, 0);
+}
+
+/// Failover acceptance: replay a trace against a 2-replica router and
+/// kill one replica mid-replay. Request counts are conserved (every
+/// recorded request is answered or accounted for), nothing is lost,
+/// and the surviving replica's answers are still bit-identical to the
+/// recording.
+#[test]
+fn replay_through_router_failover_conserves_requests() {
+    let bench = NipsBenchmark::Nips10;
+    let mut servers = [start_backend(bench), start_backend(bench)];
+    let router = SpnRouter::start(RouterConfig {
+        backends: servers.iter().map(|s| s.local_addr().to_string()).collect(),
+        replication: 2,
+        health: HealthPolicy {
+            interval: Duration::from_millis(25),
+            timeout: Duration::from_millis(250),
+            fail_threshold: 2,
+            recover_threshold: 2,
+        },
+        ..RouterConfig::default()
+    })
+    .unwrap();
+
+    // Record through the router, with more requests so the replay has
+    // a meaningful timeline to kill a backend in the middle of.
+    let mut cfg = load_config(router.local_addr(), bench);
+    cfg.connections = 3;
+    cfg.requests_per_connection = 40;
+    let (report, trace) = record_load(&cfg).unwrap();
+    assert_eq!(report.ok_requests, 120);
+
+    // Slow the replay down 4x so the mid-replay kill lands mid-replay.
+    let mut rcfg = ReplayConfig::new(router.local_addr());
+    rcfg.speed = 0.25;
+    let replay_ns = spn_replay::scaled_arrival_ns(trace.duration_ns(), rcfg.speed);
+
+    let victim = router.replicas(bench.name())[0];
+    let trace2 = trace.clone();
+    let handle = std::thread::spawn(move || replay(&trace2, &rcfg));
+    std::thread::sleep(Duration::from_nanos(replay_ns / 3));
+    servers[victim].shutdown();
+    let rep = handle.join().unwrap().expect("replay with failover");
+
+    // Conservation: every recorded request is accounted for, none
+    // vanished — and with a live failover replica, none were lost.
+    assert_eq!(
+        rep.ok_requests + rep.rejected_requests + rep.transport_errors,
+        rep.total_requests
+    );
+    assert_eq!(rep.total_requests, 120);
+    assert_eq!(rep.ok_requests, 120, "{}", rep.summary());
+    // Bit-identical even across the failover: both replicas compute
+    // the same deterministic model.
+    assert_eq!(rep.digest_mismatches, 0, "{}", rep.summary());
+    assert_eq!(rep.payload_mismatches, 0);
+}
+
+/// The run store round-trips replay runs like any other kind, so
+/// replay results land in the same durable history the perf gate
+/// diffs.
+#[test]
+fn replay_run_record_lands_in_the_store() {
+    use serde_json::Value;
+    use spn_telemetry::{RunKind, RunRecord};
+
+    let bench = NipsBenchmark::Nips10;
+    let server = start_backend(bench);
+    let (_, trace) = record_load(&load_config(server.local_addr(), bench)).unwrap();
+    let rep = replay(&trace, &ReplayConfig::new(server.local_addr())).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("spn-replay-store-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = RunStore::open(&dir).unwrap();
+    let record = RunRecord::new(
+        "replay",
+        RunKind::Replay,
+        Value::Object(vec![(
+            "speed".to_string(),
+            Value::Number(serde_json::Number::F64(1.0)),
+        )]),
+        Value::Object(vec![
+            (
+                "total_requests".to_string(),
+                Value::Number(serde_json::Number::U64(rep.total_requests)),
+            ),
+            (
+                "samples_per_sec".to_string(),
+                Value::Number(serde_json::Number::F64(rep.samples_per_sec)),
+            ),
+        ]),
+    );
+    let path = store.append(&record).unwrap();
+    let back = RunStore::load(&path).unwrap();
+    assert_eq!(back, record);
+    assert_eq!(back.kind, RunKind::Replay);
+    assert_ne!(back.commit, "");
+    let _ = std::fs::remove_dir_all(&dir);
+}
