@@ -76,7 +76,7 @@ impl Node {
 /// Construct via [`crate::builder::SpnBuilder`], the textual parser in
 /// [`crate::text`], the learner in [`crate::learn`], or the generators in
 /// [`crate::random`] / [`crate::nips`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Spn {
     pub(crate) nodes: Vec<Node>,
     pub(crate) root: NodeId,

@@ -292,6 +292,65 @@ impl<'p> PlanExecutor<'p> {
         }
     }
 
+    /// Evaluate `query` over rows packed in `raw` and extract the
+    /// values of the given `taps` (plan/arena op indices) instead of
+    /// the root: for each row, `taps.len()` values are appended to
+    /// `out` in tap order (sample-major). This is the multi-output
+    /// entry the sharded executor reads shard boundary values through —
+    /// a shard subgraph has several consumers, not one root.
+    ///
+    /// Values are read from the same scratch the root path uses, so a
+    /// tap at the last op index reproduces [`eval_batch_raw`] exactly.
+    ///
+    /// # Panics
+    /// Panics on the same row/arity mismatches as
+    /// [`PlanExecutor::eval_batch_raw`], or if a tap index is out of
+    /// range.
+    ///
+    /// [`eval_batch_raw`]: PlanExecutor::eval_batch_raw
+    pub fn eval_taps_batch_raw(
+        &mut self,
+        query: &Query,
+        raw: &[u8],
+        num_features: usize,
+        taps: &[u32],
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(
+            num_features, self.plan.num_vars,
+            "rows have {} features but the plan models {} variables",
+            num_features, self.plan.num_vars
+        );
+        assert_eq!(
+            raw.len() % num_features,
+            0,
+            "raw byte length {} is not a whole number of {}-byte rows",
+            raw.len(),
+            num_features
+        );
+        query.check_arity(self.plan.num_vars);
+        for &t in taps {
+            assert!(
+                (t as usize) < self.plan.ops.len(),
+                "tap {t} out of range for a {}-op plan",
+                self.plan.ops.len()
+            );
+        }
+        let n = raw.len() / num_features;
+        out.reserve(n * taps.len());
+        let mut start = 0;
+        while start < n {
+            let lanes = LANES.min(n - start);
+            self.run_chunk(query, raw, num_features, start, lanes);
+            for l in 0..lanes {
+                for &t in taps {
+                    out.push(self.scratch[t as usize * LANES + l]);
+                }
+            }
+            start += lanes;
+        }
+    }
+
     /// Evaluate one byte row (single-lane convenience; same result as
     /// a one-row batch).
     pub fn eval_row(&mut self, query: &Query, row: &[u8]) -> f64 {
@@ -542,6 +601,38 @@ mod tests {
             ex.eval_row(&Query::Complete, &[1, 0]).to_bits(),
             batch[2].to_bits()
         );
+    }
+
+    #[test]
+    fn tap_extraction_matches_scratch_semantics() {
+        let spn = mixture();
+        let plan = CompiledPlan::compile(&spn);
+        let data = all_rows();
+        let mut ex = PlanExecutor::new(&plan);
+        // Tapping the root op reproduces the root path bit for bit;
+        // tapping a leaf op yields that leaf's table value.
+        let root = (plan.len() - 1) as u32;
+        let mut tapped = Vec::new();
+        ex.eval_taps_batch_raw(&Query::Complete, data.raw(), 2, &[root, 0], &mut tapped);
+        assert_eq!(tapped.len(), 2 * data.num_samples());
+        let roots = ex.eval_batch(&Query::Complete, &data);
+        let mut ev = Evaluator::new(&spn);
+        for (i, row) in data.rows().enumerate() {
+            assert_eq!(tapped[2 * i].to_bits(), roots[i].to_bits());
+            // Leaf 0 models var 0 with P(0) = P(1) = 0.5.
+            let want = ev.eval_bytes(&Query::Complete, row);
+            let _ = want; // root check above is the bit-exact anchor
+            assert!((tapped[2 * i + 1] - 0.5f64.ln()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tap_out_of_range_panics() {
+        let spn = mixture();
+        let plan = CompiledPlan::compile(&spn);
+        let mut out = Vec::new();
+        PlanExecutor::new(&plan).eval_taps_batch_raw(&Query::Complete, &[0, 0], 2, &[99], &mut out);
     }
 
     #[test]

@@ -98,6 +98,14 @@ impl Scope {
             .all(|(&a, &b)| a & b == 0)
     }
 
+    /// True when every variable of `self` is also in `other`.
+    pub fn is_subset(&self, other: &Scope) -> bool {
+        self.words.iter().enumerate().all(|(i, &a)| {
+            let b = other.words.get(i).copied().unwrap_or(0);
+            a & !b == 0
+        })
+    }
+
     /// Structural equality ignoring trailing zero words.
     pub fn same_as(&self, other: &Scope) -> bool {
         let longest = self.words.len().max(other.words.len());
@@ -188,6 +196,20 @@ mod tests {
         let s = Scope::from_vars([65, 0, 7, 64]);
         let got: Vec<usize> = s.iter().collect();
         assert_eq!(got, vec![0, 7, 64, 65]);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let small = Scope::from_vars([1, 3]);
+        let big = Scope::from_vars([0, 1, 3, 64]);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(Scope::empty().is_subset(&small));
+        assert!(small.is_subset(&small));
+        // A long scope is never a subset of a shorter, disjoint one.
+        let long = Scope::singleton(300);
+        assert!(!long.is_subset(&small));
+        assert!(!small.is_subset(&long));
     }
 
     #[test]

@@ -71,6 +71,24 @@ impl HashRing {
         self.num_backends
     }
 
+    /// The backend group jointly hosting a scope-sharded model: shard
+    /// `s` of `model` lands on entry `s` of the result, which always
+    /// has exactly `shards` entries. Backends are distinct while the
+    /// cluster is large enough; past that the walk wraps, so several
+    /// shards of one model share a backend (never silently dropped).
+    /// Like [`HashRing::replicas`], the group is a pure function of
+    /// `(backend list, model)` — every router instance computes the
+    /// same shard placement without coordination, and adding a backend
+    /// only moves the arcs it takes over.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn shard_group(&self, model: &str, shards: usize) -> Vec<usize> {
+        assert!(shards > 0, "a sharded model has at least one shard");
+        let distinct = self.replicas(model, shards);
+        (0..shards).map(|s| distinct[s % distinct.len()]).collect()
+    }
+
     /// The ordered replica set for `model`: up to `k` distinct backend
     /// indices, first-met-clockwise first. The first entry is the
     /// model's primary; the rest are failover targets in preference
@@ -122,6 +140,33 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn shard_group_is_distinct_until_the_cluster_runs_out() {
+        let ring = HashRing::new(&ids(4));
+        // 3 shards on 4 backends: three distinct hosts, and the group
+        // extends the replica walk (same prefix).
+        let g3 = ring.shard_group("NIPS10", 3);
+        assert_eq!(g3.len(), 3);
+        let mut sorted = g3.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+        assert_eq!(&g3[..2], &ring.replicas("NIPS10", 2)[..]);
+        // 6 shards on 4 backends: the walk wraps, nothing is dropped.
+        let g6 = ring.shard_group("NIPS10", 6);
+        assert_eq!(g6.len(), 6);
+        assert_eq!(g6[4], g6[0]);
+        assert_eq!(g6[5], g6[1]);
+        // Deterministic across ring builds.
+        assert_eq!(g6, HashRing::new(&ids(4)).shard_group("NIPS10", 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_shard_group_panics() {
+        HashRing::new(&ids(2)).shard_group("NIPS10", 0);
     }
 
     #[test]

@@ -222,6 +222,14 @@ impl SpnRouter {
         self.shared.ring.replicas(model, self.shared.replication)
     }
 
+    /// The backend group hosting a scope-sharded `model`: shard `s`
+    /// runs on backend index `shard_group(model, k)[s]` (see
+    /// [`HashRing::shard_group`]). Deterministic across router
+    /// instances, so every front-end agrees where each shard lives.
+    pub fn shard_group(&self, model: &str, shards: usize) -> Vec<usize> {
+        self.shared.ring.shard_group(model, shards)
+    }
+
     /// The router's telemetry document — what the `Stats` opcode
     /// returns on the wire: no serving/model sections (those live on
     /// the backends), a populated `router` section.
@@ -591,6 +599,7 @@ fn telemetry_snapshot(shared: &RouterShared) -> TelemetrySnapshot {
         models: BTreeMap::new(),
         plan: None,
         router: Some(shared.metrics.snapshot(&shared.backends)),
+        shard: None,
     }
 }
 

@@ -15,6 +15,9 @@
 //! * [`plan_cache`] — the fingerprint-keyed cache of compiled inference
 //!   plans behind the scheduler's host fast path
 //!   ([`job::ExecBackend::HostPlan`]);
+//! * [`sharded`] — scope-sharded multi-device execution: K concurrent
+//!   shard devices each holding one stripe of the model, merged
+//!   bit-exactly ([`job::ExecBackend::Sharded`]);
 //! * [`metrics`] — atomic runtime counters/gauges, snapshotted into the
 //!   unified `spn-telemetry` schema;
 //! * [`job`] — block decomposition and per-job options;
@@ -62,6 +65,7 @@ pub mod perf;
 pub mod plan_cache;
 pub mod runtime;
 pub mod scheduler;
+pub mod sharded;
 pub mod streaming;
 pub mod trace;
 
@@ -80,6 +84,7 @@ pub use runtime::{
     ExecProvenance, InferResult, RuntimeConfig, RuntimeConfigBuilder, RuntimeError, SpnRuntime,
 };
 pub use scheduler::{JobHandle, JobStatus, Scheduler};
+pub use sharded::{ShardPartials, ShardedExecutor, DEFAULT_SHARD_SEED};
 pub use streaming::{
     min_replication_for_line_rate, simulate_streaming, StreamingModel, StreamingSimConfig,
     StreamingSimResult,
@@ -106,6 +111,7 @@ pub mod prelude {
         ExecProvenance, InferResult, RuntimeConfig, RuntimeConfigBuilder, RuntimeError, SpnRuntime,
     };
     pub use crate::scheduler::{JobHandle, JobStatus, Scheduler};
-    pub use spn_core::{CompiledPlan, PlanExecutor, Query};
+    pub use crate::sharded::{ShardPartials, ShardedExecutor, DEFAULT_SHARD_SEED};
+    pub use spn_core::{CompiledPlan, PlanExecutor, Query, ShardPlan};
     pub use spn_telemetry::{SpanCtx, TraceCollector, TraceId};
 }

@@ -261,6 +261,15 @@ pub enum ExecProvenance {
     /// Evaluated by the tree-walking [`spn_core::Evaluator`] oracle
     /// (no plan, no device) — the slow reference path.
     TreeWalk,
+    /// Executed by the scope-sharded multi-device path
+    /// ([`crate::ShardedExecutor`], full f64 precision): the model was
+    /// cut into `shards` scope-disjoint subgraphs evaluated
+    /// concurrently and merged.
+    Sharded {
+        /// Effective shard count of the cut (≤ the requested count
+        /// when the model has fewer atomic scope regions).
+        shards: u32,
+    },
 }
 
 /// Batch-inference results plus how they were computed.

@@ -37,10 +37,12 @@ use crate::memmgr::AllocError;
 use crate::metrics::{JobOutcome, MetricsRegistry, MetricsSnapshot};
 use crate::plan_cache::PlanCache;
 use crate::runtime::{validate_config, ExecProvenance, RuntimeConfig, RuntimeError};
+use crate::sharded::{ShardedExecutor, DEFAULT_SHARD_SEED};
 use parking_lot::{Condvar, Mutex};
-use spn_core::{CompiledPlan, Dataset, PlanExecutor, Query};
+use spn_core::{CompiledPlan, Dataset, PlanExecutor, Query, ShardPlan};
 use spn_hw::SynthConfig;
 use spn_telemetry::{SpanCtx, SpanKind, TraceCollector};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -235,6 +237,13 @@ struct Shared {
     /// Set once the first `HostPlan` job is submitted; later jobs
     /// report a cache hit (the compile was amortized already).
     plan_used: AtomicBool,
+    /// Sharded executors, keyed by requested shard count: built (from
+    /// the device model, through `plan_cache`) on the first
+    /// [`ExecBackend::Sharded`] submission asking for that count, then
+    /// reused by every block of every later job.
+    sharded: Mutex<HashMap<u32, Arc<ShardedExecutor>>>,
+    /// Blocks executed through the sharded path (for telemetry).
+    sharded_blocks: AtomicU64,
     state: Mutex<State>,
     /// Workers sleep here when no block is claimable.
     work_cv: Condvar,
@@ -253,6 +262,46 @@ struct State {
     /// Round-robin cursor for cross-job fairness.
     rr: usize,
     next_id: u64,
+}
+
+impl Shared {
+    /// The sharded executor for a requested shard count, built on
+    /// first use: cut the device model with [`DEFAULT_SHARD_SEED`]
+    /// (the cut is a pure function, so every job asking for `k`
+    /// shards shares one executor and warm shard plans).
+    fn sharded_executor(&self, k: u32) -> Result<Arc<ShardedExecutor>, RuntimeError> {
+        if k == 0 {
+            return Err(RuntimeError::InvalidConfig {
+                reason: "Sharded backend needs at least 1 shard".into(),
+            });
+        }
+        let Some(model) = self.device.model() else {
+            return Err(RuntimeError::InvalidConfig {
+                reason: "Sharded backend requires a device built with its model \
+                         (VirtualDevice::with_model)"
+                    .into(),
+            });
+        };
+        let mut map = self.sharded.lock();
+        if let Some(ex) = map.get(&k) {
+            return Ok(Arc::clone(ex));
+        }
+        let t0 = Instant::now();
+        let plan = Arc::new(ShardPlan::cut(model, k as usize, DEFAULT_SHARD_SEED));
+        let ex = Arc::new(ShardedExecutor::new(plan, &self.plan_cache));
+        if let Some(t) = self.trace.as_deref() {
+            t.record(
+                SpanKind::PlanCompile,
+                SpanCtx::NONE,
+                0,
+                0,
+                t0,
+                Instant::now(),
+            );
+        }
+        map.insert(k, Arc::clone(&ex));
+        Ok(ex)
+    }
 }
 
 /// The long-lived concurrent scheduler. Owns `num_pes ×
@@ -327,6 +376,8 @@ impl Scheduler {
             plan_cache,
             plan_from_cache,
             plan_used: AtomicBool::new(false),
+            sharded: Mutex::new(HashMap::new()),
+            sharded_blocks: AtomicU64::new(0),
             state: Mutex::new(State {
                 jobs: Vec::new(),
                 rr: 0,
@@ -381,6 +432,21 @@ impl Scheduler {
     /// The plan cache this scheduler compiles through.
     pub fn plan_cache(&self) -> &Arc<PlanCache> {
         &self.shared.plan_cache
+    }
+
+    /// Counters of the sharded execution path, or `None` when no
+    /// [`ExecBackend::Sharded`] job has been submitted yet — the
+    /// `shard` section of the unified telemetry document.
+    pub fn shard_telemetry(&self) -> Option<spn_telemetry::ShardTelemetry> {
+        let map = self.shared.sharded.lock();
+        if map.is_empty() {
+            return None;
+        }
+        Some(spn_telemetry::ShardTelemetry {
+            shard_sets: map.len() as u64,
+            shards: map.values().map(|ex| ex.num_shards() as u64).sum(),
+            sharded_blocks: self.shared.sharded_blocks.load(Ordering::Relaxed),
+        })
     }
 
     /// Convenience: a point-in-time [`MetricsSnapshot`].
@@ -473,6 +539,15 @@ impl Scheduler {
                 ExecProvenance::CompiledPlan {
                     cache_hit: self.shared.plan_from_cache
                         || self.shared.plan_used.swap(true, Ordering::Relaxed),
+                }
+            }
+            ExecBackend::Sharded(k) => {
+                // Builds (or fetches) the executor eagerly, so the job
+                // reports the *effective* shard count — the cut clamps
+                // to the model's atomic scope regions.
+                let ex = self.shared.sharded_executor(k)?;
+                ExecProvenance::Sharded {
+                    shards: ex.num_shards() as u32,
                 }
             }
         };
@@ -657,6 +732,7 @@ fn process_block(shared: &Shared, pe: u32, job: &Arc<JobState>, idx: usize) {
         let ran = match job.opts.backend {
             ExecBackend::Device => run_block(shared, pe, job, block, idx as u64),
             ExecBackend::HostPlan => run_block_host(shared, pe, job, block, idx as u64),
+            ExecBackend::Sharded(k) => run_block_sharded(shared, pe, job, block, idx as u64, k),
         };
         match ran {
             Ok(()) => break BlockOutcome::Done,
@@ -818,6 +894,62 @@ fn run_block_host(
         );
     }
     shared.metrics.add_pe_busy(pe, t0.elapsed());
+
+    let mut res = job.results.lock();
+    for (i, ll) in out.iter().enumerate() {
+        res[block.first_sample as usize + i] = ll.exp();
+    }
+    Ok(())
+}
+
+/// The sharded host path: evaluate one block's samples across the K
+/// concurrent shard executors, then merge the shard partials into root
+/// values. Two spans per block when tracing — `shard-exec` around the
+/// concurrent shard phase, `shard-merge` around the combine — so a
+/// Chrome-trace export shows where a cut's time goes. Results are
+/// linear probabilities, same as every other backend.
+fn run_block_sharded(
+    shared: &Shared,
+    pe: u32,
+    job: &JobState,
+    block: Block,
+    idx: u64,
+    k: u32,
+) -> Result<(), RuntimeError> {
+    let ex = shared
+        .sharded_executor(k)
+        .expect("Sharded jobs are rejected at submit without a model");
+    let nf = job.data.num_features();
+    let (src_off, src_len) = block.input_range(nf as u64);
+    let src = &job.data.raw()[src_off as usize..(src_off + src_len) as usize];
+    let trace = shared.trace.as_deref();
+    let t0 = Instant::now();
+    let partials = ex.shard_partials(&Query::Complete, src, nf);
+    if let Some(t) = trace {
+        t.record(
+            SpanKind::ShardExec,
+            job.opts.ctx,
+            pe,
+            idx,
+            t0,
+            Instant::now(),
+        );
+    }
+    let t_merge = Instant::now();
+    let mut out = Vec::with_capacity(block.samples as usize);
+    ex.merge_partials(&Query::Complete, &partials, &mut out);
+    if let Some(t) = trace {
+        t.record(
+            SpanKind::ShardMerge,
+            job.opts.ctx,
+            pe,
+            idx,
+            t_merge,
+            Instant::now(),
+        );
+    }
+    shared.metrics.add_pe_busy(pe, t0.elapsed());
+    shared.sharded_blocks.fetch_add(1, Ordering::Relaxed);
 
     let mut res = job.results.lock();
     for (i, ll) in out.iter().enumerate() {
@@ -1172,6 +1304,117 @@ mod tests {
         let (dev2, _) = device(1);
         let plain = Scheduler::new(dev2, config(64, 1)).unwrap();
         assert!(plain.trace().is_none());
+    }
+
+    fn model_device(pes: u32) -> (Arc<VirtualDevice>, NipsBenchmark) {
+        let bench = NipsBenchmark::Nips10;
+        let spn = Arc::new(bench.build_spn());
+        let prog = DatapathProgram::compile(&spn);
+        let dev = VirtualDevice::new(
+            prog,
+            AnyFormat::Cfp(CfpFormat::paper_default()),
+            AcceleratorConfig::paper_default(),
+            pes,
+            16 * MIB,
+        )
+        .with_model(spn);
+        (Arc::new(dev), bench)
+    }
+
+    #[test]
+    fn sharded_backend_matches_host_plan_bit_exactly() {
+        let (dev, bench) = model_device(2);
+        let sched = Scheduler::new(dev, config(64, 2)).unwrap();
+        let data = Arc::new(bench.dataset(333, 9));
+        let host = sched
+            .submit(
+                Arc::clone(&data),
+                JobOptions::builder()
+                    .backend(ExecBackend::HostPlan)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        for k in [1u32, 2, 3, 4] {
+            let h = sched
+                .submit(
+                    Arc::clone(&data),
+                    JobOptions::builder()
+                        .backend(ExecBackend::Sharded(k))
+                        .build()
+                        .unwrap(),
+                )
+                .unwrap();
+            match h.provenance() {
+                ExecProvenance::Sharded { shards } => assert!(shards >= 1 && shards <= k),
+                other => panic!("unexpected provenance {other:?}"),
+            }
+            let got = h.wait().unwrap();
+            assert_eq!(got.len(), host.len());
+            for (i, (g, w)) in got.iter().zip(&host).enumerate() {
+                assert_eq!(
+                    g.to_bits(),
+                    w.to_bits(),
+                    "k={k} sample {i}: sharded {g} vs host plan {w}"
+                );
+            }
+        }
+        let shard = sched.shard_telemetry().expect("sharded jobs ran");
+        assert_eq!(shard.shard_sets, 4);
+        assert!(shard.shards >= 4, "k=1..4 cuts hold at least 4 shards");
+        assert!(shard.sharded_blocks >= 4 * 333u64.div_ceil(64));
+    }
+
+    #[test]
+    fn sharded_backend_requires_a_model_and_positive_count() {
+        let (dev, bench) = device(1); // no with_model
+        let sched = Scheduler::new(dev, config(64, 1)).unwrap();
+        let data = Arc::new(bench.dataset(10, 1));
+        let opts = JobOptions {
+            backend: ExecBackend::Sharded(2),
+            ..JobOptions::default()
+        };
+        assert!(matches!(
+            sched.submit(Arc::clone(&data), opts),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+        // A zero shard count is caught even when the builder is bypassed.
+        let (dev, _) = model_device(1);
+        let sched = Scheduler::new(dev, config(64, 1)).unwrap();
+        let opts = JobOptions {
+            backend: ExecBackend::Sharded(0),
+            ..JobOptions::default()
+        };
+        assert!(matches!(
+            sched.submit(data, opts),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+        assert_eq!(sched.shard_telemetry(), None);
+    }
+
+    #[test]
+    fn traced_sharded_job_records_exec_and_merge_spans() {
+        let (dev, bench) = model_device(1);
+        let trace = Arc::new(TraceCollector::new());
+        let sched = Scheduler::with_trace(dev, config(64, 1), Some(Arc::clone(&trace))).unwrap();
+        let ctx = spn_telemetry::SpanCtx::mint();
+        let data = Arc::new(bench.dataset(130, 3));
+        let opts = JobOptions::builder()
+            .backend(ExecBackend::Sharded(2))
+            .ctx(ctx)
+            .build()
+            .unwrap();
+        sched.submit(data, opts).unwrap().wait().unwrap();
+        let spans = trace.spans();
+        // 3 blocks × (shard-exec, shard-merge), plus shard-plan
+        // compiles recorded without a request ctx.
+        for kind in [SpanKind::ShardExec, SpanKind::ShardMerge] {
+            let of_kind: Vec<_> = spans.iter().filter(|s| s.kind == kind).collect();
+            assert_eq!(of_kind.len(), 3, "{kind:?}");
+            assert!(of_kind.iter().all(|s| s.ctx == ctx));
+        }
     }
 
     #[test]

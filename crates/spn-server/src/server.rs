@@ -33,8 +33,8 @@ use crate::protocol::{
 use parking_lot::{Condvar, Mutex};
 use spn_runtime::{JobOptions, PlanCache, Scheduler};
 use spn_telemetry::{
-    BatcherTelemetry, ModelTelemetry, PlanTelemetry, SpanCtx, SpanKind, TelemetrySnapshot,
-    TraceCollector, TELEMETRY_SCHEMA_VERSION,
+    BatcherTelemetry, ModelTelemetry, PlanTelemetry, ShardTelemetry, SpanCtx, SpanKind,
+    TelemetrySnapshot, TraceCollector, TELEMETRY_SCHEMA_VERSION,
 };
 use std::collections::BTreeMap;
 use std::io;
@@ -591,11 +591,27 @@ fn telemetry_snapshot(shared: &SharedState) -> TelemetrySnapshot {
         plan.cache_misses += t.cache_misses;
         plan.invalidations += t.invalidations;
     }
+    // Aggregate sharded-path counters across the models' schedulers;
+    // the section stays `null` until some model runs a sharded job.
+    let mut shard: Option<ShardTelemetry> = None;
+    for handle in shared.models.values() {
+        if let Some(t) = handle.scheduler.shard_telemetry() {
+            let acc = shard.get_or_insert(ShardTelemetry {
+                shard_sets: 0,
+                shards: 0,
+                sharded_blocks: 0,
+            });
+            acc.shard_sets += t.shard_sets;
+            acc.shards += t.shards;
+            acc.sharded_blocks += t.sharded_blocks;
+        }
+    }
     TelemetrySnapshot {
         schema: TELEMETRY_SCHEMA_VERSION,
         server: Some(shared.metrics.snapshot()),
         models,
         plan: Some(plan),
         router: None,
+        shard,
     }
 }

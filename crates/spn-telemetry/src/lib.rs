@@ -39,6 +39,7 @@ pub use run::{Provenance, RunKind, RunRecord, RUN_RECORD_SCHEMA_VERSION};
 pub use sim_core::HistogramSummary;
 pub use snapshot::{
     BackendTelemetry, BatcherTelemetry, ModelTelemetry, PlanTelemetry, RouterTelemetry,
-    SchedulerTelemetry, ServingTelemetry, TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION,
+    SchedulerTelemetry, ServingTelemetry, ShardTelemetry, TelemetrySnapshot,
+    TELEMETRY_SCHEMA_VERSION,
 };
 pub use span::{chrome_trace_json, ChromeArgs, ChromeEvent, SpanKind};

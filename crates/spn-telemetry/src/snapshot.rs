@@ -21,8 +21,9 @@ use std::collections::BTreeMap;
 /// Version stamp of the [`TelemetrySnapshot`] JSON schema.
 /// Version 2 added the optional top-level `plan` section
 /// ([`PlanTelemetry`]); version 3 added the optional top-level
-/// `router` section ([`RouterTelemetry`]).
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 3;
+/// `router` section ([`RouterTelemetry`]); version 4 added the
+/// optional top-level `shard` section ([`ShardTelemetry`]).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 4;
 
 /// Point-in-time counters of one scheduler (`spn-runtime`'s
 /// `MetricsRegistry`). Field order = JSON key order.
@@ -109,6 +110,19 @@ pub struct PlanTelemetry {
     pub invalidations: u64,
 }
 
+/// Point-in-time counters of the scope-sharded execution path
+/// (`spn-runtime`'s scheduler, `ExecBackend::Sharded` jobs). Field
+/// order = JSON key order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardTelemetry {
+    /// Distinct cuts built (one per requested shard count).
+    pub shard_sets: u64,
+    /// Effective shards across all cuts.
+    pub shards: u64,
+    /// Blocks executed through the sharded path.
+    pub sharded_blocks: u64,
+}
+
 /// Point-in-time counters of one routed backend, as the cluster
 /// front-end (`spn-router`) sees it. Field order = JSON key order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -175,6 +189,9 @@ pub struct TelemetrySnapshot {
     /// Cluster front-end counters; `null` outside a router context.
     /// Absent in pre-v3 documents (tolerated as `None` on parse).
     pub router: Option<RouterTelemetry>,
+    /// Sharded-execution counters; `null` when no sharded job has
+    /// run. Absent in pre-v4 documents (tolerated as `None` on parse).
+    pub shard: Option<ShardTelemetry>,
 }
 
 impl SchedulerTelemetry {
@@ -201,6 +218,7 @@ impl TelemetrySnapshot {
             models: BTreeMap::new(),
             plan: None,
             router: None,
+            shard: None,
         }
     }
 

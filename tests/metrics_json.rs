@@ -13,7 +13,7 @@ use spn_runtime::{JobOutcome, MetricsRegistry, MetricsSnapshot};
 use spn_server::{HistogramSummary, ServerMetrics};
 use spn_telemetry::{
     BatcherTelemetry, ModelTelemetry, PlanTelemetry, SchedulerTelemetry, ServingTelemetry,
-    TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION,
+    ShardTelemetry, TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION,
 };
 use std::time::Duration;
 
@@ -189,11 +189,16 @@ fn telemetry_snapshot_golden_json() {
             invalidations: 0,
         }),
         router: None,
+        shard: Some(ShardTelemetry {
+            shard_sets: 1,
+            shards: 4,
+            sharded_blocks: 6,
+        }),
     };
 
     let golden = "\
 {
-  \"schema\": 3,
+  \"schema\": 4,
   \"server\": {
     \"requests_total\": 4,
     \"samples_total\": 32,
@@ -260,7 +265,12 @@ fn telemetry_snapshot_golden_json() {
     \"cache_misses\": 1,
     \"invalidations\": 0
   },
-  \"router\": null
+  \"router\": null,
+  \"shard\": {
+    \"shard_sets\": 1,
+    \"shards\": 4,
+    \"sharded_blocks\": 6
+  }
 }
 ";
     assert_eq!(snap.to_json(), golden);
@@ -268,6 +278,17 @@ fn telemetry_snapshot_golden_json() {
     // And the golden text parses back to the identical document.
     let back = TelemetrySnapshot::from_json(golden).unwrap();
     assert_eq!(back, snap);
+
+    // A pre-v4 document (no "shard" key) still parses, with the
+    // section absent — the additive-evolution contract.
+    let pre_v4 = golden
+        .replace("\"schema\": 4", "\"schema\": 3")
+        .replace(
+            ",\n  \"shard\": {\n    \"shard_sets\": 1,\n    \"shards\": 4,\n    \"sharded_blocks\": 6\n  }",
+            "",
+        );
+    let old = TelemetrySnapshot::from_json(&pre_v4).unwrap();
+    assert_eq!(old.shard, None);
 }
 
 /// The durable run record — the schema shared by the committed

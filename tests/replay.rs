@@ -9,7 +9,7 @@ use spn_core::NipsBenchmark;
 use spn_hw::{AcceleratorConfig, DatapathProgram};
 use spn_replay::{record_load, replay, Burst, ReplayConfig, RunStore, Trace};
 use spn_router::{HealthPolicy, RouterConfig, SpnRouter};
-use spn_runtime::{RuntimeConfig, Scheduler, VirtualDevice};
+use spn_runtime::{ExecBackend, JobOptions, RuntimeConfig, Scheduler, VirtualDevice};
 use spn_server::{BatchPolicy, LoadConfig, ModelSpec, ServerConfig, SpnServer};
 use std::sync::Arc;
 use std::time::Duration;
@@ -189,6 +189,176 @@ fn replay_through_router_failover_conserves_requests() {
     // the same deterministic model.
     assert_eq!(rep.digest_mismatches, 0, "{}", rep.summary());
     assert_eq!(rep.payload_mismatches, 0);
+}
+
+/// A scheduler whose jobs run on the scope-sharded backend: the
+/// device carries the source model so the scheduler can cut it, and
+/// every job asks for `ExecBackend::Sharded(k)`.
+fn make_sharded_scheduler(bench: NipsBenchmark) -> Arc<Scheduler> {
+    let spn = bench.build_spn();
+    let prog = DatapathProgram::compile(&spn);
+    let device = Arc::new(
+        VirtualDevice::new(
+            prog,
+            AnyFormat::paper_default(),
+            AcceleratorConfig::paper_default(),
+            2,
+            64 << 20,
+        )
+        .with_model(Arc::new(spn)),
+    );
+    let config = RuntimeConfig::builder()
+        .block_samples(512)
+        .threads_per_pe(2)
+        .build()
+        .unwrap();
+    Arc::new(Scheduler::new(device, config).unwrap())
+}
+
+/// A two-model server where each model executes through a different
+/// shard count — the runtime the committed bursty trace records and
+/// replays against. Returns the schedulers too, so tests can assert
+/// the sharded path actually ran.
+fn start_sharded_multimodel_server() -> (SpnServer, Vec<Arc<Scheduler>>) {
+    let mut specs = Vec::new();
+    let mut schedulers = Vec::new();
+    for (bench, k) in [(NipsBenchmark::Nips10, 2), (NipsBenchmark::Nips20, 3)] {
+        let scheduler = make_sharded_scheduler(bench);
+        schedulers.push(Arc::clone(&scheduler));
+        specs.push(
+            ModelSpec::new(bench.name(), scheduler, bench.num_vars() as u32, 256).with_opts(
+                JobOptions::builder()
+                    .backend(ExecBackend::Sharded(k))
+                    .build()
+                    .unwrap(),
+            ),
+        );
+    }
+    let server = SpnServer::serve(
+        ServerConfig {
+            batch: BatchPolicy {
+                max_batch_samples: 4096,
+                max_batch_delay: Duration::from_millis(2),
+            },
+            ..ServerConfig::default()
+        },
+        specs,
+    )
+    .unwrap();
+    (server, schedulers)
+}
+
+const COMMITTED_TRACE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/traces/bursty_multimodel.spntrace"
+);
+
+/// Regenerate the committed bursty multi-model trace. Ignored in
+/// normal runs — the committed artifact is the contract; run
+/// `cargo test -p system-tests --test replay -- --ignored regenerate`
+/// only when the trace format or the recording setup changes, and
+/// commit the result.
+///
+/// The trace interleaves two models (each sharded differently) and
+/// rewrites the closed-loop arrivals into three tight bursts 50 ms
+/// apart, so replays exercise spike admission rather than a smooth
+/// trickle. Reply digests come from the sharded runtime itself —
+/// which the differential suite proves bit-identical to the tree-walk
+/// oracle — so any later sharded runtime must reproduce them exactly.
+#[test]
+#[ignore]
+fn regenerate_committed_bursty_trace() {
+    let (server, _schedulers) = start_sharded_multimodel_server();
+
+    let mut merged = Vec::new();
+    for (i, bench) in [NipsBenchmark::Nips10, NipsBenchmark::Nips20]
+        .iter()
+        .enumerate()
+    {
+        let mut cfg = load_config(server.local_addr(), *bench);
+        cfg.connections = 2;
+        cfg.requests_per_connection = 9;
+        cfg.seed = 42 + i as u64;
+        let (report, trace) = record_load(&cfg).expect("record run");
+        assert_eq!(report.ok_requests, 18);
+        for mut rec in trace.records {
+            // Keep connection ids globally distinct across the merge.
+            rec.conn += (i * 2) as u32;
+            merged.push(rec);
+        }
+    }
+    // Three bursts, 50 ms apart, arrivals 20 µs apart inside a burst
+    // — globally increasing, so per-connection monotonicity holds.
+    merged.sort_by_key(|r| (r.arrival_ns, r.conn));
+    let per_burst = merged.len().div_ceil(3);
+    for (i, rec) in merged.iter_mut().enumerate() {
+        let burst = i / per_burst;
+        let slot = i % per_burst;
+        rec.arrival_ns = burst as u64 * 50_000_000 + slot as u64 * 20_000;
+    }
+    let trace = Trace {
+        run_seed: 42,
+        records: merged,
+    };
+    std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/traces")).unwrap();
+    trace.write_file(COMMITTED_TRACE).unwrap();
+    // The artifact decodes back to itself.
+    assert_eq!(Trace::read_file(COMMITTED_TRACE).unwrap(), trace);
+}
+
+/// Sharded-runtime replay regression: the committed bursty
+/// multi-model trace replays through a freshly built sharded server
+/// with every reply verified bit-for-bit against the recorded
+/// digests. This pins the full chain — trace decoding, seeded payload
+/// regeneration, shard cut, concurrent shard execution, merge — to
+/// the exact f64 results recorded when the trace was made.
+#[test]
+fn committed_bursty_trace_replays_bit_for_bit_through_sharded_runtime() {
+    let trace = Trace::read_file(COMMITTED_TRACE).expect("committed trace decodes");
+    assert_eq!(trace.records.len(), 36);
+    let models: std::collections::BTreeSet<&str> =
+        trace.records.iter().map(|r| r.model.as_str()).collect();
+    assert_eq!(
+        models.into_iter().collect::<Vec<_>>(),
+        vec!["NIPS10", "NIPS20"],
+        "trace spans two models"
+    );
+    assert!(
+        trace.records.iter().all(|r| r.reply_digest.is_some()),
+        "every record carries a reply digest to verify against"
+    );
+    // Bursty by construction: the largest arrival gap dwarfs the
+    // in-burst spacing.
+    let mut arrivals: Vec<u64> = trace.records.iter().map(|r| r.arrival_ns).collect();
+    arrivals.sort_unstable();
+    let max_gap = arrivals.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+    assert!(
+        max_gap >= 10_000_000,
+        "largest gap {max_gap} ns is not a burst boundary"
+    );
+
+    let (server, schedulers) = start_sharded_multimodel_server();
+    let mut cfg = ReplayConfig::new(server.local_addr());
+    cfg.speed = 4.0; // compress the 100 ms timeline; bursts stay bursts
+    let rep = replay(&trace, &cfg).expect("sharded replay");
+
+    assert!(rep.is_faithful(), "not faithful: {}", rep.summary());
+    assert_eq!(rep.ok_requests, rep.total_requests, "{}", rep.summary());
+    assert_eq!(rep.digests_checked, 36);
+    assert_eq!(
+        rep.digest_mismatches, 0,
+        "sharded replies diverged from the recording"
+    );
+    assert_eq!(rep.payload_mismatches, 0);
+
+    // The replies really came off the sharded path: both schedulers
+    // built their cut and pushed blocks through it.
+    for (scheduler, shards) in schedulers.iter().zip([2u64, 3u64]) {
+        let t = scheduler.shard_telemetry().expect("sharded jobs ran");
+        assert_eq!(t.shard_sets, 1);
+        assert_eq!(t.shards, shards);
+        assert!(t.sharded_blocks > 0);
+    }
 }
 
 /// The run store round-trips replay runs like any other kind, so

@@ -512,7 +512,7 @@ fn stats_opcode_returns_parsable_json() {
 
     let json = client.stats().unwrap();
     let v: serde_json::Value = serde_json::from_str(&json).expect("stats JSON parses");
-    assert_eq!(v["schema"], 3u64);
+    assert_eq!(v["schema"], 4u64);
     assert_eq!(v["server"]["requests_total"], 1u64);
     assert_eq!(v["server"]["samples_total"], 3u64);
     assert_eq!(v["server"]["inflight_samples"], 0u64);
