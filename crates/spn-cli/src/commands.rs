@@ -19,7 +19,10 @@ use spn_replay::{
 use spn_router::{RouterConfig, SpnRouter};
 use spn_runtime::perf::{simulate, PerfConfig};
 use spn_runtime::prelude::*;
-use spn_server::{run_load, BatchPolicy, LoadConfig, ModelSpec, ServerConfig, SpnServer};
+use spn_server::{
+    run_load, run_open_loop, BatchPolicy, LoadConfig, ModelSpec, OpenLoopConfig, ReactorConfig,
+    ServerConfig, ServingMode, SpnServer,
+};
 use spn_telemetry::{ModelTelemetry, RunKind, RunRecord, TelemetrySnapshot, TraceCollector};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -100,16 +103,29 @@ COMMANDS:
   serve      [--benchmarks NIPS10,NIPS20] [--pes N] [--threads T] [--block B] [--port P]
              [--batch-samples N] [--batch-delay-us U] [--max-inflight N]
              [--retries R] [--port-file FILE] [--trace FILE.json]
+             [--reactor true|false] [--loop-threads T] [--max-conns C]
+             [--idle-timeout-ms MS]
              Serve inference over TCP with adaptive micro-batching;
              runs until a client sends the Shutdown opcode. With
              --trace, writes a Chrome-trace JSON correlating server
-             and device spans per request on shutdown.
+             and device spans per request on shutdown. The default
+             engine is the nonblocking epoll reactor (--loop-threads
+             event loops, --max-conns connection limit,
+             --idle-timeout-ms idle reaping, 0 = never);
+             --reactor false selects the blocking thread-per-
+             connection engine instead.
   load       --addr HOST:PORT | --port-file FILE [--benchmark NIPS10]
              [--connections C] [--requests N] [--batch K] [--deadline-ms D]
              [--seed S] [--stats true] [--shutdown true]
-             Closed-loop load generation against a running server;
-             reports samples/s and p50/p95/p99 latency. Works
-             unchanged against a router (`spn route`) address.
+             [--open-loop true] [--workers W] [--run-timeout-ms MS]
+             Load generation against a running server; reports
+             samples/s and p50/p95/p99 latency. Default is
+             closed-loop (a blocking thread per connection). With
+             --open-loop true, a few epoll worker threads multiplex
+             all C connections nonblockingly — the mode that holds
+             thousands of concurrent connections (the count is
+             clamped to the fd budget). Works unchanged against a
+             router (`spn route`) address.
   record     --trace-out FILE.spntrace --addr HOST:PORT | --port-file FILE
              [--benchmark NIPS10] [--connections C] [--requests N] [--batch K]
              [--deadline-ms D] [--seed S] [--runs DIR]
@@ -699,6 +715,10 @@ fn cmd_serve(args: &Args) -> Result<CmdResult, CmdError> {
         "retries",
         "port-file",
         "trace",
+        "reactor",
+        "loop-threads",
+        "max-conns",
+        "idle-timeout-ms",
     ])?;
     let pes = args.get_or("pes", 4u32)?;
     let threads = args.get_or("threads", 2u32)?;
@@ -735,6 +755,20 @@ fn cmd_serve(args: &Args) -> Result<CmdResult, CmdError> {
         },
         max_inflight_samples: args.get_or("max-inflight", 1u64 << 20)?,
         trace: trace.clone(),
+        serving: if args.get_or("reactor", true)? {
+            let defaults = ReactorConfig::default();
+            let idle_ms = args.get_or(
+                "idle-timeout-ms",
+                defaults.idle_timeout.map_or(0, |d| d.as_millis() as u64),
+            )?;
+            ServingMode::Reactor(ReactorConfig {
+                loop_threads: args.get_or("loop-threads", defaults.loop_threads)?,
+                max_connections: args.get_or("max-conns", defaults.max_connections)?,
+                idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms)),
+            })
+        } else {
+            ServingMode::Threaded
+        },
         ..ServerConfig::default()
     };
     let mut server =
@@ -866,6 +900,9 @@ fn cmd_load(args: &Args) -> Result<CmdResult, CmdError> {
         "seed",
         "stats",
         "shutdown",
+        "open-loop",
+        "workers",
+        "run-timeout-ms",
     ])?;
     let addr = resolve_addr(args)?;
     let bench = NipsBenchmark::from_name(args.get("benchmark").unwrap_or("NIPS10"))
@@ -881,9 +918,20 @@ fn cmd_load(args: &Args) -> Result<CmdResult, CmdError> {
         deadline_ms: args.get_or("deadline-ms", 0u32)?,
         seed: args.get_or("seed", 1u64)?,
     };
-    let report = run_load(&cfg).map_err(|e| CmdError(format!("load run failed: {e}")))?;
     let mut out = String::new();
-    let _ = writeln!(out, "{}", report.summary());
+    if args.get_or("open-loop", false)? {
+        let timeout_ms = args.get_or("run-timeout-ms", 120_000u64)?;
+        let ol = OpenLoopConfig {
+            load: cfg,
+            workers: args.get_or("workers", 2usize)?,
+            run_timeout: (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms)),
+        };
+        let report = run_open_loop(&ol).map_err(|e| CmdError(format!("load run failed: {e}")))?;
+        let _ = writeln!(out, "{}", report.summary());
+    } else {
+        let report = run_load(&cfg).map_err(|e| CmdError(format!("load run failed: {e}")))?;
+        let _ = writeln!(out, "{}", report.summary());
+    }
     if args.get("stats").is_some() {
         let mut client = spn_server::Client::connect(addr)
             .map_err(|e| CmdError(format!("cannot connect for stats: {e}")))?;
@@ -1195,7 +1243,7 @@ mod tests {
         )
         .unwrap();
         assert!(r.stdout.contains("3/3 jobs ok"), "stdout: {}", r.stdout);
-        assert!(r.stdout.contains("\"schema\": 4"));
+        assert!(r.stdout.contains("\"schema\": 5"));
         assert!(r.stdout.contains("\"jobs_completed\": 3"));
         assert!(r.stdout.contains("\"blocks_executed\": 15")); // 3 x ceil(300/64)
         assert!(r.stdout.contains("\"block_retries\": 0"));
@@ -1212,7 +1260,7 @@ mod tests {
         assert_eq!(r.files.len(), 1);
         assert_eq!(r.files[0].0, "/tmp/spn_metrics.json");
         let snap: serde_json::Value = serde_json::from_str(&r.files[0].1).unwrap();
-        assert_eq!(snap["schema"], 4);
+        assert_eq!(snap["schema"], 5);
         assert!(snap["server"].is_null(), "no serving layer in accelerate");
         let sched = &snap["models"]["NIPS10"]["scheduler"];
         assert_eq!(sched["jobs_completed"], 2);
@@ -1651,7 +1699,7 @@ mod tests {
             "got: {}",
             summary.stdout
         );
-        assert!(summary.stdout.contains("\"schema\": 4"));
+        assert!(summary.stdout.contains("\"schema\": 5"));
         // --trace produced one Chrome-trace export with both serving-
         // and device-layer spans.
         assert_eq!(summary.files.len(), 1);
@@ -1660,5 +1708,63 @@ mod tests {
         for needle in ["batch-formed", "reply-written", "execute"] {
             assert!(trace.contains(needle), "trace missing {needle}");
         }
+    }
+
+    /// The new serving/loadgen knobs through the CLI layer: a serve
+    /// with explicit reactor flags answered by an open-loop load.
+    #[test]
+    fn serve_reactor_flags_and_open_loop_load() {
+        let dir = std::env::temp_dir().join("spn_cli_reactor_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("port");
+        let _ = std::fs::remove_file(&port_file);
+
+        let pf = port_file.display().to_string();
+        let serve = std::thread::spawn(move || {
+            run_tokens(&format!(
+                "serve --benchmarks NIPS10 --pes 2 --block 256 \
+                 --batch-delay-us 500 --port-file {pf} \
+                 --reactor true --loop-threads 2 --max-conns 64 \
+                 --idle-timeout-ms 60000"
+            ))
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !port_file.exists() {
+            assert!(std::time::Instant::now() < deadline, "server never came up");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let out = run_tokens(&format!(
+            "load --port-file {} --benchmark NIPS10 --connections 8 \
+             --requests 3 --batch 2 --open-loop true --workers 2 \
+             --shutdown true",
+            port_file.display()
+        ))
+        .unwrap();
+        assert!(
+            out.stdout
+                .contains("8 connections (0 rejected at accept, 0 dropped)"),
+            "got: {}",
+            out.stdout
+        );
+        assert!(
+            out.stdout.contains("24 ok / 0 rejected"),
+            "got: {}",
+            out.stdout
+        );
+
+        let summary = serve.join().unwrap().unwrap();
+        assert!(
+            summary.stdout.contains("served 24 requests (48 samples)"),
+            "got: {}",
+            summary.stdout
+        );
+        // The reactor engine ran: its telemetry section is present.
+        assert!(
+            summary.stdout.contains("\"reactor\""),
+            "got: {}",
+            summary.stdout
+        );
+        assert!(summary.stdout.contains("\"loop_threads\": 2"));
     }
 }

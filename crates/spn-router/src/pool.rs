@@ -13,7 +13,7 @@ use parking_lot::Mutex;
 use spn_server::client::{Client, ClientError};
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One routed backend.
 pub struct Backend {
@@ -24,7 +24,16 @@ pub struct Backend {
     pub addr: SocketAddr,
     /// Health cell shared by the prober and the forwarding path.
     pub health: HealthCell,
-    idle: Mutex<Vec<Client>>,
+    /// Idle connections, LIFO (most recently used first) with their
+    /// check-in instants for TTL expiry.
+    idle: Mutex<Vec<(Client, Instant)>>,
+    /// Drop pooled connections idle past this (`None` = keep
+    /// forever). Backends routinely reap their side of idle sockets
+    /// (the reactor engine's idle timeout!), so holding one longer
+    /// than the server does just converts future checkouts into
+    /// `ConnectionClosed` retries.
+    idle_ttl: Option<Duration>,
+    idle_expired_total: AtomicU64,
     inflight: AtomicU64,
     requests_total: AtomicU64,
     failures_total: AtomicU64,
@@ -43,8 +52,13 @@ pub struct Checkout {
 }
 
 impl Backend {
-    /// Resolve `id` (`host:port`) into a backend entry.
-    pub fn resolve(id: &str, policy: &HealthPolicy) -> Result<Backend, String> {
+    /// Resolve `id` (`host:port`) into a backend entry whose pooled
+    /// connections expire after `idle_ttl` without reuse.
+    pub fn resolve(
+        id: &str,
+        policy: &HealthPolicy,
+        idle_ttl: Option<Duration>,
+    ) -> Result<Backend, String> {
         let addr = id
             .to_socket_addrs()
             .map_err(|e| format!("backend '{id}': {e}"))?
@@ -55,6 +69,8 @@ impl Backend {
             addr,
             health: HealthCell::new(policy),
             idle: Mutex::new(Vec::new()),
+            idle_ttl,
+            idle_expired_total: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             requests_total: AtomicU64::new(0),
             failures_total: AtomicU64::new(0),
@@ -69,12 +85,23 @@ impl Backend {
         connect_timeout: Duration,
         io_timeout: Option<Duration>,
     ) -> Result<Checkout, ClientError> {
-        if let Some(mut client) = self.idle.lock().pop() {
-            client.set_io_timeout(io_timeout)?;
-            return Ok(Checkout {
-                client,
-                pooled: true,
-            });
+        {
+            let mut idle = self.idle.lock();
+            // LIFO: the most recently used socket is the least likely
+            // to have been reaped by the backend. Anything expired on
+            // the way down is dropped, not returned.
+            while let Some((mut client, since)) = idle.pop() {
+                if self.expired(since) {
+                    self.idle_expired_total.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                drop(idle);
+                client.set_io_timeout(io_timeout)?;
+                return Ok(Checkout {
+                    client,
+                    pooled: true,
+                });
+            }
         }
         self.dial(connect_timeout, io_timeout)
     }
@@ -94,15 +121,44 @@ impl Backend {
         })
     }
 
-    /// Return a healthy connection for reuse.
+    /// Return a healthy connection for reuse (stamped now for TTL
+    /// accounting).
     pub fn checkin(&self, client: Client) {
-        self.idle.lock().push(client);
+        self.idle.lock().push((client, Instant::now()));
     }
 
     /// Drop every pooled connection (e.g. after the backend went
     /// down, so recovery starts from fresh dials).
     pub fn drain_pool(&self) {
         self.idle.lock().clear();
+    }
+
+    /// Sweep expired idle connections eagerly (the health prober
+    /// calls this each round, so sockets do not linger just because
+    /// no request happened to check them out).
+    pub fn expire_idle(&self) {
+        let mut idle = self.idle.lock();
+        let before = idle.len();
+        idle.retain(|(_, since)| !self.expired(*since));
+        let dropped = (before - idle.len()) as u64;
+        if dropped > 0 {
+            self.idle_expired_total
+                .fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    fn expired(&self, since: Instant) -> bool {
+        self.idle_ttl.is_some_and(|ttl| since.elapsed() >= ttl)
+    }
+
+    /// Currently pooled idle connections.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().len()
+    }
+
+    /// Pooled connections dropped by TTL expiry so far.
+    pub fn idle_expired_total(&self) -> u64 {
+        self.idle_expired_total.load(Ordering::Relaxed)
     }
 
     /// Requests currently in flight against this backend.
@@ -159,12 +215,12 @@ mod tests {
 
     fn backend() -> Backend {
         // Resolution only; nothing listens here.
-        Backend::resolve("127.0.0.1:1", &HealthPolicy::default()).unwrap()
+        Backend::resolve("127.0.0.1:1", &HealthPolicy::default(), None).unwrap()
     }
 
     #[test]
     fn unresolvable_backend_is_a_config_error() {
-        assert!(Backend::resolve("not an address", &HealthPolicy::default()).is_err());
+        assert!(Backend::resolve("not an address", &HealthPolicy::default(), None).is_err());
     }
 
     #[test]
@@ -177,6 +233,68 @@ mod tests {
         drop(g1);
         assert_eq!(b.inflight(), 1);
         assert!(b.reserve(2).is_some());
+    }
+
+    #[test]
+    fn ttl_expired_idle_connection_is_dropped_on_checkout() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let b = Backend::resolve(
+            &addr.to_string(),
+            &HealthPolicy::default(),
+            Some(Duration::from_millis(10)),
+        )
+        .unwrap();
+        let co = b.checkout(Duration::from_millis(500), None).unwrap();
+        assert!(!co.pooled, "first checkout must be a fresh dial");
+        b.checkin(co.client);
+        assert_eq!(b.idle_count(), 1);
+        std::thread::sleep(Duration::from_millis(30));
+        let co = b.checkout(Duration::from_millis(500), None).unwrap();
+        assert!(!co.pooled, "expired pooled socket must not be reused");
+        assert_eq!(b.idle_expired_total(), 1);
+    }
+
+    #[test]
+    fn fresh_idle_connection_is_reused_within_ttl() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let b = Backend::resolve(
+            &addr.to_string(),
+            &HealthPolicy::default(),
+            Some(Duration::from_secs(10)),
+        )
+        .unwrap();
+        let co = b.checkout(Duration::from_millis(500), None).unwrap();
+        b.checkin(co.client);
+        let co = b.checkout(Duration::from_millis(500), None).unwrap();
+        assert!(co.pooled, "socket well within TTL must be reused");
+        assert_eq!(b.idle_expired_total(), 0);
+    }
+
+    #[test]
+    fn expire_idle_sweeps_without_a_checkout() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let b = Backend::resolve(
+            &addr.to_string(),
+            &HealthPolicy::default(),
+            Some(Duration::from_millis(10)),
+        )
+        .unwrap();
+        let co = b.checkout(Duration::from_millis(500), None).unwrap();
+        b.checkin(co.client);
+        std::thread::sleep(Duration::from_millis(30));
+        b.expire_idle();
+        assert_eq!(b.idle_count(), 0);
+        assert_eq!(b.idle_expired_total(), 1);
+        // No TTL: nothing ever expires.
+        let b2 = Backend::resolve(&addr.to_string(), &HealthPolicy::default(), None).unwrap();
+        let co = b2.checkout(Duration::from_millis(500), None).unwrap();
+        b2.checkin(co.client);
+        std::thread::sleep(Duration::from_millis(15));
+        b2.expire_idle();
+        assert_eq!(b2.idle_count(), 1);
     }
 
     #[test]

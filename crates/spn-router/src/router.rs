@@ -58,6 +58,12 @@ pub struct RouterConfig {
     /// bound). A backend that overruns is treated as failed and the
     /// request fails over.
     pub rpc_timeout: Option<Duration>,
+    /// Drop pooled backend connections idle longer than this
+    /// (`None` = pool forever). Backends reap their side of idle
+    /// sockets — notably the reactor engine's idle timeout — so the
+    /// router expiring first turns would-be `ConnectionClosed`
+    /// retries into ordinary fresh dials.
+    pub pool_idle_ttl: Option<Duration>,
     /// How often blocked client-side reads wake to check shutdown.
     pub read_poll: Duration,
     /// Live span collector (`None` = tracing off); `route-pick` and
@@ -75,6 +81,7 @@ impl Default for RouterConfig {
             max_inflight_per_backend: 1024,
             connect_timeout: Duration::from_millis(500),
             rpc_timeout: Some(Duration::from_secs(30)),
+            pool_idle_ttl: Some(Duration::from_secs(30)),
             read_poll: Duration::from_millis(25),
             trace: None,
         }
@@ -157,7 +164,8 @@ impl SpnRouter {
                 return Err(RouterError::Config(format!("backend '{id}' listed twice")));
             }
             backends.push(Arc::new(
-                Backend::resolve(id, &config.health).map_err(RouterError::Config)?,
+                Backend::resolve(id, &config.health, config.pool_idle_ttl)
+                    .map_err(RouterError::Config)?,
             ));
         }
         if config.replication == 0 {
@@ -335,6 +343,9 @@ fn health_loop(shared: Arc<RouterShared>, policy: HealthPolicy) {
                     }
                 }
             }
+            // TTL sweep rides the probe cadence: without it an idle
+            // pool only shrinks when a request checks out of it.
+            backend.expire_idle();
         }
         // Sleep the interval in read-poll slices so shutdown is
         // observed promptly.
@@ -600,6 +611,7 @@ fn telemetry_snapshot(shared: &RouterShared) -> TelemetrySnapshot {
         plan: None,
         router: Some(shared.metrics.snapshot(&shared.backends)),
         shard: None,
+        reactor: None,
     }
 }
 

@@ -40,7 +40,7 @@ use spn_core::Dataset;
 use spn_runtime::{JobHandle, JobOptions, RuntimeError, Scheduler};
 use spn_telemetry::{SpanCtx, SpanKind};
 use std::collections::VecDeque;
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -54,6 +54,19 @@ pub enum Reply {
     Err(Status, String),
 }
 
+/// Where a request's answer goes. The batcher calls this exactly once
+/// per enqueued request, from the demux (or failure) path. The two
+/// serving front-ends plug in differently:
+///
+/// * the threaded server passes a closure over a capacity-1
+///   [`std::sync::mpsc::SyncSender`] and blocks its connection thread on the paired
+///   receiver ("write on my thread");
+/// * the reactor passes a closure that pushes the reply onto its
+///   loop's completion queue and wakes the loop's eventfd ("queue
+///   writable interest") — so demux threads never block on, or write
+///   to, a client socket.
+pub type ReplySink = Box<dyn FnOnce(Reply) + Send + 'static>;
+
 /// A request parked in the batch queue.
 struct Pending {
     /// Row-major feature block.
@@ -62,13 +75,12 @@ struct Pending {
     num_samples: u32,
     /// Trace context minted when the request was decoded.
     ctx: SpanCtx,
-    /// When the connection thread enqueued it.
+    /// When the serving front-end enqueued it.
     enqueued: Instant,
     /// Absolute deadline, if the client set one.
     deadline: Option<Instant>,
-    /// Where the answer goes (capacity-1 channel; the connection
-    /// thread blocks on the other end).
-    reply: SyncSender<Reply>,
+    /// Where the answer goes (see [`ReplySink`]).
+    reply: ReplySink,
 }
 
 /// Tuning knobs for one model's batcher.
@@ -203,31 +215,55 @@ impl Batcher {
         num_samples: u32,
         deadline: Option<Instant>,
     ) -> Receiver<Reply> {
-        debug_assert_eq!(data.len(), num_samples as usize * self.shared.num_features);
         let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        self.enqueue_with(
+            ctx,
+            data,
+            num_samples,
+            deadline,
+            Box::new(move |reply| {
+                let _ = tx.send(reply);
+            }),
+        );
+        rx
+    }
+
+    /// [`Batcher::enqueue`] with an explicit [`ReplySink`] instead of
+    /// a channel — the reactor's entry point, where the sink queues
+    /// the reply for the owning event loop rather than blocking a
+    /// thread. The delivery guarantee is the same: the sink is always
+    /// called exactly once.
+    pub fn enqueue_with(
+        &self,
+        ctx: SpanCtx,
+        data: Vec<u8>,
+        num_samples: u32,
+        deadline: Option<Instant>,
+        reply: ReplySink,
+    ) {
+        debug_assert_eq!(data.len(), num_samples as usize * self.shared.num_features);
         let pending = Pending {
             data,
             num_samples,
             ctx,
             enqueued: Instant::now(),
             deadline,
-            reply: tx,
+            reply,
         };
         {
             let mut q = self.shared.queue.lock();
             if q.stopped {
                 drop(q);
                 self.shared.metrics.rejected(Status::ShuttingDown);
-                let _ = pending.reply.send(Reply::Err(
+                (pending.reply)(Reply::Err(
                     Status::ShuttingDown,
                     "server is draining; request refused".into(),
                 ));
-                return rx;
+                return;
             }
             q.items.push_back(pending);
         }
         self.shared.cv.notify_all();
-        rx
     }
 
     /// Ask the worker to stop once the queue is empty (the server
@@ -363,7 +399,7 @@ fn flush(
         if let Some(d) = p.deadline {
             if now > d {
                 shared.metrics.rejected(Status::DeadlineExceeded);
-                let _ = p.reply.send(Reply::Err(
+                (p.reply)(Reply::Err(
                     Status::DeadlineExceeded,
                     "deadline expired while queued for batching".into(),
                 ));
@@ -450,7 +486,7 @@ fn demux_loop(shared: &Shared, inflight_rx: Receiver<InflightBatch>) {
                 let mut at = 0usize;
                 for p in batch.live {
                     let n = p.num_samples as usize;
-                    let _ = p.reply.send(Reply::Ok(lls[at..at + n].to_vec()));
+                    (p.reply)(Reply::Ok(lls[at..at + n].to_vec()));
                     at += n;
                 }
             }
@@ -465,7 +501,7 @@ fn fail_batch(shared: &Shared, live: Vec<Pending>, e: &RuntimeError) {
     let msg = e.to_string();
     for p in live {
         shared.metrics.rejected(status);
-        let _ = p.reply.send(Reply::Err(status, msg.clone()));
+        (p.reply)(Reply::Err(status, msg.clone()));
     }
 }
 

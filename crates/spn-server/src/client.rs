@@ -86,6 +86,12 @@ pub struct Client {
     /// The resolved peer address, kept so [`Client::reconnect`] can
     /// re-dial after a [`ClientError::ConnectionClosed`].
     addr: SocketAddr,
+    /// The dial bound given to [`Client::connect_timeout`], kept so
+    /// [`Client::reconnect`] re-dials under the same bound. Distinct
+    /// from `io_timeout`: a connect bound and a per-request I/O bound
+    /// are different knobs, and conflating them once made a reconnect
+    /// after `set_io_timeout(None)` dial with *no* bound at all.
+    dial_timeout: Option<Duration>,
     io_timeout: Option<Duration>,
 }
 
@@ -99,6 +105,7 @@ impl Client {
         Ok(Client {
             stream,
             addr,
+            dial_timeout: None,
             io_timeout: None,
         })
     }
@@ -106,13 +113,15 @@ impl Client {
     /// Connect with a bound on how long the TCP dial may block —
     /// what a health checker or failover path wants, since a dead
     /// host would otherwise stall the caller for the kernel's full
-    /// connect timeout.
+    /// connect timeout. [`Client::reconnect`] re-dials under the same
+    /// bound.
     pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_nodelay(true)?;
         Ok(Client {
             stream,
             addr,
+            dial_timeout: Some(timeout),
             io_timeout: None,
         })
     }
@@ -120,6 +129,18 @@ impl Client {
     /// The peer address this client dials.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The connect bound [`Client::reconnect`] re-dials under
+    /// (`None` when built with the unbounded [`Client::connect`]).
+    pub fn dial_timeout(&self) -> Option<Duration> {
+        self.dial_timeout
+    }
+
+    /// The current per-request I/O bound (see
+    /// [`Client::set_io_timeout`]).
+    pub fn io_timeout(&self) -> Option<Duration> {
+        self.io_timeout
     }
 
     /// Bound every subsequent read/write on the connection (`None`
@@ -134,10 +155,13 @@ impl Client {
     }
 
     /// Drop the current connection and dial the same address again,
-    /// preserving the configured i/o timeout. The recovery move after
-    /// [`ClientError::ConnectionClosed`].
+    /// preserving *both* configured timeouts: the dial runs under the
+    /// original connect bound (if the client was built with
+    /// [`Client::connect_timeout`]) and the fresh stream gets the
+    /// current [`Client::set_io_timeout`] value re-applied. The
+    /// recovery move after [`ClientError::ConnectionClosed`].
     pub fn reconnect(&mut self) -> io::Result<()> {
-        let stream = match self.io_timeout {
+        let stream = match self.dial_timeout {
             Some(t) => TcpStream::connect_timeout(&self.addr, t)?,
             None => TcpStream::connect(self.addr)?,
         };

@@ -15,10 +15,17 @@
 //!   the results back per request — bit-identical to unbatched
 //!   inference, but paying the scheduler's per-job cost once per
 //!   batch instead of once per request;
-//! * [`server`] — blocking TCP server with per-connection threads,
-//!   admission control (bounded in-flight samples →
-//!   [`Status::ServerBusy`]), per-request deadlines, per-connection
-//!   fault isolation and graceful drain-on-shutdown;
+//! * [`server`] — the TCP server: admission control (bounded
+//!   in-flight samples → [`Status::ServerBusy`]), per-request
+//!   deadlines, per-connection fault isolation and graceful
+//!   drain-on-shutdown, fronted by one of two engines
+//!   ([`ServingMode`]);
+//! * [`reactor`] — the default serving engine: a nonblocking epoll
+//!   readiness loop multiplexing thousands of connections over a
+//!   small fixed thread pool, with incremental frame decoding,
+//!   connection limits and idle timeouts (the original blocking
+//!   thread-per-connection engine remains as [`ServingMode::Threaded`],
+//!   the semantic oracle);
 //! * [`metrics`] — serving-layer counters and lock-free
 //!   latency/batch-size histograms ([`spn_telemetry::AtomicHistogram`]),
 //!   merged with per-model scheduler metrics into one
@@ -53,18 +60,20 @@ pub mod conn;
 pub mod loadgen;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
-pub use batcher::{BatchPolicy, Batcher, Reply};
+pub use batcher::{BatchPolicy, Batcher, Reply, ReplySink};
 pub use client::{Client, ClientError, InferBuilder};
 pub use conn::{read_full, ReadOutcome};
 pub use loadgen::{
-    request_seed, run_load, run_load_observed, synthetic_samples, LoadConfig, LoadObserver,
-    LoadReport, RequestEvent,
+    clamp_connections, request_seed, run_load, run_load_observed, run_open_loop, synthetic_samples,
+    LoadConfig, LoadObserver, LoadReport, OpenLoopConfig, OpenLoopReport, RequestEvent,
 };
-pub use metrics::{HistogramSummary, ServerMetrics, ServerMetricsSnapshot};
-pub use protocol::{Frame, InferRequest, Opcode, Status, WireError};
-pub use server::{ModelSpec, ServerConfig, ServerError, SpnServer};
+pub use metrics::{HistogramSummary, ReactorMetrics, ServerMetrics, ServerMetricsSnapshot};
+pub use protocol::{Frame, FrameDecoder, InferRequest, Opcode, Status, WireError};
+pub use reactor::ReactorConfig;
+pub use server::{ModelSpec, ServerConfig, ServerError, ServingMode, SpnServer};
 // Telemetry types that appear in this crate's public API, re-exported
 // so callers don't need a direct spn-telemetry dependency.
 pub use spn_telemetry::{SpanCtx, TelemetrySnapshot, TraceCollector, TraceId};

@@ -1,17 +1,35 @@
-//! Closed-loop load generation against a running server.
+//! Load generation against a running server, in two shapes.
 //!
-//! Shared by the `spn load` CLI subcommand, the serving benchmark and
-//! the integration tests: `connections` threads each run a blocking
-//! [`Client`] issuing `requests_per_connection` `Infer` requests of
+//! **Closed-loop** ([`run_load`]) — shared by the `spn load` CLI
+//! subcommand, the serving benchmark and the integration tests:
+//! `connections` threads each run a blocking [`Client`] issuing
+//! `requests_per_connection` `Infer` requests of
 //! `samples_per_request` synthetic samples back to back. Per-request
 //! wall-clock latency is recorded into one shared lock-free
 //! [`AtomicHistogram`], so workers never synchronise on a latency
 //! vector; percentiles (p50/p95/p99, ≈9 % bucket resolution) come
 //! from the histogram summary and `max` stays exact.
+//!
+//! **Open-loop many-connection** ([`run_open_loop`]) — the mode that
+//! exercises the reactor at its design point. A thread per connection
+//! tops out around the low thousands (stack memory plus scheduler
+//! churn); here a handful of epoll-multiplexed worker threads each
+//! hold hundreds-to-thousands of nonblocking connections, every
+//! connection keeping one request in flight, so the *offered
+//! concurrency equals the connection count* regardless of how fast
+//! the server drains — the generator never throttles itself the way
+//! a blocked thread does. Request payloads stay a pure function of
+//! the run seed via [`request_seed`], identical to the closed-loop
+//! stream.
 
 use crate::client::{Client, ClientError};
-use spn_telemetry::AtomicHistogram;
-use std::net::SocketAddr;
+use crate::protocol::{
+    decode_results, write_frame, Frame, FrameDecoder, InferRequest, Opcode, Status, WireError,
+};
+use epoll::{Epoll, Event, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use spn_telemetry::{AtomicHistogram, SpanCtx};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -269,6 +287,349 @@ struct WorkerStats {
     ok: u64,
     rejected: u64,
     ok_samples: u64,
+}
+
+// ---- open-loop many-connection mode --------------------------------
+
+/// Load shape for [`run_open_loop`]: [`LoadConfig`] plus the knobs
+/// that only make sense when one process multiplexes thousands of
+/// sockets.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// The request stream (addr, model, shape, seed, connection and
+    /// request counts — all identical in meaning to the closed loop).
+    pub load: LoadConfig,
+    /// Epoll worker threads sharing the connections (each worker owns
+    /// `connections / workers`, remainder spread over the first few).
+    pub workers: usize,
+    /// Give up on connections still open after this bound (they count
+    /// as dropped, the run still reports). `None` = wait forever.
+    pub run_timeout: Option<Duration>,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            load: LoadConfig::default(),
+            workers: 2,
+            run_timeout: Some(Duration::from_secs(120)),
+        }
+    }
+}
+
+/// Result of one open-loop run: the familiar latency/throughput
+/// report plus connection-level accounting (at 10k+ connections the
+/// interesting failures are *connection* failures, not request
+/// rejections).
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Connections the run actually dialed (after fd-budget clamping
+    /// — see [`clamp_connections`]).
+    pub connections: usize,
+    /// Connections the server turned away at accept with
+    /// `ServerBusy` (its connection limit).
+    pub rejected_at_accept: u64,
+    /// Connections that died mid-run (reset, unexpected EOF, or still
+    /// unfinished at [`OpenLoopConfig::run_timeout`]).
+    pub dropped_connections: u64,
+    /// Request-level aggregate, same shape as the closed loop's.
+    pub load: LoadReport,
+}
+
+/// Clamp a wanted connection count to what the process's fd budget
+/// can actually hold, after trying to raise the soft `RLIMIT_NOFILE`
+/// to fit. `margin` covers everything else the process has open
+/// (listener, epoll fds, stdio, …). Both the loadgen and the CLI
+/// clamp through here so a 10k-connection ask on an 8k box degrades
+/// to a loud smaller run instead of an `EMFILE` crash mid-dial.
+pub fn clamp_connections(want: usize, margin: usize) -> usize {
+    let need = want as u64 + margin as u64;
+    let soft = match epoll::raise_nofile_limit(need) {
+        Ok(soft) => soft,
+        Err(_) => match epoll::nofile_limit() {
+            Ok((soft, _)) => soft,
+            Err(_) => return want,
+        },
+    };
+    want.min(soft.saturating_sub(margin as u64) as usize).max(1)
+}
+
+/// Per-connection state machine: one request in flight at a time,
+/// mirroring the reactor's own serial-per-connection discipline from
+/// the client side.
+struct OpenConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Pending request bytes not yet accepted by the kernel.
+    out: Vec<u8>,
+    out_at: usize,
+    /// Global connection index (seeds the request stream).
+    conn: u64,
+    /// Requests already answered.
+    answered: u64,
+    sent_at: Instant,
+    done: bool,
+}
+
+impl OpenConn {
+    fn queue_request(&mut self, cfg: &LoadConfig) {
+        let seed = request_seed(cfg.seed, self.conn, self.answered);
+        let data = synthetic_samples(cfg.samples_per_request, cfg.num_features, cfg.domain, seed);
+        let req = InferRequest {
+            model: cfg.model.clone(),
+            deadline_ms: cfg.deadline_ms,
+            num_samples: cfg.samples_per_request,
+            num_features: cfg.num_features,
+            data,
+            trace: true,
+            ctx: SpanCtx::NONE,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::request(Opcode::Infer, req.encode()))
+            .expect("Vec write cannot fail");
+        self.out = buf;
+        self.out_at = 0;
+        self.sent_at = Instant::now();
+    }
+
+    fn interest(&self) -> u32 {
+        if self.out_at < self.out.len() {
+            EPOLLIN | EPOLLOUT | EPOLLRDHUP
+        } else {
+            EPOLLIN | EPOLLRDHUP
+        }
+    }
+}
+
+#[derive(Default)]
+struct OpenWorkerStats {
+    stats: WorkerStats,
+    rejected_at_accept: u64,
+    dropped: u64,
+}
+
+/// Drive `count` connections (global indices starting at `base`) to
+/// completion on one epoll instance.
+fn open_loop_worker(
+    cfg: &OpenLoopConfig,
+    base: usize,
+    count: usize,
+    latency: &AtomicHistogram,
+    t0: Instant,
+) -> std::io::Result<OpenWorkerStats> {
+    let lc = &cfg.load;
+    let mut out = OpenWorkerStats::default();
+    let epoll = Epoll::new()?;
+    let mut conns: Vec<Option<OpenConn>> = Vec::with_capacity(count);
+    for i in 0..count {
+        // Loopback dials complete in microseconds; a blocking dial
+        // loop is simpler than nonblocking-connect bookkeeping and
+        // still stands up 10k sockets in well under a second.
+        match TcpStream::connect(lc.addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                stream.set_nonblocking(true)?;
+                let mut c = OpenConn {
+                    stream,
+                    decoder: FrameDecoder::new(),
+                    out: Vec::new(),
+                    out_at: 0,
+                    conn: (base + i) as u64,
+                    answered: 0,
+                    sent_at: Instant::now(),
+                    done: false,
+                };
+                c.queue_request(lc);
+                epoll.add(&c.stream, c.interest(), i as u64)?;
+                conns.push(Some(c));
+            }
+            Err(_) => {
+                // Kernel-level refusal (backlog overflow under a
+                // dial storm); indistinguishable from a drop here.
+                out.dropped += 1;
+                conns.push(None);
+            }
+        }
+    }
+    let mut live = conns.iter().filter(|c| c.is_some()).count();
+    let mut events = vec![Event::zeroed(); 256];
+    while live > 0 {
+        if let Some(bound) = cfg.run_timeout {
+            if t0.elapsed() >= bound {
+                out.dropped += live as u64;
+                break;
+            }
+        }
+        let n = epoll.wait(&mut events, Some(Duration::from_millis(100)))?;
+        for ev in &events[..n] {
+            let slot = ev.token() as usize;
+            let Some(conn) = conns[slot].as_mut() else {
+                continue;
+            };
+            let ready = ev.readiness();
+            let mut close = ready & EPOLLERR != 0;
+            // Flush whatever the kernel will take.
+            while !close && conn.out_at < conn.out.len() {
+                match conn.stream.write(&conn.out[conn.out_at..]) {
+                    Ok(0) => close = true,
+                    Ok(k) => conn.out_at += k,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => close = true,
+                }
+            }
+            // Then decode replies.
+            while !close && !conn.done {
+                let spare = conn.decoder.spare();
+                let k = match conn.stream.read(spare) {
+                    Ok(0) => {
+                        close = true;
+                        break;
+                    }
+                    Ok(k) => k,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        close = true;
+                        break;
+                    }
+                };
+                match conn.decoder.advance(k) {
+                    Ok(None) => {}
+                    Ok(Some(frame)) => {
+                        latency.record_duration(conn.sent_at.elapsed());
+                        if frame.status == Status::Ok {
+                            out.stats.ok += 1;
+                            if let Ok(lls) = decode_results(&frame.payload) {
+                                out.stats.ok_samples += lls.len() as u64;
+                            }
+                        } else if conn.answered == 0 && frame.status == Status::ServerBusy {
+                            // May be the accept-time connection-limit
+                            // frame rather than a per-request verdict;
+                            // either way the connection is not getting
+                            // service — count it and let the close
+                            // that follows stand.
+                            out.rejected_at_accept += 1;
+                            out.stats.rejected += 1;
+                        } else {
+                            out.stats.rejected += 1;
+                        }
+                        conn.answered += 1;
+                        if conn.answered >= lc.requests_per_connection as u64 {
+                            conn.done = true;
+                        } else {
+                            conn.queue_request(lc);
+                            // Opportunistic immediate write; leftovers
+                            // wait for EPOLLOUT.
+                            while conn.out_at < conn.out.len() {
+                                match conn.stream.write(&conn.out[conn.out_at..]) {
+                                    Ok(0) => {
+                                        close = true;
+                                        break;
+                                    }
+                                    Ok(k) => conn.out_at += k,
+                                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                                    Err(_) => {
+                                        close = true;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Err(WireError::Malformed(_)) | Err(WireError::Io(_)) => close = true,
+                }
+            }
+            if ready & (EPOLLRDHUP | EPOLLHUP) != 0 && conn.out_at >= conn.out.len() && !conn.done {
+                close = true;
+            }
+            if close || conn.done {
+                if close && !conn.done {
+                    out.dropped += 1;
+                }
+                let _ = epoll.delete(&conn.stream);
+                conns[slot] = None;
+                live -= 1;
+            } else {
+                epoll.modify(&conn.stream, conn.interest(), slot as u64)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Run the open-loop many-connection load described by `cfg`.
+///
+/// The connection count is clamped to the process fd budget first
+/// (see [`clamp_connections`]); the report's
+/// [`OpenLoopReport::connections`] says what was actually offered.
+pub fn run_open_loop(cfg: &OpenLoopConfig) -> Result<OpenLoopReport, ClientError> {
+    assert!(cfg.load.connections > 0, "need at least one connection");
+    assert!(cfg.workers > 0, "need at least one worker");
+    let mut cfg = cfg.clone();
+    // Margin: stdio + per-worker epoll fds + slack for whatever the
+    // embedding process (CLI, test harness) holds open.
+    cfg.load.connections = clamp_connections(cfg.load.connections, 64 + cfg.workers);
+    let total = cfg.load.connections;
+    let workers = cfg.workers.min(total);
+    let latency = Arc::new(AtomicHistogram::latency());
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(workers);
+    let mut base = 0usize;
+    for w in 0..workers {
+        let count = total / workers + usize::from(w < total % workers);
+        let cfg = cfg.clone();
+        let latency = Arc::clone(&latency);
+        handles.push(thread::spawn(move || {
+            open_loop_worker(&cfg, base, count, &latency, t0)
+        }));
+        base += count;
+    }
+    let mut agg = OpenWorkerStats::default();
+    for h in handles {
+        let w = h
+            .join()
+            .expect("open-loop worker panicked")
+            .map_err(ClientError::from)?;
+        agg.stats.ok += w.stats.ok;
+        agg.stats.rejected += w.stats.rejected;
+        agg.stats.ok_samples += w.stats.ok_samples;
+        agg.rejected_at_accept += w.rejected_at_accept;
+        agg.dropped += w.dropped;
+    }
+    let elapsed = t0.elapsed();
+    let lat = latency.summary();
+    Ok(OpenLoopReport {
+        connections: total,
+        rejected_at_accept: agg.rejected_at_accept,
+        dropped_connections: agg.dropped,
+        load: LoadReport {
+            ok_requests: agg.stats.ok,
+            rejected_requests: agg.stats.rejected,
+            ok_samples: agg.stats.ok_samples,
+            elapsed,
+            samples_per_sec: agg.stats.ok_samples as f64 / elapsed.as_secs_f64().max(1e-12),
+            p50_ms: lat.p50 * 1e3,
+            p95_ms: lat.p95 * 1e3,
+            p99_ms: lat.p99 * 1e3,
+            max_ms: lat.max * 1e3,
+        },
+    })
+}
+
+impl OpenLoopReport {
+    /// One-paragraph human summary (extends [`LoadReport::summary`]
+    /// with the connection-level accounting).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} connections ({} rejected at accept, {} dropped); {}",
+            self.connections,
+            self.rejected_at_accept,
+            self.dropped_connections,
+            self.load.summary()
+        )
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! are [`AtomicHistogram`]s, so connection threads never contend on a
 //! mutex to record a latency.
 
-use spn_telemetry::AtomicHistogram;
+use spn_telemetry::{AtomicHistogram, ReactorTelemetry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -141,6 +141,89 @@ impl ServerMetrics {
 impl Default for ServerMetrics {
     fn default() -> Self {
         ServerMetrics::new()
+    }
+}
+
+/// Lock-free counters of the reactor front-end: the accept path and
+/// every event loop record into one shared instance, and the `Stats`
+/// opcode snapshots it into the telemetry document's `reactor`
+/// section (schema v5).
+#[derive(Debug, Default)]
+pub struct ReactorMetrics {
+    loop_threads: AtomicU64,
+    loop_iterations: AtomicU64,
+    readiness_events: AtomicU64,
+    open_connections: AtomicU64,
+    peak_connections: AtomicU64,
+    accepted_total: AtomicU64,
+    rejected_at_accept: AtomicU64,
+    idle_closed: AtomicU64,
+    accept_backlog: AtomicU64,
+}
+
+impl ReactorMetrics {
+    /// Fresh, all-zero metrics for a pool of `loop_threads` loops.
+    pub fn new(loop_threads: usize) -> Self {
+        let m = ReactorMetrics::default();
+        m.loop_threads.store(loop_threads as u64, Ordering::Relaxed);
+        m
+    }
+
+    /// One `epoll_wait` returned, delivering `events` readiness
+    /// events.
+    pub fn loop_turn(&self, events: u64) {
+        self.loop_iterations.fetch_add(1, Ordering::Relaxed);
+        self.readiness_events.fetch_add(events, Ordering::Relaxed);
+    }
+
+    /// A connection was accepted and handed to a loop (it now sits in
+    /// the loop's inbox — the accept backlog — until registered).
+    pub fn conn_accepted(&self) {
+        self.accepted_total.fetch_add(1, Ordering::Relaxed);
+        self.accept_backlog.fetch_add(1, Ordering::Relaxed);
+        let open = self.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_connections.fetch_max(open, Ordering::Relaxed);
+    }
+
+    /// A loop pulled an accepted connection out of its inbox and
+    /// registered it.
+    pub fn conn_registered(&self) {
+        self.accept_backlog.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A connection closed (any reason).
+    pub fn conn_closed(&self) {
+        self.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A connection was refused at accept with a `ServerBusy` frame.
+    pub fn conn_rejected_at_accept(&self) {
+        self.rejected_at_accept.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The timer wheel closed an idle connection.
+    pub fn conn_idle_closed(&self) {
+        self.idle_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently open (the accept path's admission gauge).
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy in the unified telemetry schema.
+    pub fn snapshot(&self) -> ReactorTelemetry {
+        ReactorTelemetry {
+            loop_threads: self.loop_threads.load(Ordering::Relaxed),
+            loop_iterations: self.loop_iterations.load(Ordering::Relaxed),
+            readiness_events: self.readiness_events.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+            peak_connections: self.peak_connections.load(Ordering::Relaxed),
+            accepted_total: self.accepted_total.load(Ordering::Relaxed),
+            rejected_at_accept: self.rejected_at_accept.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            accept_backlog: self.accept_backlog.load(Ordering::Relaxed),
+        }
     }
 }
 

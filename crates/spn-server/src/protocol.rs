@@ -247,6 +247,168 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Frame, WireError> {
     })
 }
 
+/// A resumable frame decoder for nonblocking readers.
+///
+/// Where [`read_frame`] owns the stream until a whole frame has
+/// arrived, `FrameDecoder` inverts control so an event loop can feed
+/// it whatever bytes each readiness event yields: the caller reads
+/// into [`FrameDecoder::spare`], declares progress with
+/// [`FrameDecoder::advance`], and receives a [`Frame`] when one
+/// completes. The decoder never asks for bytes past the current
+/// frame's end, so pipelined frames stay in the kernel buffer and a
+/// single connection's memory is bounded by one frame.
+///
+/// Byte-for-byte the outcomes are identical to [`read_frame`] over
+/// the same stream — same header validation, same payload cap, same
+/// malformed diagnostics (a property test splits frames at every
+/// boundary to pin this). A malformed header *poisons* the decoder:
+/// the stream can no longer be trusted to be frame-aligned, and every
+/// later call re-reports the original error.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    state: DecodeState,
+}
+
+#[derive(Debug)]
+enum DecodeState {
+    /// Accumulating the 12-byte header.
+    Header { buf: [u8; HEADER_LEN], have: usize },
+    /// Header parsed; accumulating `payload.len()` payload bytes.
+    Payload {
+        opcode: Opcode,
+        status: Status,
+        payload: Vec<u8>,
+        have: usize,
+    },
+    /// A malformed header was seen; the stream is unrecoverable.
+    Poisoned(String),
+}
+
+impl FrameDecoder {
+    /// A decoder at a frame boundary.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder {
+            state: DecodeState::Header {
+                buf: [0u8; HEADER_LEN],
+                have: 0,
+            },
+        }
+    }
+
+    /// Whether the decoder sits exactly between frames (no partial
+    /// header or payload buffered) — an EOF here is a clean close, an
+    /// EOF anywhere else a torn frame.
+    pub fn is_frame_boundary(&self) -> bool {
+        matches!(self.state, DecodeState::Header { have: 0, .. })
+    }
+
+    /// The buffer to read the next bytes into: the unfilled remainder
+    /// of the current header or payload. Empty only when poisoned.
+    pub fn spare(&mut self) -> &mut [u8] {
+        match &mut self.state {
+            DecodeState::Header { buf, have } => &mut buf[*have..],
+            DecodeState::Payload { payload, have, .. } => &mut payload[*have..],
+            DecodeState::Poisoned(_) => &mut [],
+        }
+    }
+
+    /// Declare that the first `n` bytes of [`FrameDecoder::spare`]
+    /// were filled. Returns a completed [`Frame`] when `n` finishes
+    /// one, `Ok(None)` when more bytes are needed.
+    pub fn advance(&mut self, n: usize) -> Result<Option<Frame>, WireError> {
+        match &mut self.state {
+            DecodeState::Header { buf, have } => {
+                debug_assert!(*have + n <= HEADER_LEN);
+                *have += n;
+                if *have < HEADER_LEN {
+                    return Ok(None);
+                }
+                let header = *buf;
+                match parse_header(&header) {
+                    Ok((opcode, status, 0)) => {
+                        self.state = DecodeState::Header {
+                            buf: [0u8; HEADER_LEN],
+                            have: 0,
+                        };
+                        Ok(Some(Frame {
+                            opcode,
+                            status,
+                            payload: Vec::new(),
+                        }))
+                    }
+                    Ok((opcode, status, len)) => {
+                        self.state = DecodeState::Payload {
+                            opcode,
+                            status,
+                            payload: vec![0u8; len as usize],
+                            have: 0,
+                        };
+                        Ok(None)
+                    }
+                    Err(WireError::Malformed(m)) => {
+                        self.state = DecodeState::Poisoned(m.clone());
+                        Err(WireError::Malformed(m))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            DecodeState::Payload {
+                opcode,
+                status,
+                payload,
+                have,
+            } => {
+                debug_assert!(*have + n <= payload.len());
+                *have += n;
+                if *have < payload.len() {
+                    return Ok(None);
+                }
+                let frame = Frame {
+                    opcode: *opcode,
+                    status: *status,
+                    payload: std::mem::take(payload),
+                };
+                self.state = DecodeState::Header {
+                    buf: [0u8; HEADER_LEN],
+                    have: 0,
+                };
+                Ok(Some(frame))
+            }
+            DecodeState::Poisoned(m) => Err(WireError::Malformed(m.clone())),
+        }
+    }
+
+    /// Push-style convenience over [`FrameDecoder::spare`]/
+    /// [`FrameDecoder::advance`]: copy as much of `bytes` in as the
+    /// current frame wants and return `(consumed, frame)`. Stops at a
+    /// frame boundary, so callers re-feed the remainder — which is
+    /// what lets a buffer holding one-and-a-half frames decode
+    /// cleanly.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<(usize, Option<Frame>), WireError> {
+        if let DecodeState::Poisoned(m) = &self.state {
+            return Err(WireError::Malformed(m.clone()));
+        }
+        let mut consumed = 0usize;
+        while consumed < bytes.len() {
+            let spare = self.spare();
+            debug_assert!(!spare.is_empty());
+            let n = spare.len().min(bytes.len() - consumed);
+            spare[..n].copy_from_slice(&bytes[consumed..consumed + n]);
+            consumed += n;
+            if let Some(frame) = self.advance(n)? {
+                return Ok((consumed, Some(frame)));
+            }
+        }
+        Ok((consumed, None))
+    }
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
 /// An `Infer` request, decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InferRequest {
@@ -274,7 +436,95 @@ pub struct InferRequest {
     pub ctx: SpanCtx,
 }
 
+/// Validated `Infer` payload geometry: everything except the feature
+/// block itself, which [`InferRequest::decode`] copies out and
+/// [`InferRequest::decode_owned`] carves out of the payload allocation.
+struct InferMeta {
+    model: String,
+    deadline_ms: u32,
+    num_samples: u32,
+    num_features: u32,
+    /// Offset of the feature block inside the payload.
+    data_at: usize,
+    trace: bool,
+}
+
+fn parse_infer_meta(p: &[u8]) -> Result<InferMeta, String> {
+    let take = |p: &[u8], at: usize, n: usize| -> Result<(), String> {
+        if p.len() < at + n {
+            Err(format!(
+                "payload truncated: need {} bytes, have {}",
+                at + n,
+                p.len()
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    take(p, 0, 2)?;
+    let name_len = u16::from_le_bytes([p[0], p[1]]) as usize;
+    take(p, 2, name_len)?;
+    let model = std::str::from_utf8(&p[2..2 + name_len])
+        .map_err(|_| "model name is not UTF-8".to_string())?
+        .to_string();
+    let mut at = 2 + name_len;
+    take(p, at, 12)?;
+    let rd = |p: &[u8], at: usize| u32::from_le_bytes([p[at], p[at + 1], p[at + 2], p[at + 3]]);
+    let deadline_ms = rd(p, at);
+    let num_samples = rd(p, at + 4);
+    let num_features = rd(p, at + 8);
+    at += 12;
+    if num_samples == 0 {
+        return Err("num_samples must be > 0".into());
+    }
+    if num_features == 0 {
+        return Err("num_features must be > 0".into());
+    }
+    let expect = (num_samples as u64) * (num_features as u64);
+    if expect > MAX_PAYLOAD as u64 {
+        return Err(format!("feature block of {expect} bytes exceeds cap"));
+    }
+    let got = (p.len() - at) as u64;
+    // The feature block is followed by exactly one flags byte; an
+    // exact-length check (rather than ≥) keeps shape lies — a
+    // header promising more or fewer samples than were sent —
+    // detectable instead of silently shifting the flags byte.
+    if got != expect + 1 {
+        return Err(format!(
+            "payload is {got} bytes, header promises {num_samples}×{num_features} = {expect} plus a flags byte"
+        ));
+    }
+    let flags = p[p.len() - 1];
+    if flags > 1 {
+        return Err(format!("unknown flags byte {flags:#04x}"));
+    }
+    Ok(InferMeta {
+        model,
+        deadline_ms,
+        num_samples,
+        num_features,
+        data_at: at,
+        trace: flags & 1 != 0,
+    })
+}
+
 impl InferRequest {
+    fn assemble(meta: InferMeta, data: Vec<u8>) -> InferRequest {
+        InferRequest {
+            model: meta.model,
+            deadline_ms: meta.deadline_ms,
+            num_samples: meta.num_samples,
+            num_features: meta.num_features,
+            data,
+            trace: meta.trace,
+            ctx: if meta.trace {
+                SpanCtx::mint()
+            } else {
+                SpanCtx::NONE
+            },
+        }
+    }
+
     /// Serialise into an `Infer` request payload.
     pub fn encode(&self) -> Vec<u8> {
         let name = self.model.as_bytes();
@@ -289,70 +539,27 @@ impl InferRequest {
         p
     }
 
-    /// Decode an `Infer` request payload.
+    /// Decode an `Infer` request payload, copying the feature block
+    /// out of `p`.
     pub fn decode(p: &[u8]) -> Result<InferRequest, String> {
-        let take = |p: &[u8], at: usize, n: usize| -> Result<(), String> {
-            if p.len() < at + n {
-                Err(format!(
-                    "payload truncated: need {} bytes, have {}",
-                    at + n,
-                    p.len()
-                ))
-            } else {
-                Ok(())
-            }
-        };
-        take(p, 0, 2)?;
-        let name_len = u16::from_le_bytes([p[0], p[1]]) as usize;
-        take(p, 2, name_len)?;
-        let model = std::str::from_utf8(&p[2..2 + name_len])
-            .map_err(|_| "model name is not UTF-8".to_string())?
-            .to_string();
-        let mut at = 2 + name_len;
-        take(p, at, 12)?;
-        let rd = |p: &[u8], at: usize| u32::from_le_bytes([p[at], p[at + 1], p[at + 2], p[at + 3]]);
-        let deadline_ms = rd(p, at);
-        let num_samples = rd(p, at + 4);
-        let num_features = rd(p, at + 8);
-        at += 12;
-        if num_samples == 0 {
-            return Err("num_samples must be > 0".into());
-        }
-        if num_features == 0 {
-            return Err("num_features must be > 0".into());
-        }
-        let expect = (num_samples as u64) * (num_features as u64);
-        if expect > MAX_PAYLOAD as u64 {
-            return Err(format!("feature block of {expect} bytes exceeds cap"));
-        }
-        let got = (p.len() - at) as u64;
-        // The feature block is followed by exactly one flags byte; an
-        // exact-length check (rather than ≥) keeps shape lies — a
-        // header promising more or fewer samples than were sent —
-        // detectable instead of silently shifting the flags byte.
-        if got != expect + 1 {
-            return Err(format!(
-                "payload is {got} bytes, header promises {num_samples}×{num_features} = {expect} plus a flags byte"
-            ));
-        }
-        let flags = p[p.len() - 1];
-        if flags > 1 {
-            return Err(format!("unknown flags byte {flags:#04x}"));
-        }
-        let trace = flags & 1 != 0;
-        Ok(InferRequest {
-            model,
-            deadline_ms,
-            num_samples,
-            num_features,
-            data: p[at..p.len() - 1].to_vec(),
-            trace,
-            ctx: if trace {
-                SpanCtx::mint()
-            } else {
-                SpanCtx::NONE
-            },
-        })
+        let meta = parse_infer_meta(p)?;
+        let data = p[meta.data_at..p.len() - 1].to_vec();
+        Ok(InferRequest::assemble(meta, data))
+    }
+
+    /// Decode an `Infer` request payload *taking ownership of it*: the
+    /// feature block is carved out of `p`'s allocation (truncate the
+    /// flags byte, shift off the prefix) instead of being copied into
+    /// a fresh one. This is the reactor's zero-copy path — the bytes
+    /// read off the socket into the connection's payload buffer become
+    /// the batcher entry directly. Validation and results are
+    /// identical to [`InferRequest::decode`] (modulo the freshly
+    /// minted [`SpanCtx`]).
+    pub fn decode_owned(mut p: Vec<u8>) -> Result<InferRequest, String> {
+        let meta = parse_infer_meta(&p)?;
+        p.truncate(p.len() - 1);
+        p.drain(..meta.data_at);
+        Ok(InferRequest::assemble(meta, p))
     }
 }
 
@@ -510,6 +717,88 @@ mod tests {
             vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
         assert!(decode_results(&[1, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn decode_owned_matches_decode_and_reuses_the_allocation() {
+        let req = InferRequest {
+            model: "NIPS10".into(),
+            deadline_ms: 250,
+            num_samples: 3,
+            num_features: 2,
+            data: vec![0, 1, 2, 3, 4, 5],
+            trace: true,
+            ctx: SpanCtx::NONE,
+        };
+        let payload = req.encode();
+        let by_ref = InferRequest::decode(&payload).unwrap();
+        let by_own = InferRequest::decode_owned(payload.clone()).unwrap();
+        assert_eq!(by_own.model, by_ref.model);
+        assert_eq!(by_own.deadline_ms, by_ref.deadline_ms);
+        assert_eq!(by_own.num_samples, by_ref.num_samples);
+        assert_eq!(by_own.num_features, by_ref.num_features);
+        assert_eq!(by_own.data, by_ref.data);
+        assert_eq!(by_own.trace, by_ref.trace);
+        // Errors agree too.
+        let mut bad = req.encode();
+        *bad.last_mut().unwrap() = 0x82;
+        assert_eq!(
+            InferRequest::decode(&bad).unwrap_err(),
+            InferRequest::decode_owned(bad).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn frame_decoder_resumes_across_arbitrary_splits() {
+        let frame = Frame::request(Opcode::Infer, vec![9; 17]);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        for split in 0..=wire.len() {
+            let mut dec = FrameDecoder::new();
+            let (a, b) = wire.split_at(split);
+            let mut got = None;
+            for chunk in [a, b] {
+                let mut rest = chunk;
+                while !rest.is_empty() {
+                    let (n, f) = dec.feed(rest).unwrap();
+                    rest = &rest[n..];
+                    if f.is_some() {
+                        assert!(got.is_none(), "only one frame on the wire");
+                        got = f;
+                    }
+                }
+            }
+            assert_eq!(got.as_ref(), Some(&frame), "split at {split}");
+            assert!(dec.is_frame_boundary());
+        }
+    }
+
+    #[test]
+    fn frame_decoder_handles_empty_payload_and_pipelined_frames() {
+        let ping = Frame::request(Opcode::Ping, vec![]);
+        let infer = Frame::request(Opcode::Infer, vec![1, 2, 3]);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &ping).unwrap();
+        write_frame(&mut wire, &infer).unwrap();
+        let mut dec = FrameDecoder::new();
+        let (n1, f1) = dec.feed(&wire).unwrap();
+        assert_eq!(f1.as_ref(), Some(&ping));
+        assert!(n1 < wire.len(), "decoder stops at the frame boundary");
+        let (n2, f2) = dec.feed(&wire[n1..]).unwrap();
+        assert_eq!(f2.as_ref(), Some(&infer));
+        assert_eq!(n1 + n2, wire.len());
+    }
+
+    #[test]
+    fn frame_decoder_poisons_on_malformed_headers() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::request(Opcode::Ping, vec![])).unwrap();
+        wire[4] = 9; // bad version
+        let mut dec = FrameDecoder::new();
+        assert!(matches!(dec.feed(&wire), Err(WireError::Malformed(_))));
+        // Poisoned: even innocent bytes re-report the failure.
+        assert!(matches!(dec.feed(&[0u8; 4]), Err(WireError::Malformed(_))));
+        assert!(dec.spare().is_empty());
     }
 
     #[test]

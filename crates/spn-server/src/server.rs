@@ -1,21 +1,30 @@
-//! The TCP server: accept loop, per-connection threads, admission
-//! control and graceful drain.
+//! The TCP server: accept path, serving engines, admission control
+//! and graceful drain.
 //!
-//! Threading model — everything is plain blocking I/O:
+//! The server has two interchangeable **serving engines** selected by
+//! [`ServerConfig::serving`]; both speak the same wire protocol,
+//! apply the same admission control (`admit_infer`) and feed the
+//! same per-model batchers, so their observable behaviour is
+//! identical:
 //!
-//! * one **accept thread** parks in `TcpListener::accept`;
-//! * one **connection thread** per client socket reads frames with a
-//!   short read-timeout so it can observe the shutdown flag between
-//!   (and during) frames;
-//! * one **batcher worker** per registered model (see
-//!   [`crate::batcher`]).
+//! * [`ServingMode::Reactor`] (the default) — a nonblocking epoll
+//!   readiness loop: one accept thread hands sockets to a small fixed
+//!   pool of event-loop threads, each multiplexing thousands of
+//!   connections through per-connection state machines (see
+//!   [`crate::reactor`]). Scales to 10k+ concurrent connections.
+//! * [`ServingMode::Threaded`] — the original blocking model: one
+//!   accept thread plus one connection thread per client socket,
+//!   reading frames with a short read-timeout so it can observe the
+//!   shutdown flag. Kept as the semantic oracle the reactor is
+//!   differentially tested against; costs one OS thread per client.
 //!
-//! A connection thread handles one request at a time: decode →
-//! validate → admission control → enqueue with the model's batcher →
-//! block on the reply channel → write the response. Faults are
+//! Either way there is one **batcher worker** per registered model
+//! (see [`crate::batcher`]), and a connection handles one request at
+//! a time: decode → validate → admission control → enqueue with the
+//! model's batcher → await the reply → write the response. Faults are
 //! *contained per connection*: a malformed payload earns an error
 //! frame on that socket only; a torn frame or mid-request disconnect
-//! kills that connection thread only.
+//! kills that connection only.
 //!
 //! Shutdown ([`SpnServer::shutdown`], the `Shutdown` opcode, or drop)
 //! is a drain, not an abort: the accept loop stops, new `Infer`
@@ -26,10 +35,11 @@
 
 use crate::batcher::{BatchPolicy, Batcher, Reply};
 use crate::conn::{read_full, ReadOutcome};
-use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
+use crate::metrics::{ReactorMetrics, ServerMetrics, ServerMetricsSnapshot};
 use crate::protocol::{
     parse_header, write_frame, Frame, InferRequest, Opcode, Status, WireError, HEADER_LEN,
 };
+use crate::reactor::{self, ReactorConfig, ReactorHandle};
 use parking_lot::{Condvar, Mutex};
 use spn_runtime::{JobOptions, PlanCache, Scheduler};
 use spn_telemetry::{
@@ -44,6 +54,22 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+/// Which serving engine fronts the batchers.
+#[derive(Debug, Clone)]
+pub enum ServingMode {
+    /// Blocking thread-per-connection serving — the original engine,
+    /// kept as the semantic oracle for the reactor.
+    Threaded,
+    /// Nonblocking epoll reactor serving (the default).
+    Reactor(ReactorConfig),
+}
+
+impl Default for ServingMode {
+    fn default() -> Self {
+        ServingMode::Reactor(ReactorConfig::default())
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -55,7 +81,8 @@ pub struct ServerConfig {
     /// Admission control: refuse `Infer` requests that would push the
     /// number of admitted-but-unanswered samples past this bound.
     pub max_inflight_samples: u64,
-    /// How often blocked reads wake up to check the shutdown flag.
+    /// How often blocked reads wake up to check the shutdown flag
+    /// (threaded engine only; the reactor is readiness-driven).
     pub read_poll: Duration,
     /// Live span collector shared with the models' schedulers
     /// (`None` = tracing off). When set, connection threads record
@@ -63,6 +90,9 @@ pub struct ServerConfig {
     /// [`spn_runtime::Scheduler::with_trace`] so server and device
     /// spans land on one correlated timeline.
     pub trace: Option<Arc<TraceCollector>>,
+    /// Serving engine: epoll reactor (default) or thread-per-
+    /// connection oracle.
+    pub serving: ServingMode,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +103,7 @@ impl Default for ServerConfig {
             max_inflight_samples: 1 << 20,
             read_poll: Duration::from_millis(25),
             trace: None,
+            serving: ServingMode::default(),
         }
     }
 }
@@ -124,8 +155,8 @@ impl ModelSpec {
     }
 }
 
-struct ModelHandle {
-    batcher: Batcher,
+pub(crate) struct ModelHandle {
+    pub(crate) batcher: Batcher,
     scheduler: Arc<Scheduler>,
     num_features: u32,
     /// Feature domain; request bytes must all be `< domain`. Checked
@@ -136,9 +167,9 @@ struct ModelHandle {
     domain: usize,
 }
 
-struct SharedState {
-    models: BTreeMap<String, ModelHandle>,
-    metrics: Arc<ServerMetrics>,
+pub(crate) struct SharedState {
+    pub(crate) models: BTreeMap<String, ModelHandle>,
+    pub(crate) metrics: Arc<ServerMetrics>,
     shutting_down: AtomicBool,
     /// Signalled when shutdown is requested (by the `Shutdown` opcode
     /// or [`SpnServer::shutdown`]); `wait_for_shutdown` blocks on it.
@@ -148,17 +179,21 @@ struct SharedState {
     read_poll: Duration,
     local_addr: SocketAddr,
     /// See [`ServerConfig::trace`].
-    trace: Option<Arc<TraceCollector>>,
+    pub(crate) trace: Option<Arc<TraceCollector>>,
+    /// Reactor front-end counters; `Some` only under
+    /// [`ServingMode::Reactor`] (the telemetry section stays `null`
+    /// for the threaded oracle).
+    pub(crate) reactor: Option<Arc<ReactorMetrics>>,
 }
 
 impl SharedState {
-    fn is_shutting_down(&self) -> bool {
+    pub(crate) fn is_shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::Acquire)
     }
 
     /// Flip the flag and wake everyone who waits on it. Safe to call
     /// from connection threads (it does no joining).
-    fn request_shutdown(&self) {
+    pub(crate) fn request_shutdown(&self) {
         self.shutting_down.store(true, Ordering::Release);
         let mut f = self.shutdown_flag.lock();
         *f = true;
@@ -171,8 +206,16 @@ impl SharedState {
 /// A running inference server. Dropping it drains and stops it.
 pub struct SpnServer {
     shared: Arc<SharedState>,
-    accept_thread: Option<thread::JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    engine: Engine,
+}
+
+/// The running serving engine behind an [`SpnServer`].
+enum Engine {
+    Threaded {
+        accept_thread: Option<thread::JoinHandle<()>>,
+        conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    },
+    Reactor(ReactorHandle),
 }
 
 /// Server construction failure.
@@ -249,6 +292,10 @@ impl SpnServer {
             }
         }
 
+        let reactor_metrics = match &config.serving {
+            ServingMode::Reactor(rc) => Some(Arc::new(ReactorMetrics::new(rc.loop_threads.max(1)))),
+            ServingMode::Threaded => None,
+        };
         let shared = Arc::new(SharedState {
             models: registry,
             metrics,
@@ -259,22 +306,30 @@ impl SpnServer {
             read_poll: config.read_poll,
             local_addr,
             trace: config.trace,
+            reactor: reactor_metrics,
         });
 
-        let conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
-        let accept_shared = Arc::clone(&shared);
-        let accept_conns = Arc::clone(&conn_threads);
-        let accept_thread = thread::Builder::new()
-            .name("spn-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared, accept_conns))
-            .expect("spawn accept thread");
+        let engine = match config.serving {
+            ServingMode::Threaded => {
+                let conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>> =
+                    Arc::new(Mutex::new(Vec::new()));
+                let accept_shared = Arc::clone(&shared);
+                let accept_conns = Arc::clone(&conn_threads);
+                let accept_thread = thread::Builder::new()
+                    .name("spn-accept".into())
+                    .spawn(move || accept_loop(listener, accept_shared, accept_conns))
+                    .expect("spawn accept thread");
+                Engine::Threaded {
+                    accept_thread: Some(accept_thread),
+                    conn_threads,
+                }
+            }
+            ServingMode::Reactor(rc) => {
+                Engine::Reactor(reactor::start(listener, Arc::clone(&shared), rc)?)
+            }
+        };
 
-        Ok(SpnServer {
-            shared,
-            accept_thread: Some(accept_thread),
-            conn_threads,
-        })
+        Ok(SpnServer { shared, engine })
     }
 
     /// The address the server actually bound (resolves port `0`).
@@ -310,21 +365,43 @@ impl SpnServer {
     /// drop.
     pub fn shutdown(&mut self) {
         self.shared.request_shutdown();
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        // Drain order is load-bearing: connection threads may be
-        // blocked on reply channels, and flushing the batch queues is
-        // what unblocks them — so batchers first, connections second.
-        for handle in self.shared.models.values() {
-            handle.batcher.request_drain();
-        }
-        for handle in self.shared.models.values() {
-            handle.batcher.join_worker();
-        }
-        let mut conns = self.conn_threads.lock();
-        for t in conns.drain(..) {
-            let _ = t.join();
+        match &mut self.engine {
+            Engine::Threaded {
+                accept_thread,
+                conn_threads,
+            } => {
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+                // Drain order is load-bearing: connection threads may
+                // be blocked on reply channels, and flushing the batch
+                // queues is what unblocks them — so batchers first,
+                // connections second.
+                for handle in self.shared.models.values() {
+                    handle.batcher.request_drain();
+                }
+                for handle in self.shared.models.values() {
+                    handle.batcher.join_worker();
+                }
+                let mut conns = conn_threads.lock();
+                for t in conns.drain(..) {
+                    let _ = t.join();
+                }
+            }
+            Engine::Reactor(handle) => {
+                handle.join_acceptor();
+                // Same order, reactor-shaped: draining the batchers
+                // pushes every outstanding reply into the loops'
+                // completion queues; only then are the loops told to
+                // flush what remains and exit.
+                for handle in self.shared.models.values() {
+                    handle.batcher.request_drain();
+                }
+                for handle in self.shared.models.values() {
+                    handle.batcher.join_worker();
+                }
+                handle.finish();
+            }
         }
     }
 }
@@ -437,7 +514,7 @@ fn serve_connection(mut stream: TcpStream, shared: &SharedState) -> io::Result<(
                 shared.request_shutdown();
             }
             Opcode::Infer => {
-                let (frame, ctx) = handle_infer(shared, &payload);
+                let (frame, ctx) = handle_infer(shared, payload);
                 let t_write = Instant::now();
                 write_frame(&mut stream, &frame)?;
                 if let Some(trace) = &shared.trace {
@@ -455,44 +532,63 @@ fn serve_connection(mut stream: TcpStream, shared: &SharedState) -> io::Result<(
     }
 }
 
-/// Decode, validate, admit, batch and await one `Infer` request.
-/// Returns the response frame plus the request's trace context (minted
-/// at decode; [`SpanCtx::NONE`] when decoding failed) so the caller
-/// can stamp the reply-write span.
-fn handle_infer(shared: &SharedState, payload: &[u8]) -> (Frame, SpanCtx) {
+/// Outcome of [`admit_infer`]: either an immediate rejection frame or
+/// an admitted request ready to enqueue with its model's batcher.
+pub(crate) enum InferAdmission<'a> {
+    /// Rejected before admission; write the frame and move on. The
+    /// [`SpanCtx`] is the request's (or [`SpanCtx::NONE`] when
+    /// decoding failed) for stamping the reply-write span.
+    Reject(Frame, SpanCtx),
+    /// Admitted and counted (`request_admitted` has run); the caller
+    /// *must* eventually deliver a reply and call `request_done`.
+    Admit(AdmittedInfer<'a>),
+}
+
+/// An `Infer` request that passed decode, validation and admission
+/// control, ready for [`crate::batcher::Batcher::enqueue`].
+pub(crate) struct AdmittedInfer<'a> {
+    pub(crate) model: &'a ModelHandle,
+    pub(crate) req: InferRequest,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) samples: u64,
+    pub(crate) t0: Instant,
+}
+
+/// Decode, validate and admit one `Infer` request — the engine-shared
+/// front half of request handling. Takes the payload by value so the
+/// reactor's zero-copy path ([`InferRequest::decode_owned`]) can hand
+/// the socket read buffer straight to the batcher.
+pub(crate) fn admit_infer(shared: &SharedState, payload: Vec<u8>) -> InferAdmission<'_> {
     let t0 = Instant::now();
-    let reject = |status: Status, msg: &str| {
+    let reject = |status: Status, msg: &str, ctx: SpanCtx| {
         shared.metrics.rejected(status);
-        Frame::error(Opcode::Infer, status, msg)
+        InferAdmission::Reject(Frame::error(Opcode::Infer, status, msg), ctx)
     };
 
     if shared.is_shutting_down() {
-        return (
-            reject(Status::ShuttingDown, "server is draining"),
-            SpanCtx::NONE,
-        );
+        return reject(Status::ShuttingDown, "server is draining", SpanCtx::NONE);
     }
-    let req = match InferRequest::decode(payload) {
+    let req = match InferRequest::decode_owned(payload) {
         Ok(r) => r,
-        Err(m) => return (reject(Status::Malformed, &m), SpanCtx::NONE),
+        Err(m) => return reject(Status::Malformed, &m, SpanCtx::NONE),
     };
     let ctx = req.ctx;
     let Some(model) = shared.models.get(&req.model) else {
-        let frame = reject(
+        return reject(
             Status::UnknownModel,
             &format!("model '{}' is not registered", req.model),
+            ctx,
         );
-        return (frame, ctx);
     };
     if req.num_features != model.num_features {
-        let frame = reject(
+        return reject(
             Status::ShapeMismatch,
             &format!(
                 "model '{}' expects {} features per sample, request carries {}",
                 req.model, model.num_features, req.num_features
             ),
+            ctx,
         );
-        return (frame, ctx);
     }
     // Domain check: every feature byte must be `< domain`, or the
     // batcher's `Dataset::from_raw` would panic — killing the model's
@@ -500,14 +596,14 @@ fn handle_infer(shared: &SharedState, payload: &[u8]) -> (Frame, SpanCtx) {
     // One out-of-domain byte must cost *this* request only.
     if model.domain < 256 {
         if let Some(bad) = req.data.iter().find(|&&v| usize::from(v) >= model.domain) {
-            let frame = reject(
+            return reject(
                 Status::Malformed,
                 &format!(
                     "feature value {bad} outside model '{}' domain 0..{}",
                     req.model, model.domain
                 ),
+                ctx,
             );
-            return (frame, ctx);
         }
     }
     let samples = u64::from(req.num_samples);
@@ -515,36 +611,59 @@ fn handle_infer(shared: &SharedState, payload: &[u8]) -> (Frame, SpanCtx) {
     // (Racy increment-after-check is fine — the bound is a soft
     // protective limit, not an accounting invariant.)
     if shared.metrics.inflight_samples() + samples > shared.max_inflight_samples {
-        let frame = reject(
+        return reject(
             Status::ServerBusy,
             &format!(
                 "in-flight sample limit {} reached; retry later",
                 shared.max_inflight_samples
             ),
+            ctx,
         );
-        return (frame, ctx);
     }
     shared.metrics.request_admitted(samples);
-
     let deadline =
         (req.deadline_ms > 0).then(|| t0 + Duration::from_millis(req.deadline_ms as u64));
-    let rx = model
-        .batcher
-        .enqueue(ctx, req.data, req.num_samples, deadline);
-    let reply = rx
-        .recv()
-        .unwrap_or_else(|_| Reply::Err(Status::Internal, "batcher dropped the request".into()));
-    shared.metrics.request_done(samples, t0.elapsed());
+    InferAdmission::Admit(AdmittedInfer {
+        model,
+        req,
+        deadline,
+        samples,
+        t0,
+    })
+}
 
-    let frame = match reply {
+/// Turn a batcher [`Reply`] into the `Infer` response frame — the
+/// engine-shared back half of request handling.
+pub(crate) fn reply_frame(reply: Reply) -> Frame {
+    match reply {
         Reply::Ok(lls) => Frame::response(
             Opcode::Infer,
             Status::Ok,
             crate::protocol::encode_results(&lls),
         ),
         Reply::Err(status, msg) => Frame::error(Opcode::Infer, status, &msg),
+    }
+}
+
+/// Decode, validate, admit, batch and *block on* one `Infer` request —
+/// the threaded engine's request path. Returns the response frame plus
+/// the request's trace context so the caller can stamp the reply-write
+/// span.
+fn handle_infer(shared: &SharedState, payload: Vec<u8>) -> (Frame, SpanCtx) {
+    let adm = match admit_infer(shared, payload) {
+        InferAdmission::Reject(frame, ctx) => return (frame, ctx),
+        InferAdmission::Admit(adm) => adm,
     };
-    (frame, ctx)
+    let ctx = adm.req.ctx;
+    let rx = adm
+        .model
+        .batcher
+        .enqueue(ctx, adm.req.data, adm.req.num_samples, adm.deadline);
+    let reply = rx
+        .recv()
+        .unwrap_or_else(|_| Reply::Err(Status::Internal, "batcher dropped the request".into()));
+    shared.metrics.request_done(adm.samples, adm.t0.elapsed());
+    (reply_frame(reply), ctx)
 }
 
 /// Build the unified telemetry document the `Stats` opcode serves:
@@ -555,7 +674,7 @@ fn handle_infer(shared: &SharedState, payload: &[u8]) -> (Frame, SpanCtx) {
 /// built with [`spn_runtime::Scheduler::with_cache`] may share one
 /// cache, so caches are de-duplicated by identity before summing —
 /// a shared cache is counted once, not once per model.
-fn telemetry_snapshot(shared: &SharedState) -> TelemetrySnapshot {
+pub(crate) fn telemetry_snapshot(shared: &SharedState) -> TelemetrySnapshot {
     let models = shared
         .models
         .iter()
@@ -613,5 +732,6 @@ fn telemetry_snapshot(shared: &SharedState) -> TelemetrySnapshot {
         plan: Some(plan),
         router: None,
         shard,
+        reactor: shared.reactor.as_ref().map(|m| m.snapshot()),
     }
 }

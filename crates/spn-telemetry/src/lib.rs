@@ -38,8 +38,8 @@ pub use histogram::AtomicHistogram;
 pub use run::{Provenance, RunKind, RunRecord, RUN_RECORD_SCHEMA_VERSION};
 pub use sim_core::HistogramSummary;
 pub use snapshot::{
-    BackendTelemetry, BatcherTelemetry, ModelTelemetry, PlanTelemetry, RouterTelemetry,
-    SchedulerTelemetry, ServingTelemetry, ShardTelemetry, TelemetrySnapshot,
+    BackendTelemetry, BatcherTelemetry, ModelTelemetry, PlanTelemetry, ReactorTelemetry,
+    RouterTelemetry, SchedulerTelemetry, ServingTelemetry, ShardTelemetry, TelemetrySnapshot,
     TELEMETRY_SCHEMA_VERSION,
 };
 pub use span::{chrome_trace_json, ChromeArgs, ChromeEvent, SpanKind};

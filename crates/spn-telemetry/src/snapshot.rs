@@ -22,8 +22,10 @@ use std::collections::BTreeMap;
 /// Version 2 added the optional top-level `plan` section
 /// ([`PlanTelemetry`]); version 3 added the optional top-level
 /// `router` section ([`RouterTelemetry`]); version 4 added the
-/// optional top-level `shard` section ([`ShardTelemetry`]).
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 4;
+/// optional top-level `shard` section ([`ShardTelemetry`]); version 5
+/// added the optional top-level `reactor` section
+/// ([`ReactorTelemetry`]).
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 5;
 
 /// Point-in-time counters of one scheduler (`spn-runtime`'s
 /// `MetricsRegistry`). Field order = JSON key order.
@@ -123,6 +125,34 @@ pub struct ShardTelemetry {
     pub sharded_blocks: u64,
 }
 
+/// Point-in-time counters of the nonblocking serving front-end
+/// (`spn-server`'s epoll reactor). Field order = JSON key order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReactorTelemetry {
+    /// Event-loop threads in the pool.
+    pub loop_threads: u64,
+    /// Event-loop iterations (one per `epoll_wait` return) across all
+    /// loops.
+    pub loop_iterations: u64,
+    /// Readiness events delivered across all loops (connection
+    /// readiness plus cross-thread wakeups).
+    pub readiness_events: u64,
+    /// Connections currently open (gauge).
+    pub open_connections: u64,
+    /// Largest number of simultaneously open connections observed.
+    pub peak_connections: u64,
+    /// Connections accepted and handed to a loop since startup.
+    pub accepted_total: u64,
+    /// Connections refused at accept with a typed `ServerBusy` frame
+    /// because the connection limit was reached.
+    pub rejected_at_accept: u64,
+    /// Connections closed by the idle-timeout timer wheel.
+    pub idle_closed: u64,
+    /// Accepted connections parked in loop inboxes, not yet
+    /// registered with their loop's epoll (gauge).
+    pub accept_backlog: u64,
+}
+
 /// Point-in-time counters of one routed backend, as the cluster
 /// front-end (`spn-router`) sees it. Field order = JSON key order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -192,6 +222,10 @@ pub struct TelemetrySnapshot {
     /// Sharded-execution counters; `null` when no sharded job has
     /// run. Absent in pre-v4 documents (tolerated as `None` on parse).
     pub shard: Option<ShardTelemetry>,
+    /// Reactor front-end counters; `null` when the server runs the
+    /// threaded oracle (or outside a server context). Absent in
+    /// pre-v5 documents (tolerated as `None` on parse).
+    pub reactor: Option<ReactorTelemetry>,
 }
 
 impl SchedulerTelemetry {
@@ -219,6 +253,7 @@ impl TelemetrySnapshot {
             plan: None,
             router: None,
             shard: None,
+            reactor: None,
         }
     }
 

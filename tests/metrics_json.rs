@@ -12,8 +12,8 @@
 use spn_runtime::{JobOutcome, MetricsRegistry, MetricsSnapshot};
 use spn_server::{HistogramSummary, ServerMetrics};
 use spn_telemetry::{
-    BatcherTelemetry, ModelTelemetry, PlanTelemetry, SchedulerTelemetry, ServingTelemetry,
-    ShardTelemetry, TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION,
+    BatcherTelemetry, ModelTelemetry, PlanTelemetry, ReactorTelemetry, SchedulerTelemetry,
+    ServingTelemetry, ShardTelemetry, TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION,
 };
 use std::time::Duration;
 
@@ -194,11 +194,22 @@ fn telemetry_snapshot_golden_json() {
             shards: 4,
             sharded_blocks: 6,
         }),
+        reactor: Some(ReactorTelemetry {
+            loop_threads: 2,
+            loop_iterations: 90,
+            readiness_events: 120,
+            open_connections: 3,
+            peak_connections: 11,
+            accepted_total: 40,
+            rejected_at_accept: 1,
+            idle_closed: 2,
+            accept_backlog: 0,
+        }),
     };
 
     let golden = "\
 {
-  \"schema\": 4,
+  \"schema\": 5,
   \"server\": {
     \"requests_total\": 4,
     \"samples_total\": 32,
@@ -270,6 +281,17 @@ fn telemetry_snapshot_golden_json() {
     \"shard_sets\": 1,
     \"shards\": 4,
     \"sharded_blocks\": 6
+  },
+  \"reactor\": {
+    \"loop_threads\": 2,
+    \"loop_iterations\": 90,
+    \"readiness_events\": 120,
+    \"open_connections\": 3,
+    \"peak_connections\": 11,
+    \"accepted_total\": 40,
+    \"rejected_at_accept\": 1,
+    \"idle_closed\": 2,
+    \"accept_backlog\": 0
   }
 }
 ";
@@ -279,16 +301,21 @@ fn telemetry_snapshot_golden_json() {
     let back = TelemetrySnapshot::from_json(golden).unwrap();
     assert_eq!(back, snap);
 
-    // A pre-v4 document (no "shard" key) still parses, with the
-    // section absent — the additive-evolution contract.
+    // A pre-v4 document (no "shard" or "reactor" key) still parses,
+    // with the sections absent — the additive-evolution contract.
     let pre_v4 = golden
-        .replace("\"schema\": 4", "\"schema\": 3")
+        .replace("\"schema\": 5", "\"schema\": 3")
         .replace(
             ",\n  \"shard\": {\n    \"shard_sets\": 1,\n    \"shards\": 4,\n    \"sharded_blocks\": 6\n  }",
+            "",
+        )
+        .replace(
+            ",\n  \"reactor\": {\n    \"loop_threads\": 2,\n    \"loop_iterations\": 90,\n    \"readiness_events\": 120,\n    \"open_connections\": 3,\n    \"peak_connections\": 11,\n    \"accepted_total\": 40,\n    \"rejected_at_accept\": 1,\n    \"idle_closed\": 2,\n    \"accept_backlog\": 0\n  }",
             "",
         );
     let old = TelemetrySnapshot::from_json(&pre_v4).unwrap();
     assert_eq!(old.shard, None);
+    assert_eq!(old.reactor, None);
 }
 
 /// The durable run record — the schema shared by the committed

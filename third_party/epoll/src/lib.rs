@@ -1,0 +1,385 @@
+//! Offline shim over Linux `epoll`, `eventfd` and `RLIMIT_NOFILE`.
+//!
+//! The build environment has no crates.io access, so instead of the
+//! `mio`/`libc` stack this crate declares the handful of C symbols it
+//! needs directly — `std` already links the platform libc on Linux, so
+//! the dynamic linker resolves them with no extra dependency. The API
+//! is the minimal readiness surface `spn-server`'s reactor and the
+//! open-loop load generator use:
+//!
+//! * [`Epoll`] — an `epoll` instance: `add`/`modify`/`delete` interest
+//!   registration keyed by a caller-chosen `u64` token, and `wait`
+//!   filling a caller-owned event buffer;
+//! * [`EventFd`] — a cross-thread wakeup: any thread `wake()`s, the
+//!   loop sees the fd readable and `drain()`s it;
+//! * [`nofile_limit`]/[`raise_nofile_limit`] — `RLIMIT_NOFILE`
+//!   introspection so a 10k-connection run can lift the soft limit (to
+//!   the hard limit, or beyond it when privileged) instead of dying on
+//!   `EMFILE` halfway through an accept storm.
+//!
+//! Everything is level-triggered: the reactor's state machines re-arm
+//! interest explicitly, which keeps "partial read, come back later"
+//! reasoning local to the connection instead of global to the loop.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+/// Readable readiness (or a peer whose socket has buffered data).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition; always reported, never registered.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup; always reported, never registered.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write half (half-close detection).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+const RLIMIT_NOFILE: i32 = 7;
+
+/// One readiness event, ABI-compatible with the kernel's
+/// `struct epoll_event` (which is packed on x86_64 only).
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+pub struct Event {
+    /// Readiness bits (`EPOLLIN` / `EPOLLOUT` / `EPOLLERR` / …).
+    pub events: u32,
+    /// The token the fd was registered with.
+    pub data: u64,
+}
+
+impl Event {
+    /// An empty slot for the `wait` buffer.
+    pub const fn zeroed() -> Event {
+        Event { events: 0, data: 0 }
+    }
+
+    /// The registration token (copied out, so the read is safe even
+    /// on the packed x86_64 layout).
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+
+    /// The readiness bits (copied out likewise).
+    pub fn readiness(&self) -> u32 {
+        self.events
+    }
+}
+
+#[repr(C)]
+struct RLimit {
+    cur: u64,
+    max: u64,
+}
+
+// Symbols provided by the libc `std` already links on Linux. Errors
+// land in `errno`, which `io::Error::last_os_error()` reads through
+// the same libc.
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut Event) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut Event, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// A level-triggered epoll instance.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Create a fresh instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Epoll> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Epoll {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = Event {
+            events: interest,
+            data: token,
+        };
+        cvt(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Register `fd` with `interest` bits under `token`.
+    pub fn add(&self, fd: &impl AsRawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd.as_raw_fd(), interest, token)
+    }
+
+    /// Change an existing registration's interest (and token).
+    pub fn modify(&self, fd: &impl AsRawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd.as_raw_fd(), interest, token)
+    }
+
+    /// Remove a registration. (The kernel also drops registrations
+    /// when the fd closes; this is for keeping a live fd quiet.)
+    pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd.as_raw_fd(), 0, 0)
+    }
+
+    /// Block for readiness up to `timeout` (`None` = forever), filling
+    /// `events` from the front. Returns how many slots were filled;
+    /// `Ok(0)` is a timeout. `EINTR` is retried internally.
+    pub fn wait(&self, events: &mut [Event], timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            // Round up so a 100µs timeout does not spin at 0ms.
+            Some(t) => {
+                t.as_millis().min(i32::MAX as u128) as i32
+                    + if t.subsec_nanos() % 1_000_000 != 0 {
+                        1
+                    } else {
+                        0
+                    }
+            }
+            None => -1,
+        };
+        loop {
+            let n = unsafe {
+                epoll_wait(
+                    self.fd.as_raw_fd(),
+                    events.as_mut_ptr(),
+                    events.len().min(i32::MAX as usize) as i32,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl AsRawFd for Epoll {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+}
+
+/// A nonblocking eventfd used as a cross-thread wakeup flag: producers
+/// [`EventFd::wake`], the loop registers it `EPOLLIN` and
+/// [`EventFd::drain`]s on readiness. Coalescing is free — many wakes
+/// before a drain still cost one readiness event.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: OwnedFd,
+}
+
+impl EventFd {
+    /// Create (`EFD_NONBLOCK | EFD_CLOEXEC`, counter 0).
+    pub fn new() -> io::Result<EventFd> {
+        let fd = cvt(unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) })?;
+        Ok(EventFd {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    /// Make the fd readable. Never blocks: on counter overflow
+    /// (`EAGAIN`, which already implies a pending wakeup) this is a
+    /// no-op.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let n = unsafe { write(self.fd.as_raw_fd(), (&one as *const u64).cast(), 8) };
+        if n == 8 {
+            return Ok(());
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::WouldBlock {
+            Ok(())
+        } else {
+            Err(err)
+        }
+    }
+
+    /// Reset the counter; returns how many `wake`s were coalesced
+    /// since the last drain (0 when none were pending).
+    pub fn drain(&self) -> io::Result<u64> {
+        let mut count = 0u64;
+        let n = unsafe { read(self.fd.as_raw_fd(), (&mut count as *mut u64).cast(), 8) };
+        if n == 8 {
+            return Ok(count);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::WouldBlock {
+            Ok(0)
+        } else {
+            Err(err)
+        }
+    }
+}
+
+impl AsRawFd for EventFd {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+}
+
+/// The process's `RLIMIT_NOFILE` as `(soft, hard)`.
+pub fn nofile_limit() -> io::Result<(u64, u64)> {
+    let mut rl = RLimit { cur: 0, max: 0 };
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut rl) })?;
+    Ok((rl.cur, rl.max))
+}
+
+/// Best-effort raise of the soft `RLIMIT_NOFILE` toward `want`.
+/// Unprivileged processes can go up to the hard limit; privileged ones
+/// (CAP_SYS_RESOURCE) past it. Returns the soft limit actually in
+/// effect afterwards — callers size their fd-hungry sweeps to it
+/// rather than treating a clamped limit as an error.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let (soft, hard) = nofile_limit()?;
+    if soft >= want {
+        return Ok(soft);
+    }
+    if want > hard {
+        // Try raising both limits (works when privileged) …
+        let rl = RLimit {
+            cur: want,
+            max: want,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &rl) } == 0 {
+            return Ok(want);
+        }
+    }
+    // … else settle for the hard limit.
+    let capped = want.min(hard);
+    if capped > soft {
+        let rl = RLimit {
+            cur: capped,
+            max: hard,
+        };
+        cvt(unsafe { setrlimit(RLIMIT_NOFILE, &rl) })?;
+        return Ok(capped);
+    }
+    Ok(soft)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn eventfd_wakes_an_epoll_wait_and_coalesces() {
+        let ep = Epoll::new().unwrap();
+        let wake = EventFd::new().unwrap();
+        ep.add(&wake, EPOLLIN, 7).unwrap();
+
+        let mut events = [Event::zeroed(); 4];
+        // Nothing pending: a short wait times out.
+        assert_eq!(
+            ep.wait(&mut events, Some(Duration::from_millis(1)))
+                .unwrap(),
+            0
+        );
+        wake.wake().unwrap();
+        wake.wake().unwrap();
+        let n = ep.wait(&mut events, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert_ne!(events[0].readiness() & EPOLLIN, 0);
+        assert_eq!(wake.drain().unwrap(), 2, "two wakes coalesced");
+        // Drained: quiet again.
+        assert_eq!(
+            ep.wait(&mut events, Some(Duration::from_millis(1)))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_changes() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(&b, EPOLLIN, 42).unwrap();
+
+        let mut events = [Event::zeroed(); 4];
+        assert_eq!(
+            ep.wait(&mut events, Some(Duration::from_millis(1)))
+                .unwrap(),
+            0
+        );
+        a.write_all(b"hi").unwrap();
+        let n = ep.wait(&mut events, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+
+        // Level-triggered: unread data keeps reporting until consumed.
+        assert_eq!(
+            ep.wait(&mut events, Some(Duration::from_millis(1)))
+                .unwrap(),
+            1
+        );
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 2);
+
+        // Switch interest to writable: an idle socket is writable now.
+        ep.modify(&b, EPOLLOUT, 43).unwrap();
+        let n = ep.wait(&mut events, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 43);
+        assert_ne!(events[0].readiness() & EPOLLOUT, 0);
+
+        // Deleted: silence even though still writable.
+        ep.delete(&b).unwrap();
+        assert_eq!(
+            ep.wait(&mut events, Some(Duration::from_millis(1)))
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn hangup_is_reported_on_peer_close() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(&b, EPOLLIN | EPOLLRDHUP, 1).unwrap();
+        drop(a);
+        let mut events = [Event::zeroed(); 4];
+        let n = ep.wait(&mut events, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(n, 1);
+        assert_ne!(events[0].readiness() & (EPOLLHUP | EPOLLRDHUP | EPOLLIN), 0);
+    }
+
+    #[test]
+    fn nofile_limits_are_readable_and_raisable_to_the_hard_limit() {
+        let (soft, hard) = nofile_limit().unwrap();
+        assert!(soft > 0 && hard >= soft);
+        // Raising to the current soft limit is a no-op that succeeds.
+        assert_eq!(raise_nofile_limit(soft).unwrap(), soft);
+        // Raising toward the hard limit must land at >= the old soft.
+        let got = raise_nofile_limit(hard).unwrap();
+        assert!(got >= soft);
+    }
+}
